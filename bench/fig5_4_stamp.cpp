@@ -1,0 +1,48 @@
+// Figure 5.4 — STAMP results: run time of each application under the six
+// schemes, normalized to the standard (non-speculative) version of the
+// lock, plus attempts/op and the non-speculative fraction.
+//
+// Expected shape: MCS gains nothing from plain HLE but up to ~2.5x from
+// HLE-SCM; TTAS gains up to ~2x from HLE on intruder; optimistic SLR is
+// the overall best on most applications.
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+#include "stamp/common.hpp"
+
+int main() {
+  using namespace elision;
+  harness::banner("Figure 5.4",
+                  "STAMP, 8 threads: normalized run time (lower is "
+                  "better), attempts per critical section, non-spec "
+                  "fraction.\n"
+                  "Expect: HLE-MCS ~1.0 everywhere; HLE-SCM and opt-SLR "
+                  "well below 1; intruder the best plain-HLE TTAS case.");
+  const double scale = harness::env_duration_scale();
+  for (const auto lock : {stamp::LockKind::kTtas, stamp::LockKind::kMcs}) {
+    std::printf("\n-- %s lock --\n", stamp::lock_name(lock));
+    harness::Table table({"app", "scheme", "norm-time", "att/op",
+                          "nonspec-frac"});
+    // The paper's seven configurations plus the labyrinth extension.
+    for (const char* app : stamp::kAllAppNames) {
+      stamp::StampConfig cfg;
+      cfg.lock = lock;
+      cfg.scale = 0.25 * scale;
+      cfg.scheme = locks::Scheme::kStandard;
+      const auto base = stamp::run_app(app, cfg);
+      for (const auto scheme : locks::kAllSixSchemes) {
+        cfg.scheme = scheme;
+        const auto r = stamp::run_app(app, cfg);
+        table.add_row({app, locks::scheme_name(scheme),
+                       harness::fmt(static_cast<double>(r.elapsed_cycles) /
+                                    static_cast<double>(base.elapsed_cycles), 3),
+                       harness::fmt(r.attempts_per_op(), 2),
+                       harness::fmt(r.nonspec_fraction(), 3)});
+      }
+    }
+    table.print();
+  }
+  return 0;
+}

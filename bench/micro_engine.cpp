@@ -1,0 +1,136 @@
+// Micro-benchmarks (google-benchmark) of the simulator's primitive
+// operation costs: shared loads/stores, RMWs, transaction begin/commit,
+// elision, and the region drivers. These measure *host* time per simulated
+// operation — the simulator's own overhead — not simulated latencies.
+#include <benchmark/benchmark.h>
+
+#include "ds/rbtree.hpp"
+#include "locks/region.hpp"
+#include "locks/ttas_lock.hpp"
+#include "tsx/shared.hpp"
+
+namespace {
+
+using namespace elision;
+
+// Each iteration spins up one simulated thread performing `ops_per_run`
+// operations; we report time per simulated operation.
+template <typename Fn>
+void run_sim(benchmark::State& state, std::int64_t ops_per_run, Fn&& fn) {
+  for (auto _ : state) {
+    sim::MachineConfig mcfg;
+    mcfg.n_cores = 1;
+    sim::Scheduler sched(mcfg);
+    tsx::Engine eng(sched);
+    sched.spawn([&](sim::SimThread& t) { fn(eng.context(t)); });
+    sched.run();
+  }
+  state.SetItemsProcessed(state.iterations() * ops_per_run);
+}
+
+void BM_DirectLoad(benchmark::State& state) {
+  tsx::Shared<std::uint64_t> x(1);
+  run_sim(state, 10000, [&](tsx::Ctx& ctx) {
+    std::uint64_t sum = 0;
+    for (int i = 0; i < 10000; ++i) sum += x.load(ctx);
+    benchmark::DoNotOptimize(sum);
+  });
+}
+BENCHMARK(BM_DirectLoad);
+
+void BM_DirectStore(benchmark::State& state) {
+  tsx::Shared<std::uint64_t> x(0);
+  run_sim(state, 10000, [&](tsx::Ctx& ctx) {
+    for (int i = 0; i < 10000; ++i) x.store(ctx, i);
+  });
+}
+BENCHMARK(BM_DirectStore);
+
+void BM_DirectFetchAdd(benchmark::State& state) {
+  tsx::Shared<std::uint64_t> x(0);
+  run_sim(state, 10000, [&](tsx::Ctx& ctx) {
+    for (int i = 0; i < 10000; ++i) x.fetch_add(ctx, 1);
+  });
+}
+BENCHMARK(BM_DirectFetchAdd);
+
+void BM_EmptyTransaction(benchmark::State& state) {
+  run_sim(state, 5000, [&](tsx::Ctx& ctx) {
+    for (int i = 0; i < 5000; ++i) {
+      ctx.engine().run_transaction(ctx, [] {});
+    }
+  });
+}
+BENCHMARK(BM_EmptyTransaction);
+
+void BM_SmallTransaction(benchmark::State& state) {
+  tsx::Shared<std::uint64_t> x(0);
+  run_sim(state, 5000, [&](tsx::Ctx& ctx) {
+    for (int i = 0; i < 5000; ++i) {
+      ctx.engine().run_transaction(ctx, [&] {
+        x.store(ctx, x.load(ctx) + 1);
+      });
+    }
+  });
+}
+BENCHMARK(BM_SmallTransaction);
+
+void BM_TransactionWriteSet(benchmark::State& state) {
+  const auto lines = static_cast<std::size_t>(state.range(0));
+  std::vector<support::CacheAligned<tsx::Shared<std::uint64_t>>> data(lines);
+  run_sim(state, 100, [&](tsx::Ctx& ctx) {
+    for (int i = 0; i < 100; ++i) {
+      ctx.engine().run_transaction(ctx, [&] {
+        for (auto& d : data) d.value.store(ctx, i);
+      });
+    }
+  });
+}
+BENCHMARK(BM_TransactionWriteSet)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_HleRegion(benchmark::State& state) {
+  locks::TtasLock lock;
+  tsx::Shared<std::uint64_t> x(0);
+  run_sim(state, 2000, [&](tsx::Ctx& ctx) {
+    for (int i = 0; i < 2000; ++i) {
+      locks::hle_region(ctx, lock, [&] {
+        x.store(ctx, x.load(ctx) + 1);
+      });
+    }
+  });
+}
+BENCHMARK(BM_HleRegion);
+
+void BM_RbTreeLookup(benchmark::State& state) {
+  ds::RbTree tree(3000);
+  for (std::uint64_t k = 0; k < 2048; ++k) tree.unsafe_insert(k * 7);
+  run_sim(state, 2000, [&](tsx::Ctx& ctx) {
+    for (int i = 0; i < 2000; ++i) {
+      benchmark::DoNotOptimize(
+          tree.contains(ctx, static_cast<std::uint64_t>(i * 13 % 14336)));
+    }
+  });
+}
+BENCHMARK(BM_RbTreeLookup);
+
+void BM_FiberSwitch(benchmark::State& state) {
+  // Two threads ping-ponging via strict earliest-first scheduling.
+  for (auto _ : state) {
+    sim::MachineConfig mcfg;
+    mcfg.n_cores = 2;
+    mcfg.smt_per_core = 1;
+    sim::Scheduler sched(mcfg);
+    for (int t = 0; t < 2; ++t) {
+      sched.spawn([](sim::SimThread& st) {
+        for (int i = 0; i < 5000; ++i) st.tick(1);
+      });
+    }
+    sched.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_FiberSwitch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Reproduces everything: build, full test suite, every figure/table bench.
+# Outputs land in test_output.txt and bench_output.txt at the repo root.
+# ELISION_BENCH_SCALE=<x> lengthens bench runs for smoother curves.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --timeout 600 2>&1 | tee test_output.txt
+
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo "### $(basename "$b")"
+  "$b"
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,110 @@
+#include "ds/binheap.hpp"
+
+#include "support/check.hpp"
+
+namespace elision::ds {
+
+BinHeap::BinHeap(std::size_t capacity) : slots_(capacity) {}
+
+void BinHeap::sift_up(tsx::Ctx& ctx, std::uint64_t i) {
+  while (i > 0) {
+    const std::uint64_t parent = (i - 1) / 2;
+    const std::uint64_t pv = slots_[parent].load(ctx);
+    const std::uint64_t iv = slots_[i].load(ctx);
+    if (pv <= iv) break;
+    slots_[parent].store(ctx, iv);
+    slots_[i].store(ctx, pv);
+    i = parent;
+  }
+}
+
+void BinHeap::sift_down(tsx::Ctx& ctx, std::uint64_t i, std::uint64_t n) {
+  for (;;) {
+    const std::uint64_t l = 2 * i + 1, r = 2 * i + 2;
+    std::uint64_t smallest = i;
+    std::uint64_t sv = slots_[i].load(ctx);
+    if (l < n) {
+      const std::uint64_t lv = slots_[l].load(ctx);
+      if (lv < sv) {
+        smallest = l;
+        sv = lv;
+      }
+    }
+    if (r < n) {
+      const std::uint64_t rv = slots_[r].load(ctx);
+      if (rv < sv) {
+        smallest = r;
+        sv = rv;
+      }
+    }
+    if (smallest == i) break;
+    const std::uint64_t iv = slots_[i].load(ctx);
+    slots_[i].store(ctx, sv);
+    slots_[smallest].store(ctx, iv);
+    i = smallest;
+  }
+}
+
+bool BinHeap::push(tsx::Ctx& ctx, std::uint64_t key) {
+  const std::uint64_t n = size_.value.load(ctx);
+  if (n >= slots_.size()) return false;
+  slots_[n].store(ctx, key);
+  size_.value.store(ctx, n + 1);
+  sift_up(ctx, n);
+  return true;
+}
+
+bool BinHeap::pop_min(tsx::Ctx& ctx, std::uint64_t* key) {
+  const std::uint64_t n = size_.value.load(ctx);
+  if (n == 0) return false;
+  *key = slots_[0].load(ctx);
+  const std::uint64_t last = slots_[n - 1].load(ctx);
+  size_.value.store(ctx, n - 1);
+  if (n > 1) {
+    slots_[0].store(ctx, last);
+    sift_down(ctx, 0, n - 1);
+  }
+  return true;
+}
+
+bool BinHeap::peek_min(tsx::Ctx& ctx, std::uint64_t* key) {
+  if (size_.value.load(ctx) == 0) return false;
+  *key = slots_[0].load(ctx);
+  return true;
+}
+
+bool BinHeap::unsafe_push(std::uint64_t key) {
+  const std::uint64_t n = size_.value.unsafe_get();
+  if (n >= slots_.size()) return false;
+  slots_[n].unsafe_set(key);
+  size_.value.unsafe_set(n + 1);
+  // Raw sift-up.
+  std::uint64_t i = n;
+  while (i > 0) {
+    const std::uint64_t parent = (i - 1) / 2;
+    if (slots_[parent].unsafe_get() <= slots_[i].unsafe_get()) break;
+    const std::uint64_t tmp = slots_[parent].unsafe_get();
+    slots_[parent].unsafe_set(slots_[i].unsafe_get());
+    slots_[i].unsafe_set(tmp);
+    i = parent;
+  }
+  return true;
+}
+
+bool BinHeap::unsafe_validate(std::string* why) const {
+  const std::uint64_t n = size_.value.unsafe_get();
+  if (n > slots_.size()) {
+    if (why != nullptr) *why = "size exceeds capacity";
+    return false;
+  }
+  for (std::uint64_t i = 1; i < n; ++i) {
+    const std::uint64_t parent = (i - 1) / 2;
+    if (slots_[parent].unsafe_get() > slots_[i].unsafe_get()) {
+      if (why != nullptr) *why = "heap property violated";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace elision::ds

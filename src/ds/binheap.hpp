@@ -1,0 +1,48 @@
+// A binary min-heap over simulated shared memory: the elision-hostile
+// data structure. Every push/pop writes within a few levels of the root,
+// so almost all concurrent operations truly conflict — the opposite of the
+// tree/hash/skiplist workloads. Elision cannot manufacture parallelism
+// that is not there (the paper's premise is exposing *existing*
+// concurrency); the heap benchmark demonstrates the schemes degrading
+// gracefully to serialized performance instead of collapsing below it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/align.hpp"
+#include "tsx/shared.hpp"
+
+namespace elision::ds {
+
+class BinHeap {
+ public:
+  explicit BinHeap(std::size_t capacity);
+
+  BinHeap(const BinHeap&) = delete;
+  BinHeap& operator=(const BinHeap&) = delete;
+
+  // Returns false when full.
+  bool push(tsx::Ctx& ctx, std::uint64_t key);
+  // Returns false when empty, else pops the minimum into *key.
+  bool pop_min(tsx::Ctx& ctx, std::uint64_t* key);
+  // Returns false when empty.
+  bool peek_min(tsx::Ctx& ctx, std::uint64_t* key);
+  std::uint64_t size(tsx::Ctx& ctx) { return size_.value.load(ctx); }
+
+  // --- setup/verification ---
+  bool unsafe_push(std::uint64_t key);
+  std::size_t unsafe_size() const { return size_.value.unsafe_get(); }
+  // Validates the heap property over the whole array.
+  bool unsafe_validate(std::string* why = nullptr) const;
+
+ private:
+  void sift_up(tsx::Ctx& ctx, std::uint64_t i);
+  void sift_down(tsx::Ctx& ctx, std::uint64_t i, std::uint64_t n);
+
+  tsx::SharedArray<std::uint64_t> slots_;
+  support::CacheAligned<tsx::Shared<std::uint64_t>> size_;
+};
+
+}  // namespace elision::ds

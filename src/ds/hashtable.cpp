@@ -1,0 +1,149 @@
+#include "ds/hashtable.hpp"
+
+#include "support/check.hpp"
+
+namespace elision::ds {
+
+HashTable::HashTable(std::size_t buckets, std::size_t capacity, int n_threads)
+    : arena_(capacity), buckets_(buckets) {
+  ELISION_CHECK(n_threads >= 1 && n_threads < kFreeLists);
+  // Distribute nodes round-robin over the per-thread caches.
+  int slot = 0;
+  for (auto& node : arena_) {
+    node.next.unsafe_set(free_[slot].value.unsafe_get());
+    free_[slot].value.unsafe_set(&node);
+    slot = (slot + 1) % n_threads;
+  }
+}
+
+HashTable::Node* HashTable::alloc(tsx::Ctx& ctx) {
+  auto& own = free_[ctx.id()].value;
+  Node* n = own.load(ctx);
+  if (n != nullptr) {
+    own.store(ctx, n->next.load(ctx));
+    return n;
+  }
+  for (int i = kFreeLists - 1; i >= 0; --i) {
+    auto& other = free_[i].value;
+    n = other.load(ctx);
+    if (n != nullptr) {
+      other.store(ctx, n->next.load(ctx));
+      return n;
+    }
+  }
+  ELISION_CHECK_MSG(false, "HashTable node pool exhausted");
+  return nullptr;
+}
+
+void HashTable::free_node(tsx::Ctx& ctx, Node* n) {
+  auto& own = free_[ctx.id()].value;
+  n->next.store(ctx, own.load(ctx));
+  own.store(ctx, n);
+}
+
+bool HashTable::insert(tsx::Ctx& ctx, std::uint64_t key, std::uint64_t value) {
+  auto& bucket = buckets_[hash(key) % buckets_.size()];
+  for (Node* n = bucket.load(ctx); n != nullptr; n = n->next.load(ctx)) {
+    if (n->key.load(ctx) == key) return false;
+  }
+  Node* n = alloc(ctx);
+  n->key.store(ctx, key);
+  n->value.store(ctx, value);
+  n->next.store(ctx, bucket.load(ctx));
+  bucket.store(ctx, n);
+  return true;
+}
+
+bool HashTable::erase(tsx::Ctx& ctx, std::uint64_t key) {
+  auto& bucket = buckets_[hash(key) % buckets_.size()];
+  Node* prev = nullptr;
+  for (Node* n = bucket.load(ctx); n != nullptr; n = n->next.load(ctx)) {
+    if (n->key.load(ctx) == key) {
+      Node* next = n->next.load(ctx);
+      if (prev == nullptr) {
+        bucket.store(ctx, next);
+      } else {
+        prev->next.store(ctx, next);
+      }
+      free_node(ctx, n);
+      return true;
+    }
+    prev = n;
+  }
+  return false;
+}
+
+bool HashTable::lookup(tsx::Ctx& ctx, std::uint64_t key, std::uint64_t* value) {
+  auto& bucket = buckets_[hash(key) % buckets_.size()];
+  for (Node* n = bucket.load(ctx); n != nullptr; n = n->next.load(ctx)) {
+    if (n->key.load(ctx) == key) {
+      *value = n->value.load(ctx);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t HashTable::upsert_add(tsx::Ctx& ctx, std::uint64_t key,
+                                    std::uint64_t delta) {
+  auto& bucket = buckets_[hash(key) % buckets_.size()];
+  for (Node* n = bucket.load(ctx); n != nullptr; n = n->next.load(ctx)) {
+    if (n->key.load(ctx) == key) {
+      const std::uint64_t v = n->value.load(ctx) + delta;
+      n->value.store(ctx, v);
+      return v;
+    }
+  }
+  Node* n = alloc(ctx);
+  n->key.store(ctx, key);
+  n->value.store(ctx, delta);
+  n->next.store(ctx, bucket.load(ctx));
+  bucket.store(ctx, n);
+  return delta;
+}
+
+bool HashTable::unsafe_insert(std::uint64_t key, std::uint64_t value) {
+  auto& bucket = buckets_[hash(key) % buckets_.size()];
+  for (Node* n = bucket.unsafe_get(); n != nullptr; n = n->next.unsafe_get()) {
+    if (n->key.unsafe_get() == key) return false;
+  }
+  Node* n = nullptr;
+  for (auto& list : free_) {
+    n = list.value.unsafe_get();
+    if (n != nullptr) {
+      list.value.unsafe_set(n->next.unsafe_get());
+      break;
+    }
+  }
+  ELISION_CHECK_MSG(n != nullptr, "HashTable node pool exhausted");
+  n->key.unsafe_set(key);
+  n->value.unsafe_set(value);
+  n->next.unsafe_set(bucket.unsafe_get());
+  bucket.unsafe_set(n);
+  return true;
+}
+
+std::size_t HashTable::unsafe_size() const {
+  std::size_t count = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    for (const Node* n = buckets_[b].unsafe_get(); n != nullptr;
+         n = n->next.unsafe_get()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+bool HashTable::unsafe_lookup(std::uint64_t key, std::uint64_t* value) const {
+  const auto& bucket = buckets_[hash(key) % buckets_.size()];
+  for (const Node* n = bucket.unsafe_get(); n != nullptr;
+       n = n->next.unsafe_get()) {
+    if (n->key.unsafe_get() == key) {
+      *value = n->value.unsafe_get();
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace elision::ds

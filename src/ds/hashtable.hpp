@@ -1,0 +1,73 @@
+// Chained hash table over simulated shared memory (Sec. 5.2's second data
+// structure benchmark; also the substrate for several STAMP kernels).
+// Caller provides serialization (global lock / elision scheme).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "support/align.hpp"
+#include "tsx/shared.hpp"
+
+namespace elision::ds {
+
+class HashTable {
+ public:
+  // Free nodes are distributed over `n_threads` thread caches.
+  HashTable(std::size_t buckets, std::size_t capacity, int n_threads = 8);
+
+  HashTable(const HashTable&) = delete;
+  HashTable& operator=(const HashTable&) = delete;
+
+  // Inserts key->value; returns false if the key already exists.
+  bool insert(tsx::Ctx& ctx, std::uint64_t key, std::uint64_t value);
+  // Removes key; returns false if absent.
+  bool erase(tsx::Ctx& ctx, std::uint64_t key);
+  // Returns true and sets *value if present.
+  bool lookup(tsx::Ctx& ctx, std::uint64_t key, std::uint64_t* value);
+  bool contains(tsx::Ctx& ctx, std::uint64_t key) {
+    std::uint64_t v;
+    return lookup(ctx, key, &v);
+  }
+  // Adds delta to key's value, inserting (with value=delta) if absent.
+  // Returns the new value.
+  std::uint64_t upsert_add(tsx::Ctx& ctx, std::uint64_t key,
+                           std::uint64_t delta);
+
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+  // --- setup/verification ---
+  bool unsafe_insert(std::uint64_t key, std::uint64_t value);
+  std::size_t unsafe_size() const;
+  bool unsafe_lookup(std::uint64_t key, std::uint64_t* value) const;
+
+ private:
+  struct alignas(support::kCacheLineBytes) Node {
+    tsx::Shared<std::uint64_t> key;
+    tsx::Shared<std::uint64_t> value;
+    tsx::Shared<Node*> next;
+  };
+
+  static std::uint64_t hash(std::uint64_t key) {
+    std::uint64_t x = key;
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return x;
+  }
+
+  Node* alloc(tsx::Ctx& ctx);
+  void free_node(tsx::Ctx& ctx, Node* n);
+
+  std::vector<Node> arena_;
+  tsx::SharedArray<Node*> buckets_;
+  // Per-thread free lists (thread-caching allocator; see RbTree). Slot 64 is
+  // the setup/global list.
+  static constexpr int kFreeLists = 65;
+  std::array<support::CacheAligned<tsx::Shared<Node*>>, kFreeLists> free_;
+};
+
+}  // namespace elision::ds

@@ -1,0 +1,510 @@
+#include "ds/rbtree.hpp"
+
+#include <functional>
+#include <string>
+
+#include "support/check.hpp"
+
+namespace elision::ds {
+
+RbTree::RbTree(std::size_t capacity) : arena_(capacity) {
+  nil_.red.unsafe_set(0);
+  nil_.left.unsafe_set(&nil_);
+  nil_.right.unsafe_set(&nil_);
+  nil_.parent.unsafe_set(&nil_);
+  root_.unsafe_set(&nil_);
+  // Thread all nodes onto the setup/global list (slot kFreeLists-1).
+  Node* head = nullptr;
+  for (auto it = arena_.rbegin(); it != arena_.rend(); ++it) {
+    it->left.unsafe_set(head);
+    head = &*it;
+  }
+  free_[kFreeLists - 1].value.unsafe_set(head);
+}
+
+void RbTree::unsafe_distribute_free_lists(int n_threads) {
+  ELISION_CHECK(n_threads >= 1 && n_threads < kFreeLists);
+  Node* n = free_[kFreeLists - 1].value.unsafe_get();
+  free_[kFreeLists - 1].value.unsafe_set(nullptr);
+  int slot = 0;
+  while (n != nullptr) {
+    Node* next = n->left.unsafe_get();
+    n->left.unsafe_set(free_[slot].value.unsafe_get());
+    free_[slot].value.unsafe_set(n);
+    slot = (slot + 1) % n_threads;
+    n = next;
+  }
+}
+
+RbTree::Node* RbTree::alloc(tsx::Ctx& ctx, std::uint64_t key) {
+  // Thread-cached allocation: the common path touches only this thread's
+  // free list, so allocations by concurrent operations do not conflict.
+  Node* n = nullptr;
+  auto& own = free_[ctx.id()].value;
+  n = own.load(ctx);
+  if (n != nullptr) {
+    own.store(ctx, n->left.load(ctx));
+  } else {
+    for (int i = kFreeLists - 1; i >= 0 && n == nullptr; --i) {
+      auto& other = free_[i].value;
+      n = other.load(ctx);
+      if (n != nullptr) other.store(ctx, n->left.load(ctx));
+    }
+  }
+  ELISION_CHECK_MSG(n != nullptr, "RbTree node pool exhausted");
+  n->key.store(ctx, key);
+  n->left.store(ctx, &nil_);
+  n->right.store(ctx, &nil_);
+  n->parent.store(ctx, &nil_);
+  n->red.store(ctx, 1);
+  return n;
+}
+
+void RbTree::free_node(tsx::Ctx& ctx, Node* n) {
+  auto& own = free_[ctx.id()].value;
+  n->left.store(ctx, own.load(ctx));
+  own.store(ctx, n);
+}
+
+RbTree::Node* RbTree::find(tsx::Ctx& ctx, std::uint64_t key) {
+  Node* cur = root_.load(ctx);
+  while (!is_nil(cur)) {
+    const std::uint64_t k = cur->key.load(ctx);
+    if (key == k) return cur;
+    cur = key < k ? cur->left.load(ctx) : cur->right.load(ctx);
+  }
+  return nullptr;
+}
+
+bool RbTree::contains(tsx::Ctx& ctx, std::uint64_t key) {
+  return find(ctx, key) != nullptr;
+}
+
+void RbTree::rotate_left(tsx::Ctx& ctx, Node* x) {
+  Node* y = x->right.load(ctx);
+  Node* yl = y->left.load(ctx);
+  x->right.store(ctx, yl);
+  if (!is_nil(yl)) yl->parent.store(ctx, x);
+  Node* xp = x->parent.load(ctx);
+  y->parent.store(ctx, xp);
+  if (is_nil(xp)) {
+    root_.store(ctx, y);
+  } else if (xp->left.load(ctx) == x) {
+    xp->left.store(ctx, y);
+  } else {
+    xp->right.store(ctx, y);
+  }
+  y->left.store(ctx, x);
+  x->parent.store(ctx, y);
+}
+
+void RbTree::rotate_right(tsx::Ctx& ctx, Node* x) {
+  Node* y = x->left.load(ctx);
+  Node* yr = y->right.load(ctx);
+  x->left.store(ctx, yr);
+  if (!is_nil(yr)) yr->parent.store(ctx, x);
+  Node* xp = x->parent.load(ctx);
+  y->parent.store(ctx, xp);
+  if (is_nil(xp)) {
+    root_.store(ctx, y);
+  } else if (xp->right.load(ctx) == x) {
+    xp->right.store(ctx, y);
+  } else {
+    xp->left.store(ctx, y);
+  }
+  y->right.store(ctx, x);
+  x->parent.store(ctx, y);
+}
+
+bool RbTree::insert(tsx::Ctx& ctx, std::uint64_t key) {
+  Node* parent = &nil_;
+  Node* cur = root_.load(ctx);
+  while (!is_nil(cur)) {
+    parent = cur;
+    const std::uint64_t k = cur->key.load(ctx);
+    if (key == k) return false;
+    cur = key < k ? cur->left.load(ctx) : cur->right.load(ctx);
+  }
+  Node* z = alloc(ctx, key);
+  z->parent.store(ctx, parent);
+  if (is_nil(parent)) {
+    root_.store(ctx, z);
+  } else if (key < parent->key.load(ctx)) {
+    parent->left.store(ctx, z);
+  } else {
+    parent->right.store(ctx, z);
+  }
+  insert_fixup(ctx, z);
+  return true;
+}
+
+void RbTree::insert_fixup(tsx::Ctx& ctx, Node* z) {
+  while (true) {
+    Node* p = z->parent.load(ctx);
+    if (is_nil(p) || p->red.load(ctx) == 0) break;
+    Node* g = p->parent.load(ctx);
+    if (p == g->left.load(ctx)) {
+      Node* u = g->right.load(ctx);
+      if (!is_nil(u) && u->red.load(ctx) == 1) {
+        p->red.store(ctx, 0);
+        u->red.store(ctx, 0);
+        g->red.store(ctx, 1);
+        z = g;
+      } else {
+        if (z == p->right.load(ctx)) {
+          z = p;
+          rotate_left(ctx, z);
+          p = z->parent.load(ctx);
+          g = p->parent.load(ctx);
+        }
+        p->red.store(ctx, 0);
+        g->red.store(ctx, 1);
+        rotate_right(ctx, g);
+      }
+    } else {
+      Node* u = g->left.load(ctx);
+      if (!is_nil(u) && u->red.load(ctx) == 1) {
+        p->red.store(ctx, 0);
+        u->red.store(ctx, 0);
+        g->red.store(ctx, 1);
+        z = g;
+      } else {
+        if (z == p->left.load(ctx)) {
+          z = p;
+          rotate_right(ctx, z);
+          p = z->parent.load(ctx);
+          g = p->parent.load(ctx);
+        }
+        p->red.store(ctx, 0);
+        g->red.store(ctx, 1);
+        rotate_left(ctx, g);
+      }
+    }
+  }
+  // Avoid a silent store: unconditionally writing the root's colour would
+  // put the root's line into every inserter's write set and serialize all
+  // concurrent operations under transactional execution.
+  Node* root = root_.load(ctx);
+  if (root->red.load(ctx) != 0) root->red.store(ctx, 0);
+}
+
+void RbTree::transplant(tsx::Ctx& ctx, Node* u, Node* v) {
+  Node* up = u->parent.load(ctx);
+  if (is_nil(up)) {
+    root_.store(ctx, v);
+  } else if (u == up->left.load(ctx)) {
+    up->left.store(ctx, v);
+  } else {
+    up->right.store(ctx, v);
+  }
+  // Unlike CLRS we never write the shared nil sentinel: that one line would
+  // otherwise join every eraser's write set and serialize all concurrent
+  // erases. The fixup tracks the parent explicitly instead.
+  if (!is_nil(v)) v->parent.store(ctx, up);
+}
+
+RbTree::Node* RbTree::minimum(tsx::Ctx& ctx, Node* n) {
+  Node* l = n->left.load(ctx);
+  while (!is_nil(l)) {
+    n = l;
+    l = n->left.load(ctx);
+  }
+  return n;
+}
+
+bool RbTree::erase(tsx::Ctx& ctx, std::uint64_t key) {
+  Node* z = find(ctx, key);
+  if (z == nullptr) return false;
+
+  Node* y = z;
+  std::uint64_t y_was_red = y->red.load(ctx);
+  Node* x;        // the node moving into y's place (may be nil)
+  Node* x_parent; // x's parent, tracked explicitly (nil is never written)
+  Node* zl = z->left.load(ctx);
+  Node* zr = z->right.load(ctx);
+  if (is_nil(zl)) {
+    x = zr;
+    x_parent = z->parent.load(ctx);
+    transplant(ctx, z, zr);
+  } else if (is_nil(zr)) {
+    x = zl;
+    x_parent = z->parent.load(ctx);
+    transplant(ctx, z, zl);
+  } else {
+    y = minimum(ctx, zr);
+    y_was_red = y->red.load(ctx);
+    x = y->right.load(ctx);
+    if (y->parent.load(ctx) == z) {
+      x_parent = y;
+    } else {
+      x_parent = y->parent.load(ctx);
+      transplant(ctx, y, x);
+      y->right.store(ctx, zr);
+      zr->parent.store(ctx, y);
+    }
+    transplant(ctx, z, y);
+    Node* zl2 = z->left.load(ctx);
+    y->left.store(ctx, zl2);
+    zl2->parent.store(ctx, y);
+    const std::uint64_t z_red = z->red.load(ctx);
+    if (y->red.load(ctx) != z_red) y->red.store(ctx, z_red);
+  }
+  if (y_was_red == 0) erase_fixup(ctx, x, x_parent);
+  free_node(ctx, z);
+  return true;
+}
+
+void RbTree::erase_fixup(tsx::Ctx& ctx, Node* x, Node* p) {
+  // `p` is x's parent, threaded explicitly so the nil sentinel is never
+  // read for navigation or written.
+  while (x != root_.load(ctx) && (is_nil(x) || x->red.load(ctx) == 0)) {
+    if (x == p->left.load(ctx)) {
+      Node* w = p->right.load(ctx);
+      if (w->red.load(ctx) == 1) {
+        w->red.store(ctx, 0);
+        p->red.store(ctx, 1);
+        rotate_left(ctx, p);
+        w = p->right.load(ctx);
+      }
+      if (w->left.load(ctx)->red.load(ctx) == 0 &&
+          w->right.load(ctx)->red.load(ctx) == 0) {
+        w->red.store(ctx, 1);
+        x = p;
+        p = x->parent.load(ctx);
+      } else {
+        if (w->right.load(ctx)->red.load(ctx) == 0) {
+          w->left.load(ctx)->red.store(ctx, 0);
+          w->red.store(ctx, 1);
+          rotate_right(ctx, w);
+          w = p->right.load(ctx);
+        }
+        const std::uint64_t p_red = p->red.load(ctx);
+        if (w->red.load(ctx) != p_red) w->red.store(ctx, p_red);
+        p->red.store(ctx, 0);
+        w->right.load(ctx)->red.store(ctx, 0);
+        rotate_left(ctx, p);
+        x = root_.load(ctx);
+        p = x->parent.load(ctx);
+      }
+    } else {
+      Node* w = p->left.load(ctx);
+      if (w->red.load(ctx) == 1) {
+        w->red.store(ctx, 0);
+        p->red.store(ctx, 1);
+        rotate_right(ctx, p);
+        w = p->left.load(ctx);
+      }
+      if (w->right.load(ctx)->red.load(ctx) == 0 &&
+          w->left.load(ctx)->red.load(ctx) == 0) {
+        w->red.store(ctx, 1);
+        x = p;
+        p = x->parent.load(ctx);
+      } else {
+        if (w->left.load(ctx)->red.load(ctx) == 0) {
+          w->right.load(ctx)->red.store(ctx, 0);
+          w->red.store(ctx, 1);
+          rotate_left(ctx, w);
+          w = p->left.load(ctx);
+        }
+        const std::uint64_t p_red = p->red.load(ctx);
+        if (w->red.load(ctx) != p_red) w->red.store(ctx, p_red);
+        p->red.store(ctx, 0);
+        w->left.load(ctx)->red.store(ctx, 0);
+        rotate_right(ctx, p);
+        x = root_.load(ctx);
+        p = x->parent.load(ctx);
+      }
+    }
+  }
+  if (!is_nil(x) && x->red.load(ctx) != 0) x->red.store(ctx, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Setup / verification (host-side raw accesses)
+// ---------------------------------------------------------------------------
+
+bool RbTree::unsafe_insert(std::uint64_t key) {
+  // Plain BST insert followed by the same fixup, all through unsafe
+  // accessors: a small recursive reimplementation avoids threading a Ctx.
+  // We reuse the transactional code path by running it outside any
+  // simulation, which requires a context; instead do a minimal direct
+  // version here.
+  Node* parent = &nil_;
+  Node* cur = root_.unsafe_get();
+  while (!is_nil(cur)) {
+    parent = cur;
+    const std::uint64_t k = cur->key.unsafe_get();
+    if (key == k) return false;
+    cur = key < k ? cur->left.unsafe_get() : cur->right.unsafe_get();
+  }
+  Node* z = free_[kFreeLists - 1].value.unsafe_get();
+  ELISION_CHECK_MSG(z != nullptr, "RbTree node pool exhausted");
+  free_[kFreeLists - 1].value.unsafe_set(z->left.unsafe_get());
+  z->key.unsafe_set(key);
+  z->left.unsafe_set(&nil_);
+  z->right.unsafe_set(&nil_);
+  z->parent.unsafe_set(parent);
+  z->red.unsafe_set(1);
+  if (is_nil(parent)) {
+    root_.unsafe_set(z);
+  } else if (key < parent->key.unsafe_get()) {
+    parent->left.unsafe_set(z);
+  } else {
+    parent->right.unsafe_set(z);
+  }
+  // Fixup using the raw accessors mirrors insert_fixup.
+  Node* zz = z;
+  while (true) {
+    Node* p = zz->parent.unsafe_get();
+    if (is_nil(p) || p->red.unsafe_get() == 0) break;
+    Node* g = p->parent.unsafe_get();
+    const bool left_side = (p == g->left.unsafe_get());
+    Node* u = left_side ? g->right.unsafe_get() : g->left.unsafe_get();
+    if (!is_nil(u) && u->red.unsafe_get() == 1) {
+      p->red.unsafe_set(0);
+      u->red.unsafe_set(0);
+      g->red.unsafe_set(1);
+      zz = g;
+      continue;
+    }
+    // Rotations need the shared-memory API; emulate with raw pointers.
+    auto raw_rotate = [this](Node* x, bool to_left) {
+      Node* y = to_left ? x->right.unsafe_get() : x->left.unsafe_get();
+      Node* mid = to_left ? y->left.unsafe_get() : y->right.unsafe_get();
+      if (to_left) {
+        x->right.unsafe_set(mid);
+      } else {
+        x->left.unsafe_set(mid);
+      }
+      if (!is_nil(mid)) mid->parent.unsafe_set(x);
+      Node* xp = x->parent.unsafe_get();
+      y->parent.unsafe_set(xp);
+      if (is_nil(xp)) {
+        root_.unsafe_set(y);
+      } else if (xp->left.unsafe_get() == x) {
+        xp->left.unsafe_set(y);
+      } else {
+        xp->right.unsafe_set(y);
+      }
+      if (to_left) {
+        y->left.unsafe_set(x);
+      } else {
+        y->right.unsafe_set(x);
+      }
+      x->parent.unsafe_set(y);
+    };
+    if (left_side) {
+      if (zz == p->right.unsafe_get()) {
+        zz = p;
+        raw_rotate(zz, /*to_left=*/true);
+        p = zz->parent.unsafe_get();
+        g = p->parent.unsafe_get();
+      }
+      p->red.unsafe_set(0);
+      g->red.unsafe_set(1);
+      raw_rotate(g, /*to_left=*/false);
+    } else {
+      if (zz == p->left.unsafe_get()) {
+        zz = p;
+        raw_rotate(zz, /*to_left=*/false);
+        p = zz->parent.unsafe_get();
+        g = p->parent.unsafe_get();
+      }
+      p->red.unsafe_set(0);
+      g->red.unsafe_set(1);
+      raw_rotate(g, /*to_left=*/true);
+    }
+    break;
+  }
+  root_.unsafe_get()->red.unsafe_set(0);
+  return true;
+}
+
+std::size_t RbTree::unsafe_size() const {
+  std::size_t n = 0;
+  std::function<void(const Node*)> walk = [&](const Node* node) {
+    if (is_nil(node)) return;
+    ++n;
+    walk(node->left.unsafe_get());
+    walk(node->right.unsafe_get());
+  };
+  walk(root_.unsafe_get());
+  return n;
+}
+
+std::vector<std::uint64_t> RbTree::unsafe_keys() const {
+  std::vector<std::uint64_t> keys;
+  std::function<void(const Node*)> walk = [&](const Node* node) {
+    if (is_nil(node)) return;
+    walk(node->left.unsafe_get());
+    keys.push_back(node->key.unsafe_get());
+    walk(node->right.unsafe_get());
+  };
+  walk(root_.unsafe_get());
+  return keys;
+}
+
+bool RbTree::unsafe_validate(std::string* why) const {
+  const Node* root = root_.unsafe_get();
+  auto fail = [&](const char* msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  if (!is_nil(root) && root->red.unsafe_get() != 0) {
+    return fail("root is red");
+  }
+  bool ok = true;
+  std::string reason;
+  // Returns black height, or -1 on violation.
+  std::function<int(const Node*, const Node*, bool, std::uint64_t,
+                    std::uint64_t)>
+      walk = [&](const Node* node, const Node* parent, bool parent_red,
+                 std::uint64_t lo, std::uint64_t hi) -> int {
+    if (is_nil(node)) return 1;
+    const std::uint64_t k = node->key.unsafe_get();
+    if (k < lo || k > hi) {
+      ok = false;
+      reason = "BST order violated";
+      return -1;
+    }
+    if (node->parent.unsafe_get() != parent) {
+      ok = false;
+      reason = "parent pointer wrong";
+      return -1;
+    }
+    const bool red = node->red.unsafe_get() == 1;
+    if (red && parent_red) {
+      ok = false;
+      reason = "red node with red parent";
+      return -1;
+    }
+    const int lh = walk(node->left.unsafe_get(), node, red,
+                        lo, k == 0 ? 0 : k - 1);
+    const int rh = walk(node->right.unsafe_get(), node, red, k + 1, hi);
+    if (lh < 0 || rh < 0) return -1;
+    if (lh != rh) {
+      ok = false;
+      reason = "black height mismatch";
+      return -1;
+    }
+    return lh + (red ? 0 : 1);
+  };
+  walk(root, &nil_, false, 0, UINT64_MAX);
+  if (!ok) return fail(reason.c_str());
+
+  // Every arena node is either reachable or on the free list.
+  std::size_t free_count = 0;
+  for (const auto& list : free_) {
+    for (const Node* f = list.value.unsafe_get(); f != nullptr;
+         f = f->left.unsafe_get()) {
+      ++free_count;
+      if (free_count > arena_.size()) return fail("free list cycle");
+    }
+  }
+  if (free_count + unsafe_size() != arena_.size()) {
+    return fail("node leak: free + live != capacity");
+  }
+  return true;
+}
+
+}  // namespace elision::ds

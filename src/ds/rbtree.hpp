@@ -1,0 +1,82 @@
+// A red-black tree over simulated shared memory — the paper's primary data
+// structure benchmark (Ch. 3 and Sec. 5.2).
+//
+// Every node field is a tsx::Shared word, so tree operations executed inside
+// a critical section are transactional (or direct) according to the
+// thread's state, and an abort rolls back partial rebalancing as hardware
+// would. Nodes come from an internal pool whose free list is itself shared
+// memory, making allocation transaction-safe.
+//
+// Not thread-safe by itself: the caller serializes operations with a global
+// lock / elision scheme, which is exactly the coarse-grained usage the paper
+// studies.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "support/align.hpp"
+#include "tsx/shared.hpp"
+
+namespace elision::ds {
+
+class RbTree {
+ public:
+  // `capacity` bounds the number of live nodes.
+  explicit RbTree(std::size_t capacity);
+
+  RbTree(const RbTree&) = delete;
+  RbTree& operator=(const RbTree&) = delete;
+
+  // Returns false if the key was already present.
+  bool insert(tsx::Ctx& ctx, std::uint64_t key);
+  // Returns false if the key was absent.
+  bool erase(tsx::Ctx& ctx, std::uint64_t key);
+  bool contains(tsx::Ctx& ctx, std::uint64_t key);
+
+  // --- setup/verification helpers (no simulated threads running) ---
+  bool unsafe_insert(std::uint64_t key);
+  // Distributes the remaining free nodes round-robin over the first
+  // n_threads per-thread caches. Call once after prefilling.
+  void unsafe_distribute_free_lists(int n_threads);
+  std::size_t unsafe_size() const;
+  // Validates all red-black invariants (BST order, root black, no red-red,
+  // equal black heights) and that the free list accounts for every node.
+  // Returns false (and fills *why) on violation.
+  bool unsafe_validate(std::string* why = nullptr) const;
+  std::vector<std::uint64_t> unsafe_keys() const;
+
+ private:
+  struct alignas(support::kCacheLineBytes) Node {
+    tsx::Shared<std::uint64_t> key;
+    tsx::Shared<Node*> left;
+    tsx::Shared<Node*> right;
+    tsx::Shared<Node*> parent;
+    tsx::Shared<std::uint64_t> red;  // 1 = red, 0 = black
+  };
+
+  Node* alloc(tsx::Ctx& ctx, std::uint64_t key);
+  void free_node(tsx::Ctx& ctx, Node* n);
+  void rotate_left(tsx::Ctx& ctx, Node* x);
+  void rotate_right(tsx::Ctx& ctx, Node* x);
+  void insert_fixup(tsx::Ctx& ctx, Node* z);
+  void erase_fixup(tsx::Ctx& ctx, Node* x, Node* x_parent);
+  void transplant(tsx::Ctx& ctx, Node* u, Node* v);
+  Node* minimum(tsx::Ctx& ctx, Node* n);
+  Node* find(tsx::Ctx& ctx, std::uint64_t key);
+
+  bool is_nil(const Node* n) const { return n == &nil_; }
+
+  std::vector<Node> arena_;
+  Node nil_;  // sentinel: black, children/parent undefined-but-harmless
+  tsx::Shared<Node*> root_;
+  // Per-thread free lists (threaded through `left`), modeling the
+  // thread-caching allocator (jemalloc) the paper's benchmarks use: without
+  // it every mutation would conflict on a single allocator word, which the
+  // real system does not do. Slot 64 is the setup/global list.
+  static constexpr int kFreeLists = 65;
+  std::array<support::CacheAligned<tsx::Shared<Node*>>, kFreeLists> free_;
+};
+
+}  // namespace elision::ds

@@ -1,0 +1,204 @@
+#include "ds/skiplist.hpp"
+
+#include "support/check.hpp"
+
+namespace elision::ds {
+
+SkipList::SkipList(std::size_t capacity, std::uint64_t seed)
+    : arena_(capacity), setup_rng_(seed) {
+  head_.level.unsafe_set(kMaxLevel);
+  for (auto& n : head_.next) n.unsafe_set(nullptr);
+  // All nodes start on the setup/global free list, threaded through next[0].
+  Node* head = nullptr;
+  for (auto it = arena_.rbegin(); it != arena_.rend(); ++it) {
+    it->next[0].unsafe_set(head);
+    head = &*it;
+  }
+  free_[kFreeLists - 1].value.unsafe_set(head);
+}
+
+void SkipList::unsafe_distribute_free_lists(int n_threads) {
+  ELISION_CHECK(n_threads >= 1 && n_threads < kFreeLists);
+  Node* n = free_[kFreeLists - 1].value.unsafe_get();
+  free_[kFreeLists - 1].value.unsafe_set(nullptr);
+  int slot = 0;
+  while (n != nullptr) {
+    Node* next = n->next[0].unsafe_get();
+    n->next[0].unsafe_set(free_[slot].value.unsafe_get());
+    free_[slot].value.unsafe_set(n);
+    slot = (slot + 1) % n_threads;
+    n = next;
+  }
+}
+
+int SkipList::random_level(support::Xoshiro256& rng) {
+  int level = 1;
+  while (level < kMaxLevel && rng.next_below(2) == 0) ++level;
+  return level;
+}
+
+SkipList::Node* SkipList::alloc(tsx::Ctx& ctx, std::uint64_t key, int level) {
+  Node* n = nullptr;
+  auto& own = free_[ctx.id()].value;
+  n = own.load(ctx);
+  if (n != nullptr) {
+    own.store(ctx, n->next[0].load(ctx));
+  } else {
+    for (int i = kFreeLists - 1; i >= 0 && n == nullptr; --i) {
+      auto& other = free_[i].value;
+      n = other.load(ctx);
+      if (n != nullptr) other.store(ctx, n->next[0].load(ctx));
+    }
+  }
+  ELISION_CHECK_MSG(n != nullptr, "SkipList node pool exhausted");
+  n->key.store(ctx, key);
+  n->level.store(ctx, static_cast<std::uint64_t>(level));
+  return n;
+}
+
+void SkipList::free_node(tsx::Ctx& ctx, Node* n) {
+  auto& own = free_[ctx.id()].value;
+  n->next[0].store(ctx, own.load(ctx));
+  own.store(ctx, n);
+}
+
+bool SkipList::contains(tsx::Ctx& ctx, std::uint64_t key) {
+  Node* pred = &head_;
+  for (int lvl = kMaxLevel - 1; lvl >= 0; --lvl) {
+    Node* cur = pred->next[lvl].load(ctx);
+    while (cur != nullptr && cur->key.load(ctx) < key) {
+      pred = cur;
+      cur = pred->next[lvl].load(ctx);
+    }
+    if (cur != nullptr && cur->key.load(ctx) == key) return true;
+  }
+  return false;
+}
+
+bool SkipList::insert(tsx::Ctx& ctx, std::uint64_t key) {
+  Node* update[kMaxLevel];
+  Node* pred = &head_;
+  for (int lvl = kMaxLevel - 1; lvl >= 0; --lvl) {
+    Node* cur = pred->next[lvl].load(ctx);
+    while (cur != nullptr && cur->key.load(ctx) < key) {
+      pred = cur;
+      cur = pred->next[lvl].load(ctx);
+    }
+    update[lvl] = pred;
+  }
+  Node* at = pred->next[0].load(ctx);
+  if (at != nullptr && at->key.load(ctx) == key) return false;
+
+  const int level = random_level(ctx.thread().rng());
+  Node* n = alloc(ctx, key, level);
+  for (int lvl = 0; lvl < level; ++lvl) {
+    n->next[lvl].store(ctx, update[lvl]->next[lvl].load(ctx));
+    update[lvl]->next[lvl].store(ctx, n);
+  }
+  return true;
+}
+
+bool SkipList::erase(tsx::Ctx& ctx, std::uint64_t key) {
+  Node* update[kMaxLevel];
+  Node* pred = &head_;
+  for (int lvl = kMaxLevel - 1; lvl >= 0; --lvl) {
+    Node* cur = pred->next[lvl].load(ctx);
+    while (cur != nullptr && cur->key.load(ctx) < key) {
+      pred = cur;
+      cur = pred->next[lvl].load(ctx);
+    }
+    update[lvl] = pred;
+  }
+  Node* victim = pred->next[0].load(ctx);
+  if (victim == nullptr || victim->key.load(ctx) != key) return false;
+  const auto level = static_cast<int>(victim->level.load(ctx));
+  for (int lvl = 0; lvl < level; ++lvl) {
+    if (update[lvl]->next[lvl].load(ctx) == victim) {
+      update[lvl]->next[lvl].store(ctx, victim->next[lvl].load(ctx));
+    }
+  }
+  free_node(ctx, victim);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Setup / verification
+// ---------------------------------------------------------------------------
+
+bool SkipList::unsafe_insert(std::uint64_t key) {
+  Node* update[kMaxLevel];
+  Node* pred = &head_;
+  for (int lvl = kMaxLevel - 1; lvl >= 0; --lvl) {
+    Node* cur = pred->next[lvl].unsafe_get();
+    while (cur != nullptr && cur->key.unsafe_get() < key) {
+      pred = cur;
+      cur = pred->next[lvl].unsafe_get();
+    }
+    update[lvl] = pred;
+  }
+  Node* at = pred->next[0].unsafe_get();
+  if (at != nullptr && at->key.unsafe_get() == key) return false;
+  const int level = random_level(setup_rng_);
+  Node* n = free_[kFreeLists - 1].value.unsafe_get();
+  ELISION_CHECK_MSG(n != nullptr, "SkipList node pool exhausted");
+  free_[kFreeLists - 1].value.unsafe_set(n->next[0].unsafe_get());
+  n->key.unsafe_set(key);
+  n->level.unsafe_set(static_cast<std::uint64_t>(level));
+  for (int lvl = 0; lvl < level; ++lvl) {
+    n->next[lvl].unsafe_set(update[lvl]->next[lvl].unsafe_get());
+    update[lvl]->next[lvl].unsafe_set(n);
+  }
+  return true;
+}
+
+std::size_t SkipList::unsafe_size() const {
+  std::size_t count = 0;
+  for (const Node* n = head_.next[0].unsafe_get(); n != nullptr;
+       n = n->next[0].unsafe_get()) {
+    ++count;
+    if (count > arena_.size()) return count;  // cycle guard
+  }
+  return count;
+}
+
+std::vector<std::uint64_t> SkipList::unsafe_keys() const {
+  std::vector<std::uint64_t> keys;
+  for (const Node* n = head_.next[0].unsafe_get(); n != nullptr;
+       n = n->next[0].unsafe_get()) {
+    keys.push_back(n->key.unsafe_get());
+    if (keys.size() > arena_.size()) break;
+  }
+  return keys;
+}
+
+bool SkipList::unsafe_validate(std::string* why) const {
+  auto fail = [&](const char* msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  // Level 0 is sorted and duplicate-free.
+  const auto keys = unsafe_keys();
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    if (keys[i - 1] >= keys[i]) return fail("level 0 not strictly sorted");
+  }
+  if (keys.size() > arena_.size()) return fail("level 0 cycle");
+  // Each higher level is a sorted subsequence of level 0, and every node
+  // appears in exactly the levels below its height.
+  for (int lvl = 1; lvl < kMaxLevel; ++lvl) {
+    std::uint64_t prev = 0;
+    bool first = true;
+    for (const Node* n = head_.next[lvl].unsafe_get(); n != nullptr;
+         n = n->next[lvl].unsafe_get()) {
+      if (static_cast<int>(n->level.unsafe_get()) <= lvl) {
+        return fail("node linked above its height");
+      }
+      const std::uint64_t k = n->key.unsafe_get();
+      if (!first && prev >= k) return fail("higher level not sorted");
+      prev = k;
+      first = false;
+    }
+  }
+  return true;
+}
+
+}  // namespace elision::ds

@@ -1,0 +1,65 @@
+// A skiplist over simulated shared memory: the third data-structure
+// workload. Compared to the red-black tree its operations read a taller,
+// sparser path (more cache lines per probe) and updates touch O(level)
+// predecessor nodes without any rebalancing — a different transactional
+// footprint for the elision schemes.
+//
+// Not thread-safe by itself; serialized by the caller's lock/scheme, like
+// everything in the paper's coarse-grained setting.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/align.hpp"
+#include "support/rng.hpp"
+#include "tsx/shared.hpp"
+
+namespace elision::ds {
+
+class SkipList {
+ public:
+  static constexpr int kMaxLevel = 16;
+
+  // `capacity` bounds the number of live nodes.
+  explicit SkipList(std::size_t capacity, std::uint64_t seed = 99);
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  bool insert(tsx::Ctx& ctx, std::uint64_t key);
+  bool erase(tsx::Ctx& ctx, std::uint64_t key);
+  bool contains(tsx::Ctx& ctx, std::uint64_t key);
+
+  // --- setup/verification (no simulated threads running) ---
+  bool unsafe_insert(std::uint64_t key);
+  std::size_t unsafe_size() const;
+  std::vector<std::uint64_t> unsafe_keys() const;
+  // Checks sortedness at every level and level-nesting consistency.
+  bool unsafe_validate(std::string* why = nullptr) const;
+  void unsafe_distribute_free_lists(int n_threads);
+
+ private:
+  struct alignas(support::kCacheLineBytes) Node {
+    tsx::Shared<std::uint64_t> key;
+    tsx::Shared<std::uint64_t> level;  // number of valid forward links
+    std::array<tsx::Shared<Node*>, kMaxLevel> next;
+  };
+
+  // Deterministic geometric level (p = 1/2) from the per-structure RNG at
+  // setup and from the thread RNG during simulation.
+  static int random_level(support::Xoshiro256& rng);
+
+  Node* alloc(tsx::Ctx& ctx, std::uint64_t key, int level);
+  void free_node(tsx::Ctx& ctx, Node* n);
+
+  std::vector<Node> arena_;
+  Node head_;  // full-height sentinel; key unused
+  static constexpr int kFreeLists = 65;
+  std::array<support::CacheAligned<tsx::Shared<Node*>>, kFreeLists> free_;
+  support::Xoshiro256 setup_rng_;
+};
+
+}  // namespace elision::ds

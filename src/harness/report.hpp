@@ -1,0 +1,34 @@
+// Plain-text table/CSV reporting for the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace elision::harness {
+
+// A simple fixed-width table printer: add rows of cells, print aligned.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::FILE* out = stdout) const;
+  void print_csv(std::FILE* out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt(double v, int precision = 3);
+std::string fmt_int(std::uint64_t v);
+
+// Prints a figure banner so bench output is self-describing.
+void banner(const char* experiment, const char* description);
+
+}  // namespace elision::harness

@@ -1,0 +1,75 @@
+#include "harness/runner.hpp"
+
+#include <cstdlib>
+
+namespace elision::harness {
+
+double env_duration_scale() {
+  const char* s = std::getenv("ELISION_BENCH_SCALE");
+  if (s == nullptr) return 1.0;
+  const double v = std::atof(s);
+  return v > 0 ? v : 1.0;
+}
+
+RunStats run_workload(const BenchConfig& cfg, const OpFn& op) {
+  sim::Scheduler sched(cfg.machine);
+  tsx::Engine eng(sched, cfg.tsx);
+
+  const std::uint64_t deadline = cfg.duration_cycles();
+  const std::uint64_t slot_cycles = cfg.timeline_slot_cycles;
+  const std::size_t n_slots =
+      slot_cycles > 0 ? static_cast<std::size_t>(deadline / slot_cycles + 2)
+                      : 0;
+
+  struct ThreadTally {
+    std::uint64_t ops = 0, spec = 0, nonspec = 0, attempts = 0;
+    std::vector<SlotStats> timeline;
+  };
+  std::vector<ThreadTally> tallies(cfg.threads);
+
+  for (int t = 0; t < cfg.threads; ++t) {
+    tallies[t].timeline.resize(n_slots);
+    sched.spawn([&eng, &op, &tallies, slot_cycles, t](sim::SimThread& st) {
+      auto& ctx = eng.context(st);
+      auto& mine = tallies[t];
+      while (!st.stop_requested()) {
+        const locks::RegionResult r = op(ctx);
+        ++mine.ops;
+        if (r.speculative) {
+          ++mine.spec;
+        } else {
+          ++mine.nonspec;
+        }
+        mine.attempts += static_cast<std::uint64_t>(r.attempts);
+        if (slot_cycles > 0) {
+          const auto slot =
+              static_cast<std::size_t>(st.now() / slot_cycles);
+          if (slot < mine.timeline.size()) {
+            ++mine.timeline[slot].ops;
+            if (!r.speculative) ++mine.timeline[slot].nonspec_ops;
+          }
+        }
+      }
+    });
+  }
+  sched.run_for(deadline);
+
+  RunStats out;
+  out.ghz = cfg.machine.ghz;
+  out.elapsed_cycles = sched.elapsed_cycles();
+  out.timeline.resize(n_slots);
+  for (const auto& t : tallies) {
+    out.ops += t.ops;
+    out.spec_ops += t.spec;
+    out.nonspec_ops += t.nonspec;
+    out.attempts += t.attempts;
+    for (std::size_t s = 0; s < t.timeline.size(); ++s) {
+      out.timeline[s].ops += t.timeline[s].ops;
+      out.timeline[s].nonspec_ops += t.timeline[s].nonspec_ops;
+    }
+  }
+  out.tx = eng.total_stats();
+  return out;
+}
+
+}  // namespace elision::harness

@@ -1,0 +1,78 @@
+// Benchmark runner: spawns N simulated threads that execute operations in a
+// loop for a fixed amount of *virtual* time, and aggregates the paper's
+// metrics: S (speculative completions), N (non-speculative completions),
+// total execution attempts (A + N + S), throughput, and optional per-slot
+// timelines (Fig 3.3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "locks/region.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/scheduler.hpp"
+#include "tsx/config.hpp"
+#include "tsx/engine.hpp"
+#include "tsx/stats.hpp"
+
+namespace elision::harness {
+
+struct BenchConfig {
+  int threads = 8;
+  double duration_sec = 0.002;  // virtual seconds per measurement
+  sim::MachineConfig machine;
+  tsx::TsxConfig tsx;
+  // If > 0, collect per-slot throughput/non-speculative timelines.
+  std::uint64_t timeline_slot_cycles = 0;
+
+  // Scales duration (e.g. from the ELISION_BENCH_SCALE environment
+  // variable) without touching per-bench settings.
+  double duration_scale = 1.0;
+
+  std::uint64_t duration_cycles() const {
+    return machine.cycles(duration_sec * duration_scale);
+  }
+};
+
+struct SlotStats {
+  std::uint64_t ops = 0;
+  std::uint64_t nonspec_ops = 0;
+};
+
+struct RunStats {
+  std::uint64_t ops = 0;          // S + N
+  std::uint64_t spec_ops = 0;     // S
+  std::uint64_t nonspec_ops = 0;  // N
+  std::uint64_t attempts = 0;     // A + N + S
+  std::uint64_t elapsed_cycles = 0;
+  double ghz = 3.4;
+  tsx::TxStats tx;  // engine-level transaction counters
+  std::vector<SlotStats> timeline;
+
+  double seconds() const { return elapsed_cycles / (ghz * 1e9); }
+  double throughput() const {
+    return seconds() > 0 ? static_cast<double>(ops) / seconds() : 0.0;
+  }
+  double attempts_per_op() const {
+    return ops > 0 ? static_cast<double>(attempts) / static_cast<double>(ops)
+                   : 0.0;
+  }
+  double nonspec_fraction() const {
+    return ops > 0
+               ? static_cast<double>(nonspec_ops) / static_cast<double>(ops)
+               : 0.0;
+  }
+};
+
+// One benchmark operation: runs a critical section (or several) and reports
+// how it completed.
+using OpFn = std::function<locks::RegionResult(tsx::Ctx&)>;
+
+// Runs `threads` copies of `op` in a loop until the virtual deadline.
+RunStats run_workload(const BenchConfig& cfg, const OpFn& op);
+
+// Reads ELISION_BENCH_SCALE (default 1.0) so users can lengthen runs.
+double env_duration_scale();
+
+}  // namespace elision::harness

@@ -1,0 +1,89 @@
+// Critical-section region drivers: HLE-based and RTM-based lock elision.
+//
+// hle_region() models exactly what the hardware does around an elided
+// critical section: the first attempt runs the lock code with the XACQUIRE
+// op beginning a transaction; an abort rolls everything back and re-issues
+// the acquiring store non-transactionally. For TTAS that store can fail
+// (lock held), after which the software algorithm spins and re-enters
+// speculation — the recovery behaviour of Ch. 3. For fair locks it enqueues
+// the thread, which then completes non-speculatively.
+//
+// rtm_elide_region() is the paper's "equivalent lock elision mechanism based
+// on the RTM instructions" (Ch. 3 Remark, Fig 3.5): the transaction reads
+// the lock at its start and aborts if it is held; this variant can observe
+// abort statuses, which plain HLE hides.
+#pragma once
+
+#include "support/function_ref.hpp"
+#include "tsx/engine.hpp"
+
+namespace elision::locks {
+
+// How a critical section eventually completed.
+struct RegionResult {
+  bool speculative = false;  // completed as a committed transaction
+  int attempts = 0;          // executions tried (aborted + the completing one)
+};
+
+// XABORT code used by elision/removal schemes when the lock is observed held.
+inline constexpr std::uint8_t kAbortCodeLockBusy = 0xA0;
+
+template <typename Lock>
+RegionResult hle_region(tsx::Ctx& ctx, Lock& lock,
+                        support::FunctionRef<void()> body) {
+  RegionResult r;
+  for (;;) {
+    ++r.attempts;
+    try {
+      ctx.set_mode(tsx::ElisionMode::kSpeculative);
+      lock.lock(ctx);
+      body();
+      lock.unlock(ctx);  // the XRELEASE commits
+      ctx.set_mode(tsx::ElisionMode::kStandard);
+      r.speculative = true;
+      return r;
+    } catch (const tsx::TxAbortException&) {
+      // rolled back by the engine
+    }
+    ctx.set_mode(tsx::ElisionMode::kStandard);
+    if (lock.reissue_acquire_standard(ctx)) {
+      ++r.attempts;
+      body();
+      lock.unlock(ctx);
+      r.speculative = false;
+      return r;
+    }
+    // The re-issued store found the lock held (TTAS): spin in lock() on the
+    // next iteration and re-enter speculation once the lock is free.
+  }
+}
+
+template <typename Lock>
+RegionResult rtm_elide_region(tsx::Ctx& ctx, Lock& lock,
+                              support::FunctionRef<void()> body) {
+  auto& eng = ctx.engine();
+  RegionResult r;
+  for (;;) {
+    ++r.attempts;
+    const unsigned st = eng.run_transaction(ctx, [&] {
+      // Put the lock in the read set and check it is free (lock elision via
+      // RTM; no illusion of holding the lock).
+      if (lock.is_held(ctx)) eng.xabort(ctx, kAbortCodeLockBusy);
+      body();
+    });
+    if (st == tsx::kCommitted) {
+      r.speculative = true;
+      return r;
+    }
+    if (lock.reissue_acquire_standard(ctx)) {
+      ++r.attempts;
+      body();
+      lock.unlock(ctx);
+      r.speculative = false;
+      return r;
+    }
+    while (lock.is_held(ctx)) eng.pause(ctx);
+  }
+}
+
+}  // namespace elision::locks

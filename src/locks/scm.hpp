@@ -1,0 +1,83 @@
+// Software-assisted conflict management — the paper's main contribution
+// (Ch. 4, Algorithm 3).
+//
+// Conflicting threads serialize on an *auxiliary* lock that is only ever
+// acquired non-transactionally, then rejoin the speculative execution; the
+// main lock is acquired for real only after MAX_RETRIES further failures.
+// Because the aux lock's cache line is touched only by threads already in
+// conflict, the serialization never disturbs the non-conflicting
+// speculators — eliminating the avalanche.
+//
+// Two variants:
+//  * the design of Algorithm 3: an RTM transaction nests an HLE acquisition
+//    of the main lock, preserving the "lock is held" illusion. Haswell
+//    cannot nest HLE in RTM, so this needs TsxConfig::allow_hle_in_rtm.
+//  * the paper's evaluated workaround (Ch. 4 Remark): the transaction reads
+//    the main lock and aborts if it is held.
+#pragma once
+
+#include "locks/region.hpp"
+#include "support/function_ref.hpp"
+#include "tsx/engine.hpp"
+
+namespace elision::locks {
+
+struct ScmParams {
+  // "the thread holding the auxiliary lock retries to complete its operation
+  // speculatively 10 times before giving up and acquiring the main lock"
+  // (Sec 5.1, Conflict management tuning).
+  int max_retries = 10;
+  bool nested_hle = false;  // Algorithm 3 as designed (needs allow_hle_in_rtm)
+};
+
+template <typename MainLock, typename AuxLock>
+RegionResult scm_region(tsx::Ctx& ctx, MainLock& main, AuxLock& aux,
+                        const ScmParams& params,
+                        support::FunctionRef<void()> body) {
+  auto& eng = ctx.engine();
+  RegionResult r;
+  int retries = 0;
+  bool aux_owner = false;
+  for (;;) {
+    // --- primary path ---
+    ++r.attempts;
+    unsigned st;
+    if (params.nested_hle) {
+      st = eng.run_transaction(ctx, [&] {
+        ctx.set_mode(tsx::ElisionMode::kSpeculative);
+        main.lock(ctx);    // HLE acquire nested in the RTM transaction
+        body();
+        main.unlock(ctx);  // XRELEASE validates the elision
+      });
+      ctx.set_mode(tsx::ElisionMode::kStandard);
+    } else {
+      st = eng.run_transaction(ctx, [&] {
+        if (main.is_held(ctx)) eng.xabort(ctx, kAbortCodeLockBusy);
+        body();
+      });
+    }
+    if (st == tsx::kCommitted) {
+      r.speculative = true;
+      break;
+    }
+    // --- serializing path ---
+    if (!aux_owner) {
+      aux.lock(ctx);  // standard, non-transactional acquire
+      aux_owner = true;
+    } else {
+      ++retries;
+    }
+    if (retries >= params.max_retries) {
+      main.lock(ctx);  // standard acquire: run non-speculatively
+      ++r.attempts;
+      body();
+      main.unlock(ctx);
+      r.speculative = false;
+      break;
+    }
+  }
+  if (aux_owner) aux.unlock(ctx);
+  return r;
+}
+
+}  // namespace elision::locks

@@ -1,0 +1,73 @@
+// Software-assisted lock removal (SLR) — Ch. 4.
+//
+// The critical section runs transactionally without touching the lock until
+// it is ready to commit; it then reads the lock and commits only if the lock
+// is free. Unlike elision there is no lock acquisition to elide, so
+// speculation can proceed (partially) even while the lock is held
+// non-speculatively. Pessimistic SLR gives up after one failure; optimistic
+// SLR retries 10 times. Conflict management (SCM) composes with SLR by
+// serializing conflicting threads on the auxiliary lock.
+#pragma once
+
+#include "locks/region.hpp"
+#include "support/function_ref.hpp"
+#include "tsx/engine.hpp"
+
+namespace elision::locks {
+
+struct SlrParams {
+  int max_attempts = 10;  // 1 = pessimistic, 10 = optimistic (Sec 5.1)
+  bool scm = false;
+  int scm_max_retries = 10;
+};
+
+template <typename MainLock, typename AuxLock>
+RegionResult slr_region(tsx::Ctx& ctx, MainLock& main, AuxLock& aux,
+                        const SlrParams& params,
+                        support::FunctionRef<void()> body) {
+  auto& eng = ctx.engine();
+  RegionResult r;
+  int failures = 0;
+  int retries = 0;
+  bool aux_owner = false;
+  for (;;) {
+    ++r.attempts;
+    const unsigned st = eng.run_transaction(ctx, [&] {
+      body();
+      // Lock removal: consult the lock only at commit time.
+      if (main.is_held(ctx)) eng.xabort(ctx, kAbortCodeLockBusy);
+    });
+    if (st == tsx::kCommitted) {
+      r.speculative = true;
+      break;
+    }
+    ++failures;
+    // Tuning (Sec 5.1): when the abort status says a retry cannot succeed
+    // (e.g. capacity), switch to a non-speculative execution immediately.
+    const bool hopeless = (st & tsx::status::kRetry) == 0;
+    bool give_up;
+    if (params.scm) {
+      if (!aux_owner) {
+        aux.lock(ctx);
+        aux_owner = true;
+      } else {
+        ++retries;
+      }
+      give_up = hopeless || retries >= params.scm_max_retries;
+    } else {
+      give_up = hopeless || failures >= params.max_attempts;
+    }
+    if (give_up) {
+      main.lock(ctx);
+      ++r.attempts;
+      body();
+      main.unlock(ctx);
+      r.speculative = false;
+      break;
+    }
+  }
+  if (aux_owner) aux.unlock(ctx);
+  return r;
+}
+
+}  // namespace elision::locks

@@ -1,0 +1,96 @@
+#include "sim/fiber.hpp"
+
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+#if !defined(__x86_64__)
+#error "elision fibers currently require x86-64 (SysV ABI)"
+#endif
+
+namespace elision::sim {
+namespace {
+
+// void elision_fiber_switch(void** save_sp, void* next_sp);
+//
+// Saves the callee-saved registers of the current context on its stack,
+// stores the resulting stack pointer through save_sp, installs next_sp and
+// restores the registers of the resumed context. The `ret` then transfers
+// control to wherever that context suspended (or to the trampoline for a
+// fresh fiber).
+__asm__(
+    ".text\n"
+    ".align 16\n"
+    ".globl elision_fiber_switch\n"
+    ".type elision_fiber_switch,@function\n"
+    "elision_fiber_switch:\n"
+    "  pushq %rbp\n"
+    "  pushq %rbx\n"
+    "  pushq %r12\n"
+    "  pushq %r13\n"
+    "  pushq %r14\n"
+    "  pushq %r15\n"
+    "  movq %rsp, (%rdi)\n"
+    "  movq %rsi, %rsp\n"
+    "  popq %r15\n"
+    "  popq %r14\n"
+    "  popq %r13\n"
+    "  popq %r12\n"
+    "  popq %rbx\n"
+    "  popq %rbp\n"
+    "  retq\n"
+    ".size elision_fiber_switch,.-elision_fiber_switch\n");
+
+// Fresh fibers start here. The stack preparation below seeds r12 with the
+// entry function pointer and r13 with its argument. Entry functions never
+// return; if one does, fall into ud2 so the bug is loud.
+__asm__(
+    ".text\n"
+    ".align 16\n"
+    ".globl elision_fiber_trampoline\n"
+    ".type elision_fiber_trampoline,@function\n"
+    "elision_fiber_trampoline:\n"
+    "  movq %r13, %rdi\n"
+    "  callq *%r12\n"
+    "  ud2\n"
+    ".size elision_fiber_trampoline,.-elision_fiber_trampoline\n");
+
+extern "C" void elision_fiber_switch(void** save_sp, void* next_sp);
+extern "C" void elision_fiber_trampoline();
+
+}  // namespace
+
+Fiber::Fiber(Entry entry, void* arg, std::size_t stack_bytes) {
+  ELISION_CHECK(stack_bytes >= 16 * 1024);
+  stack_ = std::make_unique<std::byte[]>(stack_bytes);
+
+  // Choose R (the stack pointer at trampoline entry) 16-byte aligned so that
+  // the `callq *%r12` inside the trampoline leaves the callee with the
+  // SysV-required rsp % 16 == 8.
+  auto base = reinterpret_cast<std::uintptr_t>(stack_.get());
+  std::uintptr_t r = (base + stack_bytes) & ~static_cast<std::uintptr_t>(15);
+  r -= 16;  // scratch: [r] holds a null "caller" for debugger sanity
+
+  auto* slots = reinterpret_cast<void**>(r);
+  slots[0] = nullptr;  // fake return address terminating backtraces
+  // Layout consumed by elision_fiber_switch's pop sequence (low -> high):
+  //   [r15][r14][r13][r12][rbx][rbp][trampoline]
+  slots[-1] = reinterpret_cast<void*>(&elision_fiber_trampoline);  // retq target
+  slots[-2] = nullptr;                          // rbp
+  slots[-3] = nullptr;                          // rbx
+  slots[-4] = reinterpret_cast<void*>(entry);   // r12
+  slots[-5] = arg;                              // r13
+  slots[-6] = nullptr;                          // r14
+  slots[-7] = nullptr;                          // r15
+  sp_ = static_cast<void*>(slots - 7);
+}
+
+void Fiber::switch_to(Fiber& from, Fiber& to) {
+  ELISION_DCHECK(&from != &to);
+  ELISION_CHECK(to.sp_ != nullptr);
+  void* next = to.sp_;
+  to.sp_ = nullptr;  // `to` is now running; its slot is dead until it suspends
+  elision_fiber_switch(&from.sp_, next);
+}
+
+}  // namespace elision::sim

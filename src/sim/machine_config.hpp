@@ -1,0 +1,47 @@
+// Configuration of the simulated machine: the paper's Core i7-4770
+// (4 cores x 2 hyperthreads, 3.4 GHz, 32KB 8-way L1D, 256KB L2, 8MB L3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/cost_model.hpp"
+
+namespace elision::sim {
+
+struct MachineConfig {
+  // Topology. Logical thread t runs on core (t % n_cores); threads mapped to
+  // the same core are hyperthread siblings and run slower while co-active.
+  unsigned n_cores = 4;
+  unsigned smt_per_core = 2;
+  // Per-access cost multiplier while a hyperthread sibling is co-active.
+  // Pointer-chasing critical sections benefit substantially from SMT on
+  // Haswell (the sibling hides latency), hence the mild penalty.
+  double smt_slowdown = 1.25;
+
+  double ghz = 3.4;  // converts cycles to simulated seconds for reporting
+
+  CostModel cost;
+
+  // Scheduling: a running thread yields once its virtual clock exceeds the
+  // minimum runnable clock by this slack. 0 = strict earliest-first
+  // interleaving at memory-access granularity.
+  std::uint64_t yield_slack_cycles = 0;
+
+  std::size_t fiber_stack_bytes = 256 * 1024;
+
+  // Safety valve: abort the simulation after this many context switches
+  // (0 = unlimited). Used by tests to detect livelock/deadlock.
+  std::uint64_t max_switches = 0;
+
+  std::uint64_t seed = 0x1234ABCDULL;
+
+  std::uint64_t cycles(double seconds) const {
+    return static_cast<std::uint64_t>(seconds * ghz * 1e9);
+  }
+  double seconds(std::uint64_t cycles_) const {
+    return static_cast<double>(cycles_) / (ghz * 1e9);
+  }
+};
+
+}  // namespace elision::sim

@@ -1,0 +1,156 @@
+#include "sim/scheduler.hpp"
+
+#include <exception>
+#include <limits>
+
+namespace elision::sim {
+
+SimThread::SimThread(Scheduler& sched, int tid, std::uint64_t seed,
+                     std::function<void(SimThread&)> body,
+                     std::size_t stack_bytes)
+    : sched_(sched),
+      tid_(tid),
+      rng_(seed),
+      body_(std::move(body)),
+      fiber_(&SimThread::entry, this, stack_bytes) {}
+
+void SimThread::entry(void* self) {
+  auto* t = static_cast<SimThread*>(self);
+  try {
+    t->body_(*t);
+  } catch (const std::exception& e) {
+    ELISION_CHECK_MSG(false, e.what());
+  } catch (...) {
+    ELISION_CHECK_MSG(false, "unknown exception escaped a simulated thread");
+  }
+  t->sched_.finish_from(*t);  // never returns
+}
+
+void SimThread::advance(std::uint64_t cycles) {
+  const double mult = sched_.smt_multiplier(*this);
+  vclock_ += static_cast<std::uint64_t>(static_cast<double>(cycles) * mult);
+}
+
+void SimThread::maybe_yield() {
+  const std::uint64_t min_clock = sched_.min_runnable_clock();
+  if (vclock_ > min_clock + sched_.config().yield_slack_cycles) {
+    sched_.yield_from(*this);
+  }
+}
+
+void SimThread::yield() { sched_.yield_from(*this); }
+
+bool SimThread::stop_requested() const {
+  return vclock_ >= sched_.deadline();
+}
+
+Scheduler::Scheduler(MachineConfig config) : config_(config) {
+  ELISION_CHECK(config_.n_cores >= 1);
+}
+
+Scheduler::~Scheduler() {
+  // All fibers must have run to completion; destroying a suspended fiber
+  // would leak whatever RAII state lives on its stack.
+  for (const auto& t : threads_) {
+    ELISION_CHECK_MSG(t->finished(),
+                      "Scheduler destroyed with unfinished simulated threads");
+  }
+}
+
+SimThread& Scheduler::spawn(std::function<void(SimThread&)> body) {
+  ELISION_CHECK_MSG(!running_, "spawn() during run() is not supported");
+  const int tid = static_cast<int>(threads_.size());
+  ELISION_CHECK_MSG(tid < 64, "at most 64 simulated threads");
+  threads_.push_back(std::make_unique<SimThread>(
+      *this, tid, config_.seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL * (tid + 1),
+      std::move(body), config_.fiber_stack_bytes));
+  return *threads_.back();
+}
+
+double Scheduler::smt_multiplier(const SimThread& t) const {
+  if (config_.smt_per_core <= 1) return 1.0;
+  const unsigned core = static_cast<unsigned>(t.tid()) % config_.n_cores;
+  for (const auto& other : threads_) {
+    if (other.get() == &t || other->finished()) continue;
+    if (static_cast<unsigned>(other->tid()) % config_.n_cores == core) {
+      return config_.smt_slowdown;
+    }
+  }
+  return 1.0;
+}
+
+SimThread* Scheduler::pick_next() const {
+  SimThread* best = nullptr;
+  for (const auto& t : threads_) {
+    if (t->finished()) continue;
+    if (best == nullptr || t->vclock_ < best->vclock_) best = t.get();
+  }
+  return best;
+}
+
+std::uint64_t Scheduler::min_runnable_clock() const {
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& t : threads_) {
+    if (!t->finished() && t->vclock_ < best) best = t->vclock_;
+  }
+  return best;
+}
+
+std::uint64_t Scheduler::elapsed_cycles() const {
+  std::uint64_t best = 0;
+  for (const auto& t : threads_) {
+    if (t->vclock_ > best) best = t->vclock_;
+  }
+  return best;
+}
+
+void Scheduler::yield_from(SimThread& t) {
+  // Counted before the same-thread early-out so that max_switches also
+  // catches a thread yielding forever without advancing its clock.
+  ++switches_;
+  ELISION_CHECK_MSG(config_.max_switches == 0 || switches_ < config_.max_switches,
+                    "simulation exceeded max_switches (livelock?)");
+  SimThread* next = pick_next();
+  ELISION_DCHECK(next != nullptr);  // t itself is runnable
+  if (next == &t) return;
+  current_ = next;
+  Fiber::switch_to(t.fiber_, next->fiber_);
+}
+
+void Scheduler::finish_from(SimThread& t) {
+  t.finished_ = true;
+  ++switches_;
+  SimThread* next = pick_next();
+  current_ = next;
+  if (next != nullptr) {
+    Fiber::switch_to(t.fiber_, next->fiber_);
+  } else {
+    Fiber::switch_to(t.fiber_, host_);
+  }
+  ELISION_CHECK_MSG(false, "resumed a finished simulated thread");
+  std::abort();
+}
+
+void Scheduler::switch_from_host() {
+  SimThread* next = pick_next();
+  if (next == nullptr) return;
+  running_ = true;
+  current_ = next;
+  ++switches_;
+  Fiber::switch_to(host_, next->fiber_);
+  // Control returns here only when the last thread finished.
+  current_ = nullptr;
+  running_ = false;
+}
+
+void Scheduler::run() {
+  deadline_ = std::numeric_limits<std::uint64_t>::max();
+  switch_from_host();
+}
+
+void Scheduler::run_for(std::uint64_t deadline_cycles) {
+  deadline_ = deadline_cycles;
+  switch_from_host();
+}
+
+}  // namespace elision::sim

@@ -1,0 +1,135 @@
+// Deterministic virtual-time scheduler for simulated threads.
+//
+// Each logical thread of the simulated machine is a fiber with a virtual
+// clock measured in CPU cycles. The scheduler always resumes the runnable
+// thread with the smallest clock (ties broken by thread id), which makes the
+// interleaving of the simulated parallel execution deterministic while
+// faithfully modeling true concurrency: clocks advance independently, so
+// non-conflicting work overlaps in virtual time.
+//
+// Usage:
+//   Scheduler sched(config);
+//   sched.spawn([&](SimThread& t) { ... t.advance(c); t.maybe_yield(); ... });
+//   sched.run_for(config.cycles(0.010));   // 10 simulated milliseconds
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/fiber.hpp"
+#include "sim/machine_config.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace elision::sim {
+
+class Scheduler;
+
+// One logical thread of the simulated machine. Workload code receives a
+// reference and calls advance()/maybe_yield() (usually indirectly, through
+// the tsx shared-memory API).
+class SimThread {
+ public:
+  SimThread(Scheduler& sched, int tid, std::uint64_t seed,
+            std::function<void(SimThread&)> body, std::size_t stack_bytes);
+
+  SimThread(const SimThread&) = delete;
+  SimThread& operator=(const SimThread&) = delete;
+
+  int tid() const { return tid_; }
+  std::uint64_t now() const { return vclock_; }
+  bool finished() const { return finished_; }
+  Scheduler& scheduler() { return sched_; }
+  support::Xoshiro256& rng() { return rng_; }
+
+  // Advances this thread's virtual clock by `cycles` scaled by the
+  // hyperthreading model (a live sibling slows both siblings down).
+  void advance(std::uint64_t cycles);
+
+  // Yields if this thread has run ahead of the earliest runnable thread by
+  // more than the configured slack.
+  void maybe_yield();
+
+  // Unconditionally yields to the scheduler.
+  void yield();
+
+  // Convenience: advance then maybe_yield. This is the hook the shared-memory
+  // layer calls once per simulated memory access.
+  void tick(std::uint64_t cycles) {
+    advance(cycles);
+    maybe_yield();
+  }
+
+  // True once the scheduler's virtual deadline has passed; benchmark loops
+  // exit at the next operation boundary.
+  bool stop_requested() const;
+
+  // Slot for the TSX layer to attach its per-thread transaction context.
+  void* user_data = nullptr;
+
+ private:
+  friend class Scheduler;
+  static void entry(void* self);
+
+  Scheduler& sched_;
+  const int tid_;
+  std::uint64_t vclock_ = 0;
+  bool finished_ = false;
+  support::Xoshiro256 rng_;
+  std::function<void(SimThread&)> body_;
+  Fiber fiber_;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(MachineConfig config = {});
+  ~Scheduler();
+
+  const MachineConfig& config() const { return config_; }
+
+  // Creates a logical thread. Must be called before run()/run_for().
+  SimThread& spawn(std::function<void(SimThread&)> body);
+
+  // Runs until every thread finishes.
+  void run();
+
+  // Sets the virtual deadline (threads observe stop_requested() once their
+  // clock passes it), then runs until every thread finishes.
+  void run_for(std::uint64_t deadline_cycles);
+
+  std::size_t thread_count() const { return threads_.size(); }
+  SimThread& thread(std::size_t i) { return *threads_[i]; }
+
+  // Largest virtual clock reached by any thread: the simulated wall time.
+  std::uint64_t elapsed_cycles() const;
+
+  std::uint64_t deadline() const { return deadline_; }
+  std::uint64_t switch_count() const { return switches_; }
+
+  // The thread currently executing, or nullptr when the host context runs.
+  SimThread* current() { return current_; }
+
+  // Smallest clock among runnable threads (max uint64 if none).
+  std::uint64_t min_runnable_clock() const;
+
+  // --- internal, used by SimThread ---
+  void yield_from(SimThread& t);
+  [[noreturn]] void finish_from(SimThread& t);
+  double smt_multiplier(const SimThread& t) const;
+
+ private:
+  SimThread* pick_next() const;  // earliest-clock runnable thread
+  void switch_from_host();
+
+  MachineConfig config_;
+  std::vector<std::unique_ptr<SimThread>> threads_;
+  Fiber host_;
+  SimThread* current_ = nullptr;
+  std::uint64_t deadline_ = UINT64_MAX;
+  std::uint64_t switches_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace elision::sim

@@ -1,0 +1,24 @@
+#include "stamp/common.hpp"
+
+#include "support/check.hpp"
+
+namespace elision::stamp {
+
+StampResult run_app(const std::string& name, const StampConfig& cfg) {
+  if (name == "genome") return run_genome(cfg);
+  if (name == "intruder") return run_intruder(cfg);
+  if (name == "kmeans_high") return run_kmeans(cfg, /*high_contention=*/true);
+  if (name == "kmeans_low") return run_kmeans(cfg, /*high_contention=*/false);
+  if (name == "ssca2") return run_ssca2(cfg);
+  if (name == "vacation_high") {
+    return run_vacation(cfg, /*high_contention=*/true);
+  }
+  if (name == "vacation_low") {
+    return run_vacation(cfg, /*high_contention=*/false);
+  }
+  if (name == "labyrinth") return run_labyrinth(cfg);
+  ELISION_CHECK_MSG(false, "unknown STAMP app");
+  return {};
+}
+
+}  // namespace elision::stamp

@@ -1,0 +1,26 @@
+// Cache-line geometry shared by the whole simulator.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace elision::support {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+inline constexpr std::size_t kCacheLineShift = 6;
+
+// Identifier of a simulated cache line: the real address >> 6. Using real
+// addresses means field co-location and false sharing behave realistically.
+using LineId = std::uintptr_t;
+
+inline LineId line_of(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) >> kCacheLineShift;
+}
+
+// A T padded out to occupy a full cache line, for contended control words.
+template <typename T>
+struct alignas(kCacheLineBytes) CacheAligned {
+  T value{};
+};
+
+}  // namespace elision::support

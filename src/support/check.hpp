@@ -1,0 +1,41 @@
+// Lightweight assertion macros used throughout the library.
+//
+// ELISION_CHECK is always on (it guards simulator invariants whose violation
+// would silently corrupt an experiment); ELISION_DCHECK compiles away in
+// release builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace elision::support {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "ELISION_CHECK failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg != nullptr ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace elision::support
+
+#define ELISION_CHECK(expr)                                               \
+  do {                                                                    \
+    if (!(expr)) [[unlikely]] {                                           \
+      ::elision::support::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                                     \
+  } while (0)
+
+#define ELISION_CHECK_MSG(expr, msg)                                   \
+  do {                                                                 \
+    if (!(expr)) [[unlikely]] {                                        \
+      ::elision::support::check_failed(#expr, __FILE__, __LINE__, msg); \
+    }                                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define ELISION_DCHECK(expr) ((void)0)
+#else
+#define ELISION_DCHECK(expr) ELISION_CHECK(expr)
+#endif

@@ -1,0 +1,88 @@
+// A tiny open-addressing hash map from uintptr_t keys to 8-byte values,
+// used for transactional write buffers (hot path: one probe on average).
+// Key 0 is reserved as the empty marker (no simulated object lives at
+// address 0).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace elision::support {
+
+class WordMap {
+ public:
+  explicit WordMap(std::size_t initial_pow2 = 6)
+      : mask_((1u << initial_pow2) - 1), slots_(mask_ + 1) {}
+
+  void clear() {
+    if (size_ == 0) return;
+    for (auto& s : slots_) s.key = 0;
+    size_ = 0;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Inserts or overwrites.
+  void put(std::uintptr_t key, std::uint64_t value) {
+    ELISION_DCHECK(key != 0);
+    if ((size_ + 1) * 4 >= slots_.size() * 3) grow();
+    Slot& s = probe(key);
+    if (s.key == 0) {
+      s.key = key;
+      ++size_;
+    }
+    s.value = value;
+  }
+
+  // Returns nullptr if absent.
+  const std::uint64_t* find(std::uintptr_t key) const {
+    const Slot& s = const_cast<WordMap*>(this)->probe(key);
+    return s.key == key ? &s.value : nullptr;
+  }
+
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const auto& s : slots_) {
+      if (s.key != 0) f(s.key, s.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    std::uintptr_t key = 0;
+    std::uint64_t value = 0;
+  };
+
+  Slot& probe(std::uintptr_t key) {
+    std::size_t i = hash(key) & mask_;
+    while (slots_[i].key != 0 && slots_[i].key != key) i = (i + 1) & mask_;
+    return slots_[i];
+  }
+
+  static std::size_t hash(std::uintptr_t key) {
+    std::uint64_t x = key;
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    mask_ = mask_ * 2 + 1;
+    slots_.assign(mask_ + 1, Slot{});
+    size_ = 0;
+    for (const auto& s : old) {
+      if (s.key != 0) put(s.key, s.value);
+    }
+  }
+
+  std::size_t mask_;
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace elision::support

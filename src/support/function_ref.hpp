@@ -1,0 +1,53 @@
+// A non-owning, type-erased callable reference (cheap std::function_ref
+// stand-in until C++26). Used to pass critical-section bodies through the
+// elision scheme runners without allocation.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace elision::support {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit ref.
+  FunctionRef(F&& f) noexcept {
+    if constexpr (std::is_function_v<std::remove_reference_t<F>>) {
+      // Plain functions: store the function pointer itself (POSIX permits
+      // the round-trip through void*).
+      obj_ = reinterpret_cast<void*>(&f);
+      call_ = &invoke_fn<std::remove_reference_t<F>>;
+    } else {
+      obj_ = const_cast<void*>(static_cast<const void*>(&f));
+      call_ = &invoke<std::remove_reference_t<F>>;
+    }
+  }
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  template <typename F>
+  static R invoke(void* obj, Args... args) {
+    return (*static_cast<F*>(obj))(std::forward<Args>(args)...);
+  }
+
+  template <typename F>
+  static R invoke_fn(void* obj, Args... args) {
+    return (reinterpret_cast<F*>(obj))(std::forward<Args>(args)...);
+  }
+
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace elision::support

@@ -1,0 +1,77 @@
+// Deterministic pseudo-random number generators.
+//
+// All randomness in the simulator and the workloads flows through these
+// seeded generators so that every experiment is bit-reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "support/check.hpp"
+
+namespace elision::support {
+
+// xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the full state.
+    std::uint64_t x = seed + 0x9E3779B97F4A7C15ULL;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    ELISION_DCHECK(bound > 0);
+    // Lemire's multiply-shift rejection-free approximation is fine here; we
+    // do one rejection round to keep the distribution unbiased.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial with probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace elision::support

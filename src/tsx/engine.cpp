@@ -1,0 +1,629 @@
+#include "tsx/engine.hpp"
+
+#include <utility>
+
+namespace elision::tsx {
+
+using support::LineId;
+using support::line_of;
+
+Engine::Engine(sim::Scheduler& sched, TsxConfig config)
+    : sched_(sched), config_(config), cost_(sched.config().cost) {}
+
+TxContext& Engine::context(sim::SimThread& t) {
+  const auto id = static_cast<std::size_t>(t.tid());
+  if (id >= contexts_.size()) contexts_.resize(id + 1);
+  if (!contexts_[id]) contexts_[id] = std::make_unique<TxContext>(*this, t);
+  return *contexts_[id];
+}
+
+TxStats Engine::total_stats() const {
+  TxStats total;
+  for (const auto& c : contexts_) {
+    if (c) total += c->stats();
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Cost accounting / sharing model
+// ---------------------------------------------------------------------------
+
+void Engine::charge_read(Ctx& ctx, LineId line) {
+  LineRecord& rec = table_.record(line);
+  const std::uint64_t b = ctx.bit();
+  std::uint64_t cost;
+  if (rec.copies & b) {
+    cost = cost_.l1_hit;
+  } else if (rec.dirty_owner != kNoThread && rec.dirty_owner != ctx.id()) {
+    cost = cost_.remote_transfer;
+    rec.dirty_owner = kNoThread;  // dirty line written back, now shared
+  } else {
+    cost = cost_.llc_hit;
+  }
+  rec.copies |= b;
+  ctx.thread().tick(cost + cost_.access_compute);
+}
+
+void Engine::charge_write(Ctx& ctx, LineId line, bool is_rmw) {
+  LineRecord& rec = table_.record(line);
+  const std::uint64_t b = ctx.bit();
+  std::uint64_t cost;
+  if (rec.copies == b && rec.dirty_owner == ctx.id()) {
+    cost = cost_.l1_hit;  // already exclusive and dirty
+  } else if ((rec.copies & ~b) == 0 && rec.dirty_owner == kNoThread) {
+    cost = cost_.llc_hit;  // upgrade, no other sharers
+  } else {
+    cost = cost_.remote_transfer;  // invalidate other copies
+  }
+  rec.copies = b;
+  rec.dirty_owner = ctx.id();
+  ctx.thread().tick(cost + cost_.access_compute +
+                    (is_rmw ? cost_.rmw_extra : 0));
+}
+
+// ---------------------------------------------------------------------------
+// Protocol helpers
+// ---------------------------------------------------------------------------
+
+void Engine::poll(Ctx& ctx) {
+  if (ctx.state_ == TxState::kAbortMarked) [[unlikely]] {
+    rollback_and_throw(ctx, ctx.pending_cause_, 0);
+  }
+}
+
+void Engine::spurious_check(Ctx& ctx, double p) {
+  if (p > 0 && ctx.thread().rng().next_bool(p)) [[unlikely]] {
+    abort_self(ctx, AbortCause::kSpurious);
+  }
+}
+
+void Engine::release_ownership(Ctx& ctx) {
+  for (const LineId line : ctx.read_lines_) {
+    if (LineRecord* rec = table_.find(line)) rec->readers &= ~ctx.bit();
+  }
+  for (const LineId line : ctx.write_lines_) {
+    LineRecord* rec = table_.find(line);
+    if (rec != nullptr && rec->writer == ctx.id()) rec->writer = kNoThread;
+  }
+  ctx.read_lines_.clear();
+  ctx.write_lines_.clear();
+  ctx.l1_set_occupancy_.fill(0);
+}
+
+void Engine::rollback_and_throw(Ctx& ctx, AbortCause cause,
+                                std::uint8_t code) {
+  // Speculatively written lines are discarded from the owner's cache, as a
+  // hardware abort invalidates them.
+  for (const LineId line : ctx.write_lines_) {
+    if (LineRecord* rec = table_.find(line)) {
+      rec->copies &= ~ctx.bit();
+      if (rec->dirty_owner == ctx.id()) rec->dirty_owner = kNoThread;
+    }
+  }
+  release_ownership(ctx);
+  ctx.wbuf_.clear();
+  unsigned st = status_of(cause, code);
+  if (ctx.nest_depth_ > 1) st |= status::kNested;
+  ctx.elided_ = false;
+  ctx.elided_is_tx_root_ = false;
+  ctx.lock_line_data_accessed_ = false;
+  ctx.nest_depth_ = 0;
+  ctx.state_ = TxState::kInactive;
+  ctx.pending_cause_ = AbortCause::kNone;
+  // Expose the abort feedback the paper's future-work section asks for.
+  if (cause == AbortCause::kConflict) {
+    ctx.last_conflict_line_ = ctx.pending_conflict_line_;
+    ctx.last_conflict_thread_ = ctx.pending_conflict_thread_;
+  } else {
+    ctx.last_conflict_line_ = 0;
+    ctx.last_conflict_thread_ = -1;
+  }
+  ctx.pending_conflict_line_ = 0;
+  ctx.pending_conflict_thread_ = -1;
+  ctx.stats_.record_abort(cause);
+  if (trace_ != nullptr) [[unlikely]] {
+    trace_->record({.timestamp = ctx.thread().now(),
+                    .thread = ctx.id(),
+                    .kind = TraceEvent::Kind::kAbort,
+                    .cause = cause,
+                    .conflict_line = ctx.last_conflict_line_,
+                    .conflict_thread = ctx.last_conflict_thread_});
+  }
+  ctx.thread().tick(cost_.abort_penalty);
+  throw TxAbortException{st, cause};
+}
+
+void Engine::abort_self(Ctx& ctx, AbortCause cause, std::uint8_t code) {
+  ELISION_DCHECK(ctx.in_tx());
+  rollback_and_throw(ctx, cause, code);
+}
+
+void Engine::abort_remote(int victim_id, AbortCause cause,
+                          support::LineId line, int requester_id) {
+  ELISION_DCHECK(victim_id >= 0 &&
+                 static_cast<std::size_t>(victim_id) < contexts_.size());
+  TxContext& victim = *contexts_[victim_id];
+  ELISION_DCHECK(victim.state_ == TxState::kActive);
+  // Requestor wins: the victim's ownerships are torn down immediately so the
+  // requesting access proceeds; the victim observes the abort at its next
+  // engine interaction (hardware would interrupt it at instruction
+  // granularity — the difference is at most one non-memory instruction).
+  for (const LineId wline : victim.write_lines_) {
+    if (LineRecord* rec = table_.find(wline)) {
+      rec->copies &= ~victim.bit();
+      if (rec->dirty_owner == victim.id()) rec->dirty_owner = kNoThread;
+    }
+  }
+  release_ownership(victim);
+  victim.state_ = TxState::kAbortMarked;
+  victim.pending_cause_ = cause;
+  victim.pending_conflict_line_ = line;
+  victim.pending_conflict_thread_ = requester_id;
+}
+
+
+// Under kOldestWins, a transactional requester defers to an older owner by
+// aborting itself; under kRequestorWins (Haswell) the owner is always the
+// victim. Non-transactional requesters always win.
+bool Engine::requester_must_yield(Ctx& requester, const TxContext& owner)
+    const {
+  return config_.conflict_policy == ConflictPolicy::kOldestWins &&
+         owner.begin_time_ < requester.begin_time_;
+}
+
+void Engine::abort_readers(LineRecord& rec, LineId line, int except_id,
+                           int requester_id) {
+  std::uint64_t mask = rec.readers;
+  if (except_id >= 0) mask &= ~(1ULL << except_id);
+  while (mask != 0) {
+    const int r = __builtin_ctzll(mask);
+    mask &= mask - 1;
+    TxContext& victim = *contexts_[r];
+    if (config_.hardware_extension && victim.elided_ &&
+        line_of(reinterpret_cast<void*>(victim.elided_addr_)) == line &&
+        !victim.lock_line_data_accessed_) {
+      // Chapter 7: a conflict on the elided lock's line is a synchronization
+      // signal, not a data conflict — the speculator survives and will
+      // suspend if it needs to grow its footprint while the lock is held.
+      continue;
+    }
+    abort_remote(r, AbortCause::kConflict, line, requester_id);
+  }
+}
+
+void Engine::read_set_admit(Ctx& ctx, LineId /*line*/) {
+  const std::size_t r = ctx.read_lines_.size();
+  const std::size_t l1_lines =
+      static_cast<std::size_t>(config_.l1_sets) * config_.l1_ways;
+  if (r <= l1_lines) return;
+  if (r > config_.l3_lines) abort_self(ctx, AbortCause::kCapacity);
+  double p;
+  if (r <= config_.l2_lines) {
+    p = config_.read_evict_l2;
+  } else {
+    const double frac = static_cast<double>(r - config_.l2_lines) /
+                        static_cast<double>(config_.l3_lines - config_.l2_lines);
+    p = config_.read_evict_l2 +
+        (config_.read_evict_l3_max - config_.read_evict_l2) * frac;
+  }
+  if (ctx.thread().rng().next_bool(p)) abort_self(ctx, AbortCause::kCapacity);
+}
+
+void Engine::write_set_admit(Ctx& ctx, LineId line) {
+  auto& occupancy =
+      ctx.l1_set_occupancy_[line % config_.l1_sets];
+  if (++occupancy > config_.l1_ways) abort_self(ctx, AbortCause::kCapacity);
+}
+
+void Engine::hwext_wait_for_new_line(Ctx& ctx, const LineRecord& /*rec*/) {
+  // State S (Ch. 7): the lock was taken non-speculatively; this speculator
+  // may not grow its read/write set until the lock returns to its
+  // pre-acquire value. It suspends (modeled as a monitored wait) rather than
+  // aborting.
+  const auto* lock_addr = reinterpret_cast<const void*>(ctx.elided_addr_);
+  const std::uint64_t start = ctx.thread().now();
+  while (read_word(lock_addr) != ctx.elided_original_) {
+    if (ctx.thread().now() - start > config_.hwext_max_wait_cycles) {
+      // The lock state never returned to its pre-elision value (possible
+      // with queue locks); hardware would abort the waiter on a timer.
+      abort_self(ctx, AbortCause::kConflict);
+    }
+    ctx.thread().tick(cost_.pause);
+    ctx.thread().yield();
+    poll(ctx);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transactional accesses
+// ---------------------------------------------------------------------------
+
+std::uint64_t Engine::tx_load(Ctx& ctx, const void* addr) {
+  poll(ctx);
+  spurious_check(ctx, config_.spurious_per_access);
+  const auto key = reinterpret_cast<std::uintptr_t>(addr);
+  if (const std::uint64_t* v = ctx.wbuf_.find(key)) {
+    ctx.thread().tick(cost_.l1_hit + cost_.access_compute);
+    return *v;
+  }
+  if (ctx.elided_ && key == ctx.elided_addr_) {
+    // The elision illusion: the thread sees the lock as it "wrote" it.
+    ctx.thread().tick(cost_.l1_hit + cost_.access_compute);
+    return ctx.elided_illusion_;
+  }
+  const LineId line = line_of(addr);
+  LineRecord& rec = table_.record(line);  // stable reference (unordered_map)
+  const bool in_rset = (rec.readers & ctx.bit()) != 0;
+  const bool in_wset = rec.writer == ctx.id();
+  const bool in_footprint = in_rset || in_wset || (rec.copies & ctx.bit());
+  if (config_.hardware_extension && ctx.elided_ && !in_footprint) {
+    hwext_wait_for_new_line(ctx, rec);
+  }
+  if (rec.writer != kNoThread && rec.writer != ctx.id()) {
+    // Our read request hits another transaction's write set. Under
+    // requestor-wins the owner aborts and we read pre-transactional
+    // memory; under oldest-wins we defer to an older owner.
+    if (requester_must_yield(ctx, *contexts_[rec.writer])) {
+      abort_self(ctx, AbortCause::kConflict);
+    }
+    abort_remote(rec.writer, AbortCause::kConflict, line, ctx.id());
+  }
+  if (!in_rset) {
+    rec.readers |= ctx.bit();
+    ctx.read_lines_.push_back(line);
+    read_set_admit(ctx, line);  // may abort self
+  }
+  if (ctx.elided_ && line == line_of(reinterpret_cast<void*>(ctx.elided_addr_)) &&
+      key != ctx.elided_addr_) {
+    ctx.lock_line_data_accessed_ = true;
+  }
+  const std::uint64_t value = read_word(addr);
+  charge_read(ctx, line);
+  return value;
+}
+
+void Engine::tx_store(Ctx& ctx, void* addr, std::uint64_t value) {
+  poll(ctx);
+  spurious_check(ctx, config_.spurious_per_access);
+  const auto key = reinterpret_cast<std::uintptr_t>(addr);
+  const LineId line = line_of(addr);
+  LineRecord& rec = table_.record(line);
+  const bool in_wset = rec.writer == ctx.id();
+  if (!in_wset) {
+    const bool in_rset = (rec.readers & ctx.bit()) != 0;
+    const bool in_footprint = in_rset || (rec.copies & ctx.bit());
+    if (config_.hardware_extension && ctx.elided_ && !in_footprint) {
+      hwext_wait_for_new_line(ctx, rec);
+    }
+    if (rec.writer != kNoThread && rec.writer != ctx.id()) {
+      if (requester_must_yield(ctx, *contexts_[rec.writer])) {
+        abort_self(ctx, AbortCause::kConflict);
+      }
+      abort_remote(rec.writer, AbortCause::kConflict, line,
+                   ctx.id());  // write-write
+    }
+    if (config_.conflict_policy == ConflictPolicy::kOldestWins) {
+      // Defer to the oldest conflicting reader, if any is older than us.
+      std::uint64_t mask = rec.readers & ~ctx.bit();
+      while (mask != 0) {
+        const int r = __builtin_ctzll(mask);
+        mask &= mask - 1;
+        if (requester_must_yield(ctx, *contexts_[r])) {
+          abort_self(ctx, AbortCause::kConflict);
+        }
+      }
+    }
+    // Our write request (RFO) invalidates the line everywhere; transactions
+    // holding it in their read set abort.
+    abort_readers(rec, line, ctx.id(), ctx.id());
+    rec.writer = ctx.id();
+    ctx.write_lines_.push_back(line);
+    write_set_admit(ctx, line);  // may abort self (capacity)
+  }
+  if (ctx.elided_ && key == ctx.elided_addr_) {
+    // Writing the elided lock word as data: from here on its line counts as
+    // a data line (Ch. 7) and reads must see this buffered value.
+    ctx.lock_line_data_accessed_ = true;
+  }
+  ctx.wbuf_.put(key, value);
+  charge_write(ctx, line, /*is_rmw=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// Direct (non-transactional) accesses
+// ---------------------------------------------------------------------------
+
+std::uint64_t Engine::direct_load(Ctx& ctx, const void* addr) {
+  const LineId line = line_of(addr);
+  LineRecord& rec = table_.record(line);
+  if (rec.writer != kNoThread) {
+    // A plain read request for a line in a transaction's write set aborts
+    // that transaction; the read sees pre-transactional memory.
+    abort_remote(rec.writer, AbortCause::kConflict, line, ctx.id());
+  }
+  const std::uint64_t value = read_word(addr);
+  charge_read(ctx, line);
+  return value;
+}
+
+template <typename F>
+std::uint64_t Engine::direct_update(Ctx& ctx, void* addr, bool is_rmw, F&& f) {
+  const LineId line = line_of(addr);
+  LineRecord& rec = table_.record(line);
+  if (rec.writer != kNoThread) {
+    abort_remote(rec.writer, AbortCause::kConflict, line, ctx.id());
+  }
+  // This is the avalanche mechanism: a non-transactional write (e.g. a lock
+  // acquisition after an abort) invalidates the lock's cache line in every
+  // speculating reader, aborting them all — unless the Ch. 7 extension
+  // recognizes it as a lock-line-only conflict.
+  abort_readers(rec, line, /*except_id=*/-1, ctx.id());
+  const std::uint64_t old = read_word(addr);
+  write_word(addr, f(old));
+  charge_write(ctx, line, is_rmw);
+  return old;
+}
+
+// ---------------------------------------------------------------------------
+// Plain access API (routed)
+// ---------------------------------------------------------------------------
+
+std::uint64_t Engine::load(Ctx& ctx, const void* addr) {
+  if (ctx.in_tx()) return tx_load(ctx, addr);
+  return direct_load(ctx, addr);
+}
+
+void Engine::store(Ctx& ctx, void* addr, std::uint64_t value) {
+  if (ctx.in_tx()) {
+    tx_store(ctx, addr, value);
+  } else {
+    direct_update(ctx, addr, /*is_rmw=*/false,
+                  [value](std::uint64_t) { return value; });
+  }
+}
+
+std::uint64_t Engine::exchange(Ctx& ctx, void* addr, std::uint64_t value) {
+  if (ctx.in_tx()) {
+    const std::uint64_t old = tx_load(ctx, addr);
+    tx_store(ctx, addr, value);
+    ctx.thread().tick(cost_.rmw_extra);
+    return old;
+  }
+  return direct_update(ctx, addr, /*is_rmw=*/true,
+                       [value](std::uint64_t) { return value; });
+}
+
+std::uint64_t Engine::fetch_add(Ctx& ctx, void* addr, std::uint64_t delta) {
+  if (ctx.in_tx()) {
+    const std::uint64_t old = tx_load(ctx, addr);
+    tx_store(ctx, addr, old + delta);
+    ctx.thread().tick(cost_.rmw_extra);
+    return old;
+  }
+  return direct_update(ctx, addr, /*is_rmw=*/true,
+                       [delta](std::uint64_t v) { return v + delta; });
+}
+
+bool Engine::compare_exchange(Ctx& ctx, void* addr, std::uint64_t expected,
+                              std::uint64_t desired) {
+  if (ctx.in_tx()) {
+    const std::uint64_t old = tx_load(ctx, addr);
+    if (old != expected) return false;
+    tx_store(ctx, addr, desired);
+    ctx.thread().tick(cost_.rmw_extra);
+    return true;
+  }
+  bool ok = false;
+  direct_update(ctx, addr, /*is_rmw=*/true,
+                [&](std::uint64_t v) {
+                  ok = (v == expected);
+                  return ok ? desired : v;
+                });
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Transactions (RTM)
+// ---------------------------------------------------------------------------
+
+void Engine::begin_tx(Ctx& ctx) {
+  ELISION_DCHECK(ctx.state_ == TxState::kInactive);
+  ctx.state_ = TxState::kActive;
+  ctx.nest_depth_ = 1;
+  ctx.begin_time_ = ctx.thread().now();
+  ++ctx.stats_.begins;
+  if (trace_ != nullptr) [[unlikely]] {
+    trace_->record({.timestamp = ctx.thread().now(),
+                    .thread = ctx.id(),
+                    .kind = TraceEvent::Kind::kBegin});
+  }
+  ctx.thread().tick(cost_.xbegin);
+  spurious_check(ctx, config_.spurious_per_begin);
+}
+
+void Engine::commit(Ctx& ctx) {
+  ELISION_DCHECK(ctx.state_ != TxState::kInactive);
+  // Charge the XEND cost first: the tick may yield, and a conflict arriving
+  // during it must still abort us. After the final poll the publish/release
+  // sequence performs no ticks, so it is atomic in the simulation.
+  ctx.thread().tick(cost_.xend);
+  poll(ctx);
+  ctx.wbuf_.for_each(
+      [](std::uintptr_t key, std::uint64_t v) {
+        write_word(reinterpret_cast<void*>(key), v);
+      });
+  ctx.wbuf_.clear();
+  release_ownership(ctx);
+  ctx.elided_ = false;
+  ctx.elided_is_tx_root_ = false;
+  ctx.lock_line_data_accessed_ = false;
+  ctx.nest_depth_ = 0;
+  ctx.state_ = TxState::kInactive;
+  ++ctx.stats_.commits;
+  if (trace_ != nullptr) [[unlikely]] {
+    trace_->record({.timestamp = ctx.thread().now(),
+                    .thread = ctx.id(),
+                    .kind = TraceEvent::Kind::kCommit});
+  }
+}
+
+unsigned Engine::run_transaction(Ctx& ctx,
+                                 support::FunctionRef<void()> body) {
+  if (ctx.in_tx()) {
+    // Flat nesting: the inner transaction is subsumed; an abort anywhere
+    // unwinds to the outermost run_transaction.
+    poll(ctx);
+    ++ctx.nest_depth_;
+    body();
+    --ctx.nest_depth_;
+    return kCommitted;
+  }
+  try {
+    begin_tx(ctx);
+    body();
+    commit(ctx);
+    return kCommitted;
+  } catch (const TxAbortException& e) {
+    return e.status;
+  }
+}
+
+void Engine::xabort(Ctx& ctx, std::uint8_t code) {
+  ELISION_CHECK_MSG(ctx.in_tx(), "XABORT outside a transaction");
+  abort_self(ctx, AbortCause::kExplicit, code);
+}
+
+void Engine::pause(Ctx& ctx) {
+  if (ctx.in_tx()) {
+    // Haswell aborts a transaction that executes PAUSE; this is what dooms a
+    // speculative thread spinning inside an elided fair-lock acquisition.
+    abort_self(ctx, AbortCause::kPause);
+  }
+  ctx.thread().tick(cost_.pause);
+}
+
+// ---------------------------------------------------------------------------
+// HLE
+// ---------------------------------------------------------------------------
+
+void Engine::elide_begin(Ctx& ctx, void* addr, std::uint64_t illusion_value) {
+  const auto key = reinterpret_cast<std::uintptr_t>(addr);
+  ELISION_CHECK_MSG(!ctx.elided_, "one elided lock per transaction supported");
+  const LineId line = line_of(addr);
+  LineRecord& rec = table_.record(line);
+  if (rec.writer != kNoThread && rec.writer != ctx.id()) {
+    if (requester_must_yield(ctx, *contexts_[rec.writer])) {
+      abort_self(ctx, AbortCause::kConflict);
+    }
+    abort_remote(rec.writer, AbortCause::kConflict, line, ctx.id());
+  }
+  if ((rec.readers & ctx.bit()) == 0) {
+    rec.readers |= ctx.bit();
+    ctx.read_lines_.push_back(line);
+    read_set_admit(ctx, line);
+  }
+  ctx.elided_ = true;
+  ctx.elided_addr_ = key;
+  ctx.elided_original_ = read_word(addr);
+  ctx.elided_illusion_ = illusion_value;
+  ctx.lock_line_data_accessed_ = false;
+  charge_read(ctx, line);
+}
+
+std::uint64_t Engine::xacquire_exchange(Ctx& ctx, void* addr,
+                                        std::uint64_t value) {
+  if (ctx.mode() == ElisionMode::kStandard) {
+    return exchange(ctx, addr, value);
+  }
+  if (ctx.in_tx()) {
+    poll(ctx);
+    if (!config_.allow_hle_in_rtm) abort_self(ctx, AbortCause::kNesting);
+    ctx.elided_is_tx_root_ = false;
+    elide_begin(ctx, addr, value);
+    return ctx.elided_original_;
+  }
+  begin_tx(ctx);
+  ctx.elided_is_tx_root_ = true;
+  elide_begin(ctx, addr, value);
+  return ctx.elided_original_;
+}
+
+std::uint64_t Engine::xacquire_fetch_add(Ctx& ctx, void* addr,
+                                         std::uint64_t delta) {
+  if (ctx.mode() == ElisionMode::kStandard) {
+    return fetch_add(ctx, addr, delta);
+  }
+  if (ctx.in_tx()) {
+    poll(ctx);
+    if (!config_.allow_hle_in_rtm) abort_self(ctx, AbortCause::kNesting);
+    ctx.elided_is_tx_root_ = false;
+  } else {
+    begin_tx(ctx);
+    ctx.elided_is_tx_root_ = true;
+  }
+  // Illusion value computed from the memory value at elision time.
+  const std::uint64_t original = read_word(addr);
+  elide_begin(ctx, addr, original + delta);
+  return original;
+}
+
+bool Engine::elide_release(Ctx& ctx, std::uint64_t new_value) {
+  if (new_value != ctx.elided_original_) {
+    // HLE requires the releasing store to restore the lock's original value.
+    abort_self(ctx, AbortCause::kHleMismatch);
+  }
+  ctx.elided_ = false;
+  const bool root = ctx.elided_is_tx_root_;
+  ctx.elided_is_tx_root_ = false;
+  if (root) commit(ctx);  // the XRELEASE commits the HLE transaction
+  return true;
+}
+
+void Engine::xrelease_store(Ctx& ctx, void* addr, std::uint64_t value) {
+  const auto key = reinterpret_cast<std::uintptr_t>(addr);
+  if (ctx.in_tx() && ctx.elided_) {
+    poll(ctx);
+    if (key != ctx.elided_addr_) {
+      // An XRELEASE that does not write the elided address cannot end the
+      // elision; the transaction aborts. This is why the unadjusted ticket
+      // and CLH locks are HLE-incompatible (Ch. 6).
+      abort_self(ctx, AbortCause::kHleMismatch);
+    }
+    elide_release(ctx, value);
+    return;
+  }
+  store(ctx, addr, value);
+}
+
+std::uint64_t Engine::xrelease_fetch_add(Ctx& ctx, void* addr,
+                                         std::uint64_t delta) {
+  const auto key = reinterpret_cast<std::uintptr_t>(addr);
+  if (ctx.in_tx() && ctx.elided_) {
+    poll(ctx);
+    if (key != ctx.elided_addr_ ||
+        ctx.elided_illusion_ + delta != ctx.elided_original_) {
+      abort_self(ctx, AbortCause::kHleMismatch);
+    }
+    const std::uint64_t old = ctx.elided_illusion_;
+    elide_release(ctx, old + delta);
+    return old;
+  }
+  return fetch_add(ctx, addr, delta);
+}
+
+bool Engine::xrelease_compare_exchange(Ctx& ctx, void* addr,
+                                       std::uint64_t expected,
+                                       std::uint64_t desired) {
+  const auto key = reinterpret_cast<std::uintptr_t>(addr);
+  if (ctx.in_tx() && ctx.elided_) {
+    poll(ctx);
+    if (key != ctx.elided_addr_) abort_self(ctx, AbortCause::kHleMismatch);
+    if (ctx.elided_illusion_ != expected) return false;
+    elide_release(ctx, desired);
+    return true;
+  }
+  return compare_exchange(ctx, addr, expected, desired);
+}
+
+}  // namespace elision::tsx

@@ -1,0 +1,145 @@
+// The simulated TSX engine: Haswell-like best-effort hardware transactional
+// memory with requestor-wins conflict management, an L1-bounded write set,
+// spurious aborts, RTM (XBEGIN/XEND/XABORT/XTEST) and HLE
+// (XACQUIRE/XRELEASE) interfaces, and the Chapter 7 hardware extension as an
+// optional mode.
+//
+// All shared state of a simulated program must be accessed through this
+// engine (via tsx::Shared<T>); that is what stands in for the cache-coherence
+// fabric that real TSX piggybacks on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "support/function_ref.hpp"
+#include "tsx/abort.hpp"
+#include "tsx/config.hpp"
+#include "tsx/line_table.hpp"
+#include "tsx/trace.hpp"
+#include "tsx/tx_context.hpp"
+
+namespace elision::tsx {
+
+class Engine {
+ public:
+  explicit Engine(sim::Scheduler& sched, TsxConfig config = {});
+
+  const TsxConfig& config() const { return config_; }
+  TsxConfig& mutable_config() { return config_; }
+
+  // Returns (creating on first use) the transaction context of a thread.
+  TxContext& context(sim::SimThread& t);
+
+  // ------------------------------------------------------------------
+  // Plain accesses. Routed transactionally when ctx is inside a
+  // transaction, directly (with requestor-wins invalidation of conflicting
+  // transactions) otherwise. All values are 64-bit words.
+  // ------------------------------------------------------------------
+  std::uint64_t load(Ctx& ctx, const void* addr);
+  void store(Ctx& ctx, void* addr, std::uint64_t value);
+  std::uint64_t exchange(Ctx& ctx, void* addr, std::uint64_t value);
+  std::uint64_t fetch_add(Ctx& ctx, void* addr, std::uint64_t delta);
+  // Returns true and installs desired iff *addr == expected.
+  bool compare_exchange(Ctx& ctx, void* addr, std::uint64_t expected,
+                        std::uint64_t desired);
+
+  // ------------------------------------------------------------------
+  // HLE. The behaviour of the XACQUIRE-tagged ops depends on
+  // ctx.mode(): speculative mode begins a transaction and elides the store
+  // (the lock's line enters the read set; the thread sees the "acquired"
+  // value through the elision buffer); standard mode executes the plain RMW.
+  // ------------------------------------------------------------------
+  std::uint64_t xacquire_exchange(Ctx& ctx, void* addr, std::uint64_t value);
+  std::uint64_t xacquire_fetch_add(Ctx& ctx, void* addr, std::uint64_t delta);
+  void xrelease_store(Ctx& ctx, void* addr, std::uint64_t value);
+  bool xrelease_compare_exchange(Ctx& ctx, void* addr, std::uint64_t expected,
+                                 std::uint64_t desired);
+  std::uint64_t xrelease_fetch_add(Ctx& ctx, void* addr, std::uint64_t delta);
+
+  // ------------------------------------------------------------------
+  // RTM.
+  // ------------------------------------------------------------------
+  // Runs `body` transactionally. Returns kCommitted on success, otherwise
+  // the Intel-style abort status. Nested calls flatten into the outer
+  // transaction (aborts unwind to the outermost caller).
+  unsigned run_transaction(Ctx& ctx, support::FunctionRef<void()> body);
+  [[noreturn]] void xabort(Ctx& ctx, std::uint8_t code);
+  bool xtest(Ctx& ctx) const { return ctx.in_tx(); }
+
+  // Busy-wait hint. Like Haswell, PAUSE inside a transaction aborts it.
+  void pause(Ctx& ctx);
+
+  // Charges `cycles` of pure compute to the thread (models non-memory work).
+  void compute(Ctx& ctx, std::uint64_t cycles) { ctx.thread().tick(cycles); }
+
+  LineTable& line_table() { return table_; }
+
+  // Aggregate of all threads' TxStats.
+  TxStats total_stats() const;
+
+  // Optional event tracing (nullptr disables; no cost when off).
+  void set_trace(Trace* trace) { trace_ = trace; }
+  Trace* trace() { return trace_; }
+
+ private:
+  // --- transactional paths ---
+  std::uint64_t tx_load(Ctx& ctx, const void* addr);
+  void tx_store(Ctx& ctx, void* addr, std::uint64_t value);
+
+  // --- direct (non-transactional) paths ---
+  std::uint64_t direct_load(Ctx& ctx, const void* addr);
+  // Performs *addr = f(*addr) returning the old value; handles the
+  // requestor-wins invalidation of conflicting transactions.
+  template <typename F>
+  std::uint64_t direct_update(Ctx& ctx, void* addr, bool is_rmw, F&& f);
+
+  // --- protocol helpers ---
+  void begin_tx(Ctx& ctx);
+  void commit(Ctx& ctx);
+  [[noreturn]] void abort_self(Ctx& ctx, AbortCause cause,
+                               std::uint8_t code = 0);
+  void poll(Ctx& ctx);
+  void abort_remote(int victim_id, AbortCause cause, support::LineId line,
+                    int requester_id);
+  bool requester_must_yield(Ctx& requester, const TxContext& owner) const;
+  void abort_readers(LineRecord& rec, support::LineId line, int except_id,
+                     int requester_id);
+  void release_ownership(Ctx& ctx);
+  [[noreturn]] void rollback_and_throw(Ctx& ctx, AbortCause cause,
+                                       std::uint8_t code);
+
+  void elide_begin(Ctx& ctx, void* addr, std::uint64_t illusion_value);
+  bool elide_release(Ctx& ctx, std::uint64_t new_value);  // true: committed/ok
+
+  void read_set_admit(Ctx& ctx, support::LineId line);    // capacity checks
+  void write_set_admit(Ctx& ctx, support::LineId line);
+
+  void spurious_check(Ctx& ctx, double p);
+
+  // Chapter 7: before touching a line outside the cache footprint, wait for
+  // the elided lock to be free (state S suspension).
+  void hwext_wait_for_new_line(Ctx& ctx, const LineRecord& rec);
+
+  // --- cost accounting (also maintains the MESI-like sharing model) ---
+  void charge_read(Ctx& ctx, support::LineId line);
+  void charge_write(Ctx& ctx, support::LineId line, bool is_rmw);
+
+  static std::uint64_t read_word(const void* addr) {
+    return *static_cast<const std::uint64_t*>(addr);
+  }
+  static void write_word(void* addr, std::uint64_t v) {
+    *static_cast<std::uint64_t*>(addr) = v;
+  }
+
+  sim::Scheduler& sched_;
+  TsxConfig config_;
+  const sim::CostModel& cost_;
+  LineTable table_;
+  Trace* trace_ = nullptr;
+  std::vector<std::unique_ptr<TxContext>> contexts_;  // indexed by thread id
+};
+
+}  // namespace elision::tsx

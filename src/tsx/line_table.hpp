@@ -1,0 +1,45 @@
+// Per-cache-line bookkeeping: transactional conflict state (reader mask +
+// single buffered writer) and a MESI-like sharing model used both for
+// memory-access cost estimation and for the Chapter 7 "cache footprint"
+// semantics.
+//
+// The simulator runs on one host thread, so the records are plain data.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "support/align.hpp"
+
+namespace elision::tsx {
+
+inline constexpr int kNoThread = -1;
+
+struct LineRecord {
+  // --- transactional conflict detection ---
+  std::uint64_t readers = 0;  // bitmask of tx ids with this line in read set
+  int writer = kNoThread;     // tx id with this line in its (buffered) write set
+
+  // --- cache sharing model ---
+  std::uint64_t copies = 0;      // threads whose simulated cache holds the line
+  int dirty_owner = kNoThread;   // thread holding the line modified, if any
+};
+
+class LineTable {
+ public:
+  LineRecord& record(support::LineId line) { return map_[line]; }
+
+  // Lookup without creating a record (used on read-mostly fast paths).
+  LineRecord* find(support::LineId line) {
+    auto it = map_.find(line);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  void clear() { map_.clear(); }
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<support::LineId, LineRecord> map_;
+};
+
+}  // namespace elision::tsx

@@ -1,0 +1,82 @@
+// Execution tracing: an optional, zero-cost-when-disabled event log of
+// transactional activity (begin/commit/abort with cause and conflict
+// location), in virtual time. Used by the timeline experiments, by tests
+// that assert on event ordering, and for debugging elision pathologies —
+// precisely the visibility real HLE hardware denies (Ch. 3 Remark: "it is
+// not possible to count aborts when using Haswell's HLE").
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "support/align.hpp"
+#include "tsx/abort.hpp"
+
+namespace elision::tsx {
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kBegin,   // transaction started (RTM xbegin or HLE elision)
+    kCommit,  // transaction committed
+    kAbort,   // transaction aborted (cause + conflict line/thread if any)
+  };
+
+  std::uint64_t timestamp = 0;  // virtual cycles
+  int thread = -1;
+  Kind kind = Kind::kBegin;
+  AbortCause cause = AbortCause::kNone;
+  support::LineId conflict_line = 0;
+  int conflict_thread = -1;
+};
+
+inline const char* to_string(TraceEvent::Kind k) {
+  switch (k) {
+    case TraceEvent::Kind::kBegin: return "begin";
+    case TraceEvent::Kind::kCommit: return "commit";
+    case TraceEvent::Kind::kAbort: return "abort";
+  }
+  return "?";
+}
+
+class Trace {
+ public:
+  void record(const TraceEvent& e) { events_.push_back(e); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  // Events of one kind, optionally restricted to a thread (-1 = all).
+  std::size_t count(TraceEvent::Kind kind, int thread = -1) const {
+    std::size_t n = 0;
+    for (const auto& e : events_) {
+      if (e.kind == kind && (thread < 0 || e.thread == thread)) ++n;
+    }
+    return n;
+  }
+
+  std::size_t count_aborts(AbortCause cause) const {
+    std::size_t n = 0;
+    for (const auto& e : events_) {
+      if (e.kind == TraceEvent::Kind::kAbort && e.cause == cause) ++n;
+    }
+    return n;
+  }
+
+  void dump_csv(std::FILE* out) const {
+    std::fprintf(out, "timestamp,thread,kind,cause,conflict_line,conflict_thread\n");
+    for (const auto& e : events_) {
+      std::fprintf(out, "%llu,%d,%s,%s,%llx,%d\n",
+                   static_cast<unsigned long long>(e.timestamp), e.thread,
+                   to_string(e.kind), to_string(e.cause),
+                   static_cast<unsigned long long>(e.conflict_line),
+                   e.conflict_thread);
+    }
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace elision::tsx

@@ -1,0 +1,103 @@
+// Per-simulated-thread transactional state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "support/align.hpp"
+#include "support/flat_map.hpp"
+#include "tsx/abort.hpp"
+#include "tsx/stats.hpp"
+
+namespace elision::tsx {
+
+class Engine;
+
+enum class TxState : std::uint8_t {
+  kInactive,     // not in a transaction
+  kActive,       // speculative execution in progress
+  kAbortMarked,  // a requestor-wins conflict doomed this transaction; it
+                 // aborts at its next engine interaction
+};
+
+// How XACQUIRE/XRELEASE-tagged lock operations behave for this thread right
+// now. The elision region drivers flip this between speculative attempts and
+// the non-transactional re-execution that follows an abort.
+enum class ElisionMode : std::uint8_t {
+  kStandard,     // elidable ops execute as plain atomic RMWs
+  kSpeculative,  // an XACQUIRE op begins a transaction and elides the store
+};
+
+// The per-thread transaction context. This is also the "ctx" handle that all
+// workload code passes around: it identifies the thread, gives access to its
+// clock/RNG, and carries the speculative state.
+class TxContext {
+ public:
+  TxContext(Engine& engine, sim::SimThread& thread)
+      : engine_(&engine), thread_(&thread), id_(thread.tid()) {}
+
+  Engine& engine() { return *engine_; }
+  sim::SimThread& thread() { return *thread_; }
+  int id() const { return id_; }
+  std::uint64_t bit() const { return 1ULL << id_; }
+
+  bool in_tx() const { return state_ != TxState::kInactive; }
+
+  TxStats& stats() { return stats_; }
+  const TxStats& stats() const { return stats_; }
+
+  ElisionMode mode() const { return mode_; }
+  void set_mode(ElisionMode m) { mode_ = m; }
+
+  // Abort feedback (the paper's future-work direction: "utilizing abort
+  // information provided by the hardware, such as the location in which a
+  // conflict occurs, and/or the identity of the conflicting thread").
+  // Valid after the last abort of this thread; 0 / -1 when the abort had no
+  // associated conflict.
+  support::LineId last_conflict_line() const { return last_conflict_line_; }
+  int last_conflict_thread() const { return last_conflict_thread_; }
+
+ private:
+  friend class Engine;
+
+  Engine* engine_;
+  sim::SimThread* thread_;
+  int id_;
+
+  TxState state_ = TxState::kInactive;
+  int nest_depth_ = 0;
+  std::uint64_t begin_time_ = 0;  // virtual time of xbegin (age for TLR)
+  AbortCause pending_cause_ = AbortCause::kNone;
+  ElisionMode mode_ = ElisionMode::kStandard;
+  support::LineId last_conflict_line_ = 0;
+  int last_conflict_thread_ = -1;
+  support::LineId pending_conflict_line_ = 0;
+  int pending_conflict_thread_ = -1;
+
+  // Read set: lines whose reader bit this tx holds in the line table.
+  std::vector<support::LineId> read_lines_;
+  // Write set: lines whose writer slot this tx holds.
+  std::vector<support::LineId> write_lines_;
+  // Write-set L1 occupancy per cache set (capacity model).
+  std::array<std::uint8_t, 64> l1_set_occupancy_{};
+
+  // Buffered transactional writes (word granularity; published at commit).
+  support::WordMap wbuf_;
+
+  // HLE elision of a single lock word.
+  bool elided_ = false;
+  bool elided_is_tx_root_ = false;     // tx was begun by the XACQUIRE itself
+  bool lock_line_data_accessed_ = false;  // Ch.7: lock line touched as data
+  std::uintptr_t elided_addr_ = 0;
+  std::uint64_t elided_original_ = 0;  // value XRELEASE must restore
+  std::uint64_t elided_illusion_ = 0;  // value this thread sees (the lock "held")
+
+  TxStats stats_;
+};
+
+// Workload code refers to the context simply as Ctx.
+using Ctx = TxContext;
+
+}  // namespace elision::tsx

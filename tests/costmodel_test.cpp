@@ -1,0 +1,193 @@
+// Pins the sharing/cost model: which access costs what, as a function of
+// where the line currently lives. Measured through virtual-clock deltas.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+
+#include "tsx/shared.hpp"
+
+namespace elision::tsx {
+namespace {
+
+sim::MachineConfig machine() {
+  sim::MachineConfig m;
+  m.n_cores = 8;  // no SMT interference
+  m.smt_per_core = 1;
+  return m;
+}
+
+TsxConfig quiet_tsx() {
+  TsxConfig t;
+  t.spurious_per_begin = 0;
+  t.spurious_per_access = 0;
+  return t;
+}
+
+// Cost of one access as a clock delta.
+template <typename Op>
+std::uint64_t cost_of(Ctx& ctx, Op&& op) {
+  const std::uint64_t before = ctx.thread().now();
+  op();
+  return ctx.thread().now() - before;
+}
+
+TEST(CostModel, ColdReadThenWarmRead) {
+  const sim::CostModel cost;  // defaults
+  Shared<std::uint64_t> x(1);
+  sim::Scheduler sched(machine());
+  Engine eng(sched, quiet_tsx());
+  sched.spawn([&](sim::SimThread& st) {
+    auto& ctx = eng.context(st);
+    // First touch: the line comes from the LLC.
+    EXPECT_EQ(cost_of(ctx, [&] { (void)x.load(ctx); }),
+              cost.llc_hit + cost.access_compute);
+    // Second touch: L1 hit.
+    EXPECT_EQ(cost_of(ctx, [&] { (void)x.load(ctx); }),
+              cost.l1_hit + cost.access_compute);
+  });
+  sched.run();
+}
+
+TEST(CostModel, DirtyLineTransfersBetweenThreads) {
+  const sim::CostModel cost;
+  Shared<std::uint64_t> x(0);
+  sim::Scheduler sched(machine());
+  Engine eng(sched, quiet_tsx());
+  std::uint64_t reader_cost = 0;
+  sched.spawn([&](sim::SimThread& st) {
+    auto& ctx = eng.context(st);
+    x.store(ctx, 7);  // line now dirty in thread 0's cache
+  });
+  sched.spawn([&](sim::SimThread& st) {
+    auto& ctx = eng.context(st);
+    ctx.engine().compute(ctx, 1000);  // run after the writer
+    reader_cost = cost_of(ctx, [&] { (void)x.load(ctx); });
+  });
+  sched.run();
+  EXPECT_EQ(reader_cost, cost.remote_transfer + cost.access_compute);
+}
+
+TEST(CostModel, WriteUpgradeAndInvalidation) {
+  const sim::CostModel cost;
+  Shared<std::uint64_t> x(0);
+  sim::Scheduler sched(machine());
+  Engine eng(sched, quiet_tsx());
+  sched.spawn([&](sim::SimThread& st) {
+    auto& ctx = eng.context(st);
+    // Cold write: upgrade with no sharers.
+    EXPECT_EQ(cost_of(ctx, [&] { x.store(ctx, 1); }),
+              cost.llc_hit + cost.access_compute);
+    // Exclusive dirty write: L1 hit.
+    EXPECT_EQ(cost_of(ctx, [&] { x.store(ctx, 2); }),
+              cost.l1_hit + cost.access_compute);
+  });
+  sched.run();
+}
+
+TEST(CostModel, WriteToSharedLineInvalidates) {
+  const sim::CostModel cost;
+  Shared<std::uint64_t> x(0);
+  sim::Scheduler sched(machine());
+  Engine eng(sched, quiet_tsx());
+  std::uint64_t writer_cost = 0;
+  sched.spawn([&](sim::SimThread& st) {
+    auto& ctx = eng.context(st);
+    (void)x.load(ctx);  // thread 0 holds a copy
+  });
+  sched.spawn([&](sim::SimThread& st) {
+    auto& ctx = eng.context(st);
+    ctx.engine().compute(ctx, 1000);
+    writer_cost = cost_of(ctx, [&] { x.store(ctx, 1); });
+  });
+  sched.run();
+  EXPECT_EQ(writer_cost, cost.remote_transfer + cost.access_compute);
+}
+
+TEST(CostModel, RmwChargesExtra) {
+  const sim::CostModel cost;
+  Shared<std::uint64_t> x(0);
+  sim::Scheduler sched(machine());
+  Engine eng(sched, quiet_tsx());
+  sched.spawn([&](sim::SimThread& st) {
+    auto& ctx = eng.context(st);
+    x.store(ctx, 0);  // warm up: exclusive dirty
+    EXPECT_EQ(cost_of(ctx, [&] { x.fetch_add(ctx, 1); }),
+              cost.l1_hit + cost.access_compute + cost.rmw_extra);
+  });
+  sched.run();
+}
+
+TEST(CostModel, TransactionOverheads) {
+  const sim::CostModel cost;
+  sim::Scheduler sched(machine());
+  Engine eng(sched, quiet_tsx());
+  sched.spawn([&](sim::SimThread& st) {
+    auto& ctx = eng.context(st);
+    const std::uint64_t c = cost_of(ctx, [&] {
+      EXPECT_EQ(eng.run_transaction(ctx, [] {}), kCommitted);
+    });
+    EXPECT_EQ(c, cost.xbegin + cost.xend);
+  });
+  sched.run();
+}
+
+TEST(CostModel, AbortChargesPenalty) {
+  const sim::CostModel cost;
+  sim::Scheduler sched(machine());
+  Engine eng(sched, quiet_tsx());
+  sched.spawn([&](sim::SimThread& st) {
+    auto& ctx = eng.context(st);
+    const std::uint64_t c = cost_of(ctx, [&] {
+      eng.run_transaction(ctx, [&] { eng.xabort(ctx, 1); });
+    });
+    EXPECT_EQ(c, cost.xbegin + cost.abort_penalty);
+  });
+  sched.run();
+}
+
+TEST(CostModel, AbortedWritesAreInvalidatedFromCache) {
+  const sim::CostModel cost;
+  support::CacheAligned<Shared<std::uint64_t>> x;
+  sim::Scheduler sched(machine());
+  Engine eng(sched, quiet_tsx());
+  sched.spawn([&](sim::SimThread& st) {
+    auto& ctx = eng.context(st);
+    eng.run_transaction(ctx, [&] {
+      x.value.store(ctx, 5);  // speculative: line dirty in L1
+      eng.xabort(ctx, 1);
+    });
+    // The abort invalidated the speculatively-written line: re-reading it
+    // must miss (LLC), not hit L1.
+    EXPECT_EQ(cost_of(ctx, [&] { (void)x.value.load(ctx); }),
+              cost.llc_hit + cost.access_compute);
+  });
+  sched.run();
+}
+
+TEST(CostModel, SmtSiblingSlowsAccesses) {
+  sim::MachineConfig m;
+  m.n_cores = 1;
+  m.smt_per_core = 2;
+  m.smt_slowdown = 2.0;
+  sim::Scheduler sched(m);
+  Engine eng(sched, quiet_tsx());
+  Shared<std::uint64_t> x(0);
+  std::uint64_t paired_cost = 0;
+  const sim::CostModel cost;
+  sched.spawn([&](sim::SimThread& st) {
+    auto& ctx = eng.context(st);
+    (void)x.load(ctx);  // warm
+    paired_cost = cost_of(ctx, [&] { (void)x.load(ctx); });
+  });
+  sched.spawn([&](sim::SimThread& st) {
+    // A live sibling; just exist long enough.
+    st.tick(10000);
+    (void)eng.context(st);
+  });
+  sched.run();
+  EXPECT_EQ(paired_cost, 2 * (cost.l1_hit + cost.access_compute));
+}
+
+}  // namespace
+}  // namespace elision::tsx

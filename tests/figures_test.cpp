@@ -1,0 +1,168 @@
+// Regression guards for the paper's headline results: miniature versions of
+// the figure experiments with assertions on the *shape* (orderings and
+// rough factors). If a simulator or scheme change breaks the reproduction,
+// these fail before anyone stares at bench output.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "ds/hashtable.hpp"
+#include "ds/rbtree.hpp"
+#include "harness/runner.hpp"
+#include "locks/mcs_lock.hpp"
+#include "locks/schemes.hpp"
+#include "locks/ttas_lock.hpp"
+#include "support/rng.hpp"
+
+namespace elision {
+namespace {
+
+// One tree measurement (default machine/TSX config — spurious aborts on,
+// as in the real experiments).
+template <typename Lock>
+harness::RunStats tree_run(locks::Scheme scheme, std::size_t size,
+                           int update_pct, std::uint64_t seed = 42) {
+  ds::RbTree tree(size * 4 + 256);
+  support::Xoshiro256 fill(seed);
+  std::size_t filled = 0;
+  while (filled < size) {
+    if (tree.unsafe_insert(fill.next_below(size * 2))) ++filled;
+  }
+  tree.unsafe_distribute_free_lists(8);
+  Lock lock;
+  locks::CriticalSection<Lock> cs(scheme, lock);
+  harness::BenchConfig cfg;
+  cfg.duration_sec = 0.002;
+  cfg.machine.seed = seed;
+  const int half = update_pct / 2;
+  return harness::run_workload(cfg, [&, half, update_pct](tsx::Ctx& ctx) {
+    auto& rng = ctx.thread().rng();
+    const std::uint64_t key = rng.next_below(size * 2);
+    const auto dice = static_cast<int>(rng.next_below(100));
+    return cs.run(ctx, [&] {
+      if (dice < half) {
+        tree.insert(ctx, key);
+      } else if (dice < update_pct) {
+        tree.erase(ctx, key);
+      } else {
+        tree.contains(ctx, key);
+      }
+    });
+  });
+}
+
+TEST(Figures, Fig31_McsGoesFullyNonSpeculative) {
+  const auto hle = tree_run<locks::McsLock>(locks::Scheme::kHle, 128, 20);
+  EXPECT_GT(hle.nonspec_fraction(), 0.9);
+  EXPECT_NEAR(hle.attempts_per_op(), 2.0, 0.15);
+}
+
+TEST(Figures, Fig31_McsGainsNothingFromHle) {
+  const auto std_ = tree_run<locks::McsLock>(locks::Scheme::kStandard, 128, 20);
+  const auto hle = tree_run<locks::McsLock>(locks::Scheme::kHle, 128, 20);
+  EXPECT_NEAR(hle.throughput() / std_.throughput(), 1.0, 0.25);
+}
+
+TEST(Figures, Fig31_TtasRecoversAndGains) {
+  const auto std_ = tree_run<locks::TtasLock>(locks::Scheme::kStandard, 128, 20);
+  const auto hle = tree_run<locks::TtasLock>(locks::Scheme::kHle, 128, 20);
+  EXPECT_LT(hle.nonspec_fraction(), 0.5);
+  EXPECT_GT(hle.throughput() / std_.throughput(), 1.5);
+}
+
+TEST(Figures, Fig31_TtasConvergesToSpeculativeOnLargeTrees) {
+  const auto hle = tree_run<locks::TtasLock>(locks::Scheme::kHle, 8192, 20);
+  EXPECT_LT(hle.nonspec_fraction(), 0.1);
+  EXPECT_LT(hle.attempts_per_op(), 1.4);
+}
+
+TEST(Figures, Fig52_ScmRescuesTheMcsLock) {
+  const auto hle = tree_run<locks::McsLock>(locks::Scheme::kHle, 512, 20);
+  const auto scm = tree_run<locks::McsLock>(locks::Scheme::kHleScm, 512, 20);
+  EXPECT_GT(scm.throughput() / hle.throughput(), 1.5);
+  EXPECT_LT(scm.nonspec_fraction(), 0.05);
+}
+
+TEST(Figures, Fig52_PessimisticSlrIsPoorOnTtas) {
+  const auto hle = tree_run<locks::TtasLock>(locks::Scheme::kHle, 512, 20);
+  const auto pes = tree_run<locks::TtasLock>(locks::Scheme::kPesSlr, 512, 20);
+  EXPECT_LT(pes.throughput(), hle.throughput());
+}
+
+TEST(Figures, Fig53_ScmConvergesToOneAttempt) {
+  const auto scm =
+      tree_run<locks::McsLock>(locks::Scheme::kHleScm, 8192, 100);
+  EXPECT_LT(scm.attempts_per_op(), 1.15);
+  EXPECT_LT(scm.nonspec_fraction(), 0.02);
+}
+
+TEST(Figures, HashTable_ScmLargeFactorOverHleMcs) {
+  // The data-structure headline: a large SCM-over-HLE factor on the
+  // short-transaction hash-table workload (paper: up to 10x).
+  auto run = [&](locks::Scheme scheme) {
+    ds::HashTable ht(512, 4096 + 512);
+    support::Xoshiro256 fill(42);
+    std::size_t filled = 0;
+    while (filled < 1024) {
+      if (ht.unsafe_insert(fill.next_below(2048), 1)) ++filled;
+    }
+    locks::McsLock lock;
+    locks::CriticalSection<locks::McsLock> cs(scheme, lock);
+    harness::BenchConfig cfg;
+    cfg.duration_sec = 0.002;
+    return harness::run_workload(cfg, [&](tsx::Ctx& ctx) {
+      auto& rng = ctx.thread().rng();
+      const std::uint64_t key = rng.next_below(2048);
+      const auto dice = static_cast<int>(rng.next_below(100));
+      return cs.run(ctx, [&] {
+        if (dice < 50) {
+          ht.insert(ctx, key, key);
+        } else {
+          ht.erase(ctx, key);
+        }
+      });
+    });
+  };
+  const auto hle = run(locks::Scheme::kHle);
+  const auto scm = run(locks::Scheme::kHleScm);
+  EXPECT_GT(scm.throughput() / hle.throughput(), 3.0);
+}
+
+TEST(Figures, Fig35_HleAndRtmElisionComparable) {
+  const auto hle = tree_run<locks::TtasLock>(locks::Scheme::kHle, 512, 20);
+  const auto rtm = tree_run<locks::TtasLock>(locks::Scheme::kRtmElide, 512, 20);
+  const double ratio = rtm.throughput() / hle.throughput();
+  EXPECT_GT(ratio, 0.7);
+  EXPECT_LT(ratio, 1.4);
+}
+
+TEST(Figures, Fig21_WriteCliffAt32K) {
+  // Transactional writes: 512 lines commit, 600 lines never do.
+  sim::MachineConfig m;
+  m.n_cores = 1;
+  sim::Scheduler sched(m);
+  tsx::Engine eng(sched);
+  std::vector<support::CacheAligned<tsx::Shared<std::uint64_t>>> data(600);
+  unsigned small_status = 1, big_status = 1;
+  sched.spawn([&](sim::SimThread& st) {
+    auto& ctx = eng.context(st);
+    // Retry the small transaction a few times in case of a spurious abort.
+    for (int tries = 0; tries < 5; ++tries) {
+      small_status = eng.run_transaction(ctx, [&] {
+        for (int i = 0; i < 500; ++i) data[i].value.store(ctx, 1);
+      });
+      if (small_status == tsx::kCommitted) break;
+    }
+    big_status = eng.run_transaction(ctx, [&] {
+      for (int i = 0; i < 600; ++i) data[i].value.store(ctx, 1);
+    });
+  });
+  sched.run();
+  EXPECT_EQ(small_status, tsx::kCommitted);
+  EXPECT_NE(big_status, tsx::kCommitted);
+  EXPECT_TRUE(big_status & tsx::status::kCapacity);
+}
+
+}  // namespace
+}  // namespace elision

@@ -1,0 +1,313 @@
+// elide — command-line explorer for the elision library.
+//
+// Run any of the paper's workloads with your own parameters:
+//
+//   elide tree   [--lock L] [--scheme S] [--threads N] [--size K]
+//                [--updates PCT] [--ms VIRTUAL_MS] [--hwext] [--trace FILE]
+//   elide stamp  APP [--lock L] [--scheme S] [--threads N] [--scale X]
+//   elide schemes [--size K] [--updates PCT] [--threads N]   (compare all)
+//
+// Locks: ttas mcs ticket ticket-adj clh clh-adj
+// Schemes: standard hle hle-scm pes-slr opt-slr opt-slr-scm rtm-elide
+//          hle-scm-nested hle-gscm
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ds/rbtree.hpp"
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+#include "locks/clh_lock.hpp"
+#include "locks/mcs_lock.hpp"
+#include "locks/schemes.hpp"
+#include "locks/ticket_lock.hpp"
+#include "locks/ttas_lock.hpp"
+#include "stamp/common.hpp"
+#include "tsx/trace.hpp"
+
+namespace {
+
+using namespace elision;
+
+struct Options {
+  std::string lock = "ttas";
+  std::string scheme = "hle-scm";
+  int threads = 8;
+  std::size_t size = 1024;
+  int updates = 20;
+  double ms = 2.0;
+  double scale = 1.0;
+  bool hwext = false;
+  std::string trace_file;
+};
+
+const std::map<std::string, locks::Scheme>& scheme_map() {
+  static const std::map<std::string, locks::Scheme> m = {
+      {"standard", locks::Scheme::kStandard},
+      {"hle", locks::Scheme::kHle},
+      {"hle-scm", locks::Scheme::kHleScm},
+      {"pes-slr", locks::Scheme::kPesSlr},
+      {"opt-slr", locks::Scheme::kOptSlr},
+      {"opt-slr-scm", locks::Scheme::kOptSlrScm},
+      {"rtm-elide", locks::Scheme::kRtmElide},
+      {"hle-scm-nested", locks::Scheme::kHleScmNested},
+      {"hle-gscm", locks::Scheme::kHleGroupedScm},
+  };
+  return m;
+}
+
+[[noreturn]] void usage(const char* why) {
+  std::fprintf(stderr, "error: %s\n\n", why);
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  elide tree    [--lock L] [--scheme S] [--threads N] [--size K]\n"
+      "                [--updates PCT] [--ms MS] [--hwext] [--trace FILE]\n"
+      "  elide stamp   APP [--lock ttas|mcs] [--scheme S] [--threads N]\n"
+      "                [--scale X]\n"
+      "  elide schemes [--size K] [--updates PCT] [--threads N] [--ms MS]\n"
+      "\n"
+      "locks:   ttas mcs ticket ticket-adj clh clh-adj\n"
+      "schemes: standard hle hle-scm pes-slr opt-slr opt-slr-scm rtm-elide\n"
+      "         hle-scm-nested hle-gscm\n"
+      "stamp apps: genome intruder kmeans_high kmeans_low ssca2\n"
+      "            vacation_high vacation_low labyrinth\n");
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv, int first, std::string* positional) {
+  Options o;
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + a).c_str());
+      return argv[++i];
+    };
+    if (a == "--lock") {
+      o.lock = next();
+    } else if (a == "--scheme") {
+      o.scheme = next();
+    } else if (a == "--threads") {
+      o.threads = std::atoi(next().c_str());
+    } else if (a == "--size") {
+      o.size = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (a == "--updates") {
+      o.updates = std::atoi(next().c_str());
+    } else if (a == "--ms") {
+      o.ms = std::atof(next().c_str());
+    } else if (a == "--scale") {
+      o.scale = std::atof(next().c_str());
+    } else if (a == "--hwext") {
+      o.hwext = true;
+    } else if (a == "--trace") {
+      o.trace_file = next();
+    } else if (!a.empty() && a[0] != '-' && positional != nullptr &&
+               positional->empty()) {
+      *positional = a;
+    } else {
+      usage(("unknown argument " + a).c_str());
+    }
+  }
+  if (o.threads < 1 || o.threads > 64) usage("--threads must be in [1,64]");
+  if (o.updates < 0 || o.updates > 100) usage("--updates must be in [0,100]");
+  return o;
+}
+
+locks::Scheme parse_scheme(const std::string& s) {
+  const auto it = scheme_map().find(s);
+  if (it == scheme_map().end()) usage(("unknown scheme " + s).c_str());
+  return it->second;
+}
+
+template <typename Lock>
+int run_tree_with(const Options& o, locks::Scheme scheme) {
+  ds::RbTree tree(o.size * 4 + 256);
+  support::Xoshiro256 fill(42);
+  std::size_t filled = 0;
+  while (filled < o.size) {
+    if (tree.unsafe_insert(fill.next_below(o.size * 2))) ++filled;
+  }
+  tree.unsafe_distribute_free_lists(o.threads);
+
+  Lock lock;
+  locks::CriticalSection<Lock> cs(scheme, lock);
+  harness::BenchConfig cfg;
+  cfg.threads = o.threads;
+  cfg.duration_sec = o.ms / 1e3;
+  cfg.tsx.hardware_extension = o.hwext;
+
+  // Tracing requires driving the scheduler ourselves.
+  tsx::Trace trace;
+  sim::Scheduler sched(cfg.machine);
+  tsx::Engine eng(sched, cfg.tsx);
+  if (!o.trace_file.empty()) eng.set_trace(&trace);
+  std::uint64_t ops = 0, nonspec = 0, attempts = 0;
+  const int half = o.updates / 2;
+  for (int t = 0; t < o.threads; ++t) {
+    sched.spawn([&](sim::SimThread& st) {
+      auto& ctx = eng.context(st);
+      while (!st.stop_requested()) {
+        const std::uint64_t key = st.rng().next_below(o.size * 2);
+        const auto dice = static_cast<int>(st.rng().next_below(100));
+        const auto r = cs.run(ctx, [&] {
+          if (dice < half) {
+            tree.insert(ctx, key);
+          } else if (dice < o.updates) {
+            tree.erase(ctx, key);
+          } else {
+            tree.contains(ctx, key);
+          }
+        });
+        ++ops;
+        attempts += static_cast<std::uint64_t>(r.attempts);
+        if (!r.speculative) ++nonspec;
+      }
+    });
+  }
+  sched.run_for(cfg.duration_cycles());
+
+  const double secs = cfg.machine.seconds(sched.elapsed_cycles());
+  const auto tx = eng.total_stats();
+  std::printf("workload:   red-black tree, size %zu, %d%% updates, %d threads\n",
+              o.size, o.updates, o.threads);
+  std::printf("scheme:     %s on %s%s\n", locks::scheme_name(scheme),
+              Lock::kName, o.hwext ? " + Ch.7 hardware extension" : "");
+  std::printf("throughput: %.2f Mops/s  (%llu ops in %.2f simulated ms)\n",
+              ops / secs / 1e6, static_cast<unsigned long long>(ops),
+              secs * 1e3);
+  std::printf("attempts/op %.2f   non-speculative %.1f%%\n",
+              ops ? static_cast<double>(attempts) / ops : 0.0,
+              ops ? 100.0 * nonspec / ops : 0.0);
+  std::printf("tx: %llu begun, %llu committed, %llu aborted",
+              static_cast<unsigned long long>(tx.begins),
+              static_cast<unsigned long long>(tx.commits),
+              static_cast<unsigned long long>(tx.aborts));
+  for (int c = 0; c < static_cast<int>(tsx::AbortCause::kCauseCount); ++c) {
+    if (tx.aborts_by_cause[c] == 0) continue;
+    std::printf("  %s=%llu", to_string(static_cast<tsx::AbortCause>(c)),
+                static_cast<unsigned long long>(tx.aborts_by_cause[c]));
+  }
+  std::printf("\n");
+  if (!o.trace_file.empty()) {
+    std::FILE* f = std::fopen(o.trace_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", o.trace_file.c_str());
+      return 1;
+    }
+    trace.dump_csv(f);
+    std::fclose(f);
+    std::printf("trace: %zu events -> %s\n", trace.size(),
+                o.trace_file.c_str());
+  }
+  return 0;
+}
+
+int cmd_tree(const Options& o) {
+  const locks::Scheme scheme = parse_scheme(o.scheme);
+  if (o.lock == "ttas") return run_tree_with<locks::TtasLock>(o, scheme);
+  if (o.lock == "mcs") return run_tree_with<locks::McsLock>(o, scheme);
+  if (o.lock == "ticket") return run_tree_with<locks::TicketLock>(o, scheme);
+  if (o.lock == "ticket-adj") {
+    return run_tree_with<locks::TicketLockAdjusted>(o, scheme);
+  }
+  if (o.lock == "clh") return run_tree_with<locks::ClhLock>(o, scheme);
+  if (o.lock == "clh-adj") {
+    return run_tree_with<locks::ClhLockAdjusted>(o, scheme);
+  }
+  usage(("unknown lock " + o.lock).c_str());
+}
+
+int cmd_stamp(const Options& o, const std::string& app) {
+  if (app.empty()) usage("stamp requires an APP argument");
+  bool known = false;
+  for (const char* name : stamp::kAllAppNames) {
+    if (app == name) known = true;
+  }
+  if (!known) usage(("unknown STAMP app " + app).c_str());
+  stamp::StampConfig cfg;
+  cfg.threads = o.threads;
+  cfg.scale = o.scale;
+  cfg.scheme = parse_scheme(o.scheme);
+  if (o.lock == "ttas") {
+    cfg.lock = stamp::LockKind::kTtas;
+  } else if (o.lock == "mcs") {
+    cfg.lock = stamp::LockKind::kMcs;
+  } else {
+    usage("stamp supports --lock ttas|mcs");
+  }
+  const auto r = stamp::run_app(app, cfg);
+  std::printf("app:        %s (scale %.2f, %d threads)\n", app.c_str(),
+              o.scale, o.threads);
+  std::printf("scheme:     %s on %s\n", locks::scheme_name(cfg.scheme),
+              stamp::lock_name(cfg.lock));
+  std::printf("run time:   %.3f simulated ms\n",
+              1e3 * r.seconds(cfg.machine.ghz));
+  std::printf("critical sections: %llu   attempts/op %.2f   "
+              "non-speculative %.1f%%\n",
+              static_cast<unsigned long long>(r.ops), r.attempts_per_op(),
+              100 * r.nonspec_fraction());
+  std::printf("checksum:   %llu   invariants: %s\n",
+              static_cast<unsigned long long>(r.checksum),
+              r.invariants_ok ? "ok" : "VIOLATED");
+  return r.invariants_ok ? 0 : 1;
+}
+
+int cmd_schemes(const Options& o) {
+  std::printf("All schemes on a %zu-node tree, %d%% updates, %d threads "
+              "(TTAS / MCS Mops/s):\n\n",
+              o.size, o.updates, o.threads);
+  harness::Table table({"scheme", "TTAS Mops/s", "MCS Mops/s"});
+  for (const auto& [name, scheme] : scheme_map()) {
+    if (scheme == locks::Scheme::kHleScmNested) continue;  // needs hw flag
+    auto run = [&](auto lock_tag) {
+      using Lock = decltype(lock_tag);
+      ds::RbTree tree(o.size * 4 + 256);
+      support::Xoshiro256 fill(42);
+      std::size_t filled = 0;
+      while (filled < o.size) {
+        if (tree.unsafe_insert(fill.next_below(o.size * 2))) ++filled;
+      }
+      tree.unsafe_distribute_free_lists(o.threads);
+      Lock lock;
+      locks::CriticalSection<Lock> cs(scheme, lock);
+      harness::BenchConfig cfg;
+      cfg.threads = o.threads;
+      cfg.duration_sec = o.ms / 1e3;
+      const int half = o.updates / 2;
+      const auto stats = harness::run_workload(cfg, [&](tsx::Ctx& ctx) {
+        const std::uint64_t key = ctx.thread().rng().next_below(o.size * 2);
+        const auto dice = static_cast<int>(ctx.thread().rng().next_below(100));
+        return cs.run(ctx, [&] {
+          if (dice < half) {
+            tree.insert(ctx, key);
+          } else if (dice < o.updates) {
+            tree.erase(ctx, key);
+          } else {
+            tree.contains(ctx, key);
+          }
+        });
+      });
+      return stats.throughput() / 1e6;
+    };
+    table.add_row({name, harness::fmt(run(locks::TtasLock{}), 2),
+                   harness::fmt(run(locks::McsLock{}), 2)});
+  }
+  table.print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage("missing command");
+  const std::string cmd = argv[1];
+  std::string positional;
+  const Options o = parse(argc, argv, 2, &positional);
+  if (cmd == "tree") return cmd_tree(o);
+  if (cmd == "stamp") return cmd_stamp(o, positional);
+  if (cmd == "schemes") return cmd_schemes(o);
+  usage(("unknown command " + cmd).c_str());
+}
