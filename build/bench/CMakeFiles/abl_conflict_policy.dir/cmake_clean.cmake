@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_conflict_policy.dir/abl_conflict_policy.cpp.o"
+  "CMakeFiles/abl_conflict_policy.dir/abl_conflict_policy.cpp.o.d"
+  "abl_conflict_policy"
+  "abl_conflict_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_conflict_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_grouped_scm.dir/abl_grouped_scm.cpp.o"
+  "CMakeFiles/abl_grouped_scm.dir/abl_grouped_scm.cpp.o.d"
+  "abl_grouped_scm"
+  "abl_grouped_scm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_grouped_scm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_scm_nested.dir/abl_scm_nested.cpp.o"
+  "CMakeFiles/abl_scm_nested.dir/abl_scm_nested.cpp.o.d"
+  "abl_scm_nested"
+  "abl_scm_nested.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_scm_nested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

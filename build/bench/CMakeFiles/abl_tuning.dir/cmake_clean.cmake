@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_tuning.dir/abl_tuning.cpp.o"
+  "CMakeFiles/abl_tuning.dir/abl_tuning.cpp.o.d"
+  "abl_tuning"
+  "abl_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

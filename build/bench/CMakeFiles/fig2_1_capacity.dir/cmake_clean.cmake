@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_1_capacity.dir/fig2_1_capacity.cpp.o"
+  "CMakeFiles/fig2_1_capacity.dir/fig2_1_capacity.cpp.o.d"
+  "fig2_1_capacity"
+  "fig2_1_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_1_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_1_avalanche.dir/fig3_1_avalanche.cpp.o"
+  "CMakeFiles/fig3_1_avalanche.dir/fig3_1_avalanche.cpp.o.d"
+  "fig3_1_avalanche"
+  "fig3_1_avalanche.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_1_avalanche.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

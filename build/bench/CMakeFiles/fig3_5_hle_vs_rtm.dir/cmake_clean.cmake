@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_5_hle_vs_rtm.dir/fig3_5_hle_vs_rtm.cpp.o"
+  "CMakeFiles/fig3_5_hle_vs_rtm.dir/fig3_5_hle_vs_rtm.cpp.o.d"
+  "fig3_5_hle_vs_rtm"
+  "fig3_5_hle_vs_rtm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_5_hle_vs_rtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

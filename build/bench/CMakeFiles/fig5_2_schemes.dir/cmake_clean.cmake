@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_2_schemes.dir/fig5_2_schemes.cpp.o"
+  "CMakeFiles/fig5_2_schemes.dir/fig5_2_schemes.cpp.o.d"
+  "fig5_2_schemes"
+  "fig5_2_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_2_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

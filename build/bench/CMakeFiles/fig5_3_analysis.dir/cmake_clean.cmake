@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_3_analysis.dir/fig5_3_analysis.cpp.o"
+  "CMakeFiles/fig5_3_analysis.dir/fig5_3_analysis.cpp.o.d"
+  "fig5_3_analysis"
+  "fig5_3_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_3_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

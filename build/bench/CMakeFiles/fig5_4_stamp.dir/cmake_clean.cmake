@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_4_stamp.dir/fig5_4_stamp.cpp.o"
+  "CMakeFiles/fig5_4_stamp.dir/fig5_4_stamp.cpp.o.d"
+  "fig5_4_stamp"
+  "fig5_4_stamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_4_stamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_hwext.dir/fig7_hwext.cpp.o"
+  "CMakeFiles/fig7_hwext.dir/fig7_hwext.cpp.o.d"
+  "fig7_hwext"
+  "fig7_hwext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_hwext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_fairlocks.dir/tbl_fairlocks.cpp.o"
+  "CMakeFiles/tbl_fairlocks.dir/tbl_fairlocks.cpp.o.d"
+  "tbl_fairlocks"
+  "tbl_fairlocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_fairlocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

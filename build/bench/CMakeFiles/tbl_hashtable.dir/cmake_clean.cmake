@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_hashtable.dir/tbl_hashtable.cpp.o"
+  "CMakeFiles/tbl_hashtable.dir/tbl_hashtable.cpp.o.d"
+  "tbl_hashtable"
+  "tbl_hashtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_hashtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_skiplist.dir/tbl_skiplist.cpp.o"
+  "CMakeFiles/tbl_skiplist.dir/tbl_skiplist.cpp.o.d"
+  "tbl_skiplist"
+  "tbl_skiplist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_skiplist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

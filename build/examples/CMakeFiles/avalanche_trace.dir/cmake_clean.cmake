@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avalanche_trace.dir/avalanche_trace.cpp.o"
+  "CMakeFiles/avalanche_trace.dir/avalanche_trace.cpp.o.d"
+  "avalanche_trace"
+  "avalanche_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avalanche_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

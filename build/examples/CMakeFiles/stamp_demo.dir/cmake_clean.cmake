@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stamp_demo.dir/stamp_demo.cpp.o"
+  "CMakeFiles/stamp_demo.dir/stamp_demo.cpp.o.d"
+  "stamp_demo"
+  "stamp_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stamp_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ds/binheap.cpp" "src/ds/CMakeFiles/elision_ds.dir/binheap.cpp.o" "gcc" "src/ds/CMakeFiles/elision_ds.dir/binheap.cpp.o.d"
+  "/root/repo/src/ds/hashtable.cpp" "src/ds/CMakeFiles/elision_ds.dir/hashtable.cpp.o" "gcc" "src/ds/CMakeFiles/elision_ds.dir/hashtable.cpp.o.d"
+  "/root/repo/src/ds/rbtree.cpp" "src/ds/CMakeFiles/elision_ds.dir/rbtree.cpp.o" "gcc" "src/ds/CMakeFiles/elision_ds.dir/rbtree.cpp.o.d"
+  "/root/repo/src/ds/skiplist.cpp" "src/ds/CMakeFiles/elision_ds.dir/skiplist.cpp.o" "gcc" "src/ds/CMakeFiles/elision_ds.dir/skiplist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tsx/CMakeFiles/elision_tsx.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/elision_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elision_ds.dir/binheap.cpp.o"
+  "CMakeFiles/elision_ds.dir/binheap.cpp.o.d"
+  "CMakeFiles/elision_ds.dir/hashtable.cpp.o"
+  "CMakeFiles/elision_ds.dir/hashtable.cpp.o.d"
+  "CMakeFiles/elision_ds.dir/rbtree.cpp.o"
+  "CMakeFiles/elision_ds.dir/rbtree.cpp.o.d"
+  "CMakeFiles/elision_ds.dir/skiplist.cpp.o"
+  "CMakeFiles/elision_ds.dir/skiplist.cpp.o.d"
+  "libelision_ds.a"
+  "libelision_ds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elision_ds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elision_harness.dir/report.cpp.o"
+  "CMakeFiles/elision_harness.dir/report.cpp.o.d"
+  "CMakeFiles/elision_harness.dir/runner.cpp.o"
+  "CMakeFiles/elision_harness.dir/runner.cpp.o.d"
+  "libelision_harness.a"
+  "libelision_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elision_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

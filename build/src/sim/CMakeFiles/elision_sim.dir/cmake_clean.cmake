@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elision_sim.dir/fiber.cpp.o"
+  "CMakeFiles/elision_sim.dir/fiber.cpp.o.d"
+  "CMakeFiles/elision_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/elision_sim.dir/scheduler.cpp.o.d"
+  "libelision_sim.a"
+  "libelision_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elision_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elision_stamp.dir/genome.cpp.o"
+  "CMakeFiles/elision_stamp.dir/genome.cpp.o.d"
+  "CMakeFiles/elision_stamp.dir/intruder.cpp.o"
+  "CMakeFiles/elision_stamp.dir/intruder.cpp.o.d"
+  "CMakeFiles/elision_stamp.dir/kmeans.cpp.o"
+  "CMakeFiles/elision_stamp.dir/kmeans.cpp.o.d"
+  "CMakeFiles/elision_stamp.dir/labyrinth.cpp.o"
+  "CMakeFiles/elision_stamp.dir/labyrinth.cpp.o.d"
+  "CMakeFiles/elision_stamp.dir/runner.cpp.o"
+  "CMakeFiles/elision_stamp.dir/runner.cpp.o.d"
+  "CMakeFiles/elision_stamp.dir/ssca2.cpp.o"
+  "CMakeFiles/elision_stamp.dir/ssca2.cpp.o.d"
+  "CMakeFiles/elision_stamp.dir/vacation.cpp.o"
+  "CMakeFiles/elision_stamp.dir/vacation.cpp.o.d"
+  "libelision_stamp.a"
+  "libelision_stamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elision_stamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

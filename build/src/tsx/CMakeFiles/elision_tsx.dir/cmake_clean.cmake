@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elision_tsx.dir/engine.cpp.o"
+  "CMakeFiles/elision_tsx.dir/engine.cpp.o.d"
+  "libelision_tsx.a"
+  "libelision_tsx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elision_tsx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

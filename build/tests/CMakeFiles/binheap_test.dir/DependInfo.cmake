@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/binheap_test.cpp" "tests/CMakeFiles/binheap_test.dir/binheap_test.cpp.o" "gcc" "tests/CMakeFiles/binheap_test.dir/binheap_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/elision_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/ds/CMakeFiles/elision_ds.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsx/CMakeFiles/elision_tsx.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/elision_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

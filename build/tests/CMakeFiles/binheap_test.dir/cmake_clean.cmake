@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binheap_test.dir/binheap_test.cpp.o"
+  "CMakeFiles/binheap_test.dir/binheap_test.cpp.o.d"
+  "binheap_test"
+  "binheap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binheap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hle_test.dir/hle_test.cpp.o"
+  "CMakeFiles/hle_test.dir/hle_test.cpp.o.d"
+  "hle_test"
+  "hle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwext_test.dir/hwext_test.cpp.o"
+  "CMakeFiles/hwext_test.dir/hwext_test.cpp.o.d"
+  "hwext_test"
+  "hwext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

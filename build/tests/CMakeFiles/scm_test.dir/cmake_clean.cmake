@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scm_test.dir/scm_test.cpp.o"
+  "CMakeFiles/scm_test.dir/scm_test.cpp.o.d"
+  "scm_test"
+  "scm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

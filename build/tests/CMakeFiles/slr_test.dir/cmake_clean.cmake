@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slr_test.dir/slr_test.cpp.o"
+  "CMakeFiles/slr_test.dir/slr_test.cpp.o.d"
+  "slr_test"
+  "slr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elide.dir/elide_cli.cpp.o"
+  "CMakeFiles/elide.dir/elide_cli.cpp.o.d"
+  "elide"
+  "elide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
