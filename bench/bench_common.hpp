@@ -38,9 +38,13 @@ struct RbPoint {
   std::size_t size = 128;
   int update_pct = 20;  // split evenly between inserts and deletes
   int threads = 8;
-  locks::Scheme scheme = locks::Scheme::kStandard;
+  // Accepts a bare locks::Scheme (implicit conversion) or a tuned policy.
+  locks::ElisionPolicy scheme = locks::ElisionPolicy::standard();
   LockSel lock = LockSel::kTtas;
   double duration_sec = 0.003;
+  // Collect an event trace and derive avalanche/rejoin statistics.
+  bool telemetry = false;
+  tsx::AvalancheConfig avalanche;
   // Runs averaged per point (different machine seeds). Avalanche latching
   // is bistable at short windows, so single runs have high variance.
   int seeds = 2;
@@ -66,6 +70,9 @@ harness::RunStats run_rb_with_lock(const RbPoint& p, ds::RbTree& tree) {
   cfg.tsx.hardware_extension = p.hardware_extension;
   cfg.machine.seed = p.seed;
   cfg.timeline_slot_cycles = p.timeline_slot_cycles;
+  cfg.policy = p.scheme;
+  cfg.telemetry = p.telemetry;
+  cfg.avalanche = p.avalanche;
   const std::uint64_t domain = p.size * 2;
   const int half_updates = p.update_pct / 2;
   auto stats = harness::run_workload(cfg, [&](tsx::Ctx& ctx) {
@@ -143,6 +150,12 @@ inline harness::RunStats run_rb_point(const RbPoint& p) {
     total.elapsed_cycles += r.elapsed_cycles;
     total.ghz = r.ghz;
     total.tx += r.tx;
+    total.attempts_hist.merge(r.attempts_hist);
+    total.rejoin_hist.merge(r.rejoin_hist);
+    total.episodes.insert(total.episodes.end(), r.episodes.begin(),
+                          r.episodes.end());
+    total.telemetry_events += r.telemetry_events;
+    total.telemetry_dropped += r.telemetry_dropped;
     arrival_sum += arrival;
   }
   if (p.arrival_held_frac != nullptr) *p.arrival_held_frac = arrival_sum / n;

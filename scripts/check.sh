@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Strict pre-merge check: configure with warnings-as-errors, build
+# everything, run the full test suite, and smoke-test the telemetry path
+# end to end (trace_dump must detect the HLE avalanche and export metrics).
+# Uses its own build tree (build-check/) so it never dirties build/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=build-check
+
+cmake -B "$BUILD" -S . -DELISION_WERROR=ON -DELISION_TELEMETRY=ON
+cmake --build "$BUILD" -j
+
+ctest --test-dir "$BUILD" --output-on-failure -j
+
+# Telemetry smoke: HLE over MCS must show at least one avalanche episode,
+# and the six-scheme sweep must export a parseable metrics file.
+out=$("$BUILD"/tools/trace_dump --lock mcs --scheme hle --size 64 \
+      --threads 8 --ms 1)
+echo "$out"
+echo "$out" | grep -q "avalanche episodes" || {
+  echo "check: trace_dump produced no telemetry summary" >&2; exit 1; }
+echo "$out" | grep -Eq "[1-9][0-9]* avalanche episodes" || {
+  echo "check: no avalanche detected under HLE/MCS" >&2; exit 1; }
+
+metrics=$(mktemp)
+trap 'rm -f "$metrics"' EXIT
+"$BUILD"/tools/trace_dump --lock mcs --all-schemes --size 64 --threads 8 \
+    --ms 0.5 --metrics "$metrics" >/dev/null
+python3 - "$metrics" <<'EOF'
+import json, sys
+series = json.load(open(sys.argv[1]))["series"]
+assert len(series) == 6, f"expected 6 scheme series, got {len(series)}"
+for s in series:
+    assert "aborts_by_cause" in s and "attempts_hist" in s, s["scheme"]
+print("metrics export: 6 schemes, abort-cause matrix + histograms present")
+EOF
+
+echo "check: OK"

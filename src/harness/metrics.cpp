@@ -1,0 +1,153 @@
+#include "harness/metrics.hpp"
+
+#include "harness/runner.hpp"
+
+namespace elision::harness {
+
+std::string Histogram::bucket_label(std::size_t i) {
+  if (i < 2) return std::to_string(i);
+  return std::to_string(bucket_lo(i)) + "-" + std::to_string(bucket_hi(i));
+}
+
+void RegionMetrics::absorb(const RunStats& run) {
+  ++runs;
+  ops += run.ops;
+  spec_ops += run.spec_ops;
+  nonspec_ops += run.nonspec_ops;
+  attempts += run.attempts;
+  elapsed_cycles += run.elapsed_cycles;
+  ghz = run.ghz;
+  tx += run.tx;
+  attempts_hist.merge(run.attempts_hist);
+  rejoin_hist.merge(run.rejoin_hist);
+  avalanche_episodes += run.episodes.size();
+  for (const auto& ep : run.episodes) {
+    avalanche_victims += static_cast<std::uint64_t>(ep.victim_count());
+    avalanche_cycles += ep.duration();
+    if (ep.victim_count() > avalanche_max_victims) {
+      avalanche_max_victims = ep.victim_count();
+    }
+  }
+}
+
+RegionMetrics& MetricsRegistry::series(const std::string& scheme,
+                                       const std::string& lock) {
+  for (auto& e : entries_) {
+    if (e.scheme == scheme && e.lock == lock) return e.metrics;
+  }
+  entries_.push_back({scheme, lock, {}});
+  return entries_.back().metrics;
+}
+
+namespace {
+
+void json_hist(std::FILE* out, const Histogram& h) {
+  std::fprintf(out,
+               "{\"samples\":%llu,\"mean\":%.3f,\"max\":%llu,\"buckets\":{",
+               static_cast<unsigned long long>(h.samples()), h.mean(),
+               static_cast<unsigned long long>(h.max()));
+  bool first = true;
+  for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+    if (h.buckets()[i] == 0) continue;
+    std::fprintf(out, "%s\"%s\":%llu", first ? "" : ",",
+                 Histogram::bucket_label(i).c_str(),
+                 static_cast<unsigned long long>(h.buckets()[i]));
+    first = false;
+  }
+  std::fprintf(out, "}}");
+}
+
+}  // namespace
+
+void MetricsRegistry::export_json(std::FILE* out) const {
+  std::fprintf(out, "{\"series\":[");
+  for (std::size_t n = 0; n < entries_.size(); ++n) {
+    const auto& e = entries_[n];
+    const auto& m = e.metrics;
+    std::fprintf(out, "%s{\"scheme\":\"%s\",\"lock\":\"%s\",\"runs\":%llu,",
+                 n == 0 ? "" : ",", e.scheme.c_str(), e.lock.c_str(),
+                 static_cast<unsigned long long>(m.runs));
+    std::fprintf(
+        out,
+        "\"ops\":%llu,\"spec_ops\":%llu,\"nonspec_ops\":%llu,"
+        "\"attempts\":%llu,\"elapsed_cycles\":%llu,"
+        "\"throughput_ops_per_sec\":%.1f,",
+        static_cast<unsigned long long>(m.ops),
+        static_cast<unsigned long long>(m.spec_ops),
+        static_cast<unsigned long long>(m.nonspec_ops),
+        static_cast<unsigned long long>(m.attempts),
+        static_cast<unsigned long long>(m.elapsed_cycles), m.throughput());
+    std::fprintf(out, "\"tx\":{\"begins\":%llu,\"commits\":%llu,"
+                      "\"aborts\":%llu},",
+                 static_cast<unsigned long long>(m.tx.begins),
+                 static_cast<unsigned long long>(m.tx.commits),
+                 static_cast<unsigned long long>(m.tx.aborts));
+    std::fprintf(out, "\"aborts_by_cause\":{");
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(tsx::AbortCause::kCauseCount); ++c) {
+      std::fprintf(out, "%s\"%s\":%llu", c == 0 ? "" : ",",
+                   tsx::to_string(static_cast<tsx::AbortCause>(c)),
+                   static_cast<unsigned long long>(m.tx.aborts_by_cause[c]));
+    }
+    std::fprintf(out, "},\"attempts_hist\":");
+    json_hist(out, m.attempts_hist);
+    std::fprintf(out, ",\"rejoin_cycles_hist\":");
+    json_hist(out, m.rejoin_hist);
+    std::fprintf(out,
+                 ",\"avalanche\":{\"episodes\":%llu,\"victims\":%llu,"
+                 "\"max_victims\":%d,\"serialized_cycles\":%llu}}",
+                 static_cast<unsigned long long>(m.avalanche_episodes),
+                 static_cast<unsigned long long>(m.avalanche_victims),
+                 m.avalanche_max_victims,
+                 static_cast<unsigned long long>(m.avalanche_cycles));
+  }
+  std::fprintf(out, "]}\n");
+}
+
+void MetricsRegistry::export_csv(std::FILE* out) const {
+  std::fprintf(out,
+               "scheme,lock,runs,ops,spec_ops,nonspec_ops,attempts,"
+               "elapsed_cycles,throughput_ops_per_sec,tx_begins,tx_commits,"
+               "tx_aborts");
+  for (std::size_t c = 0;
+       c < static_cast<std::size_t>(tsx::AbortCause::kCauseCount); ++c) {
+    std::fprintf(out, ",aborts_%s",
+                 tsx::to_string(static_cast<tsx::AbortCause>(c)));
+  }
+  std::fprintf(out,
+               ",attempts_mean,attempts_max,rejoin_cycles_mean,"
+               "rejoin_cycles_max,avalanche_episodes,avalanche_victims,"
+               "avalanche_max_victims,avalanche_serialized_cycles\n");
+  for (const auto& e : entries_) {
+    const auto& m = e.metrics;
+    std::fprintf(out, "%s,%s,%llu,%llu,%llu,%llu,%llu,%llu,%.1f,%llu,%llu,"
+                      "%llu",
+                 e.scheme.c_str(), e.lock.c_str(),
+                 static_cast<unsigned long long>(m.runs),
+                 static_cast<unsigned long long>(m.ops),
+                 static_cast<unsigned long long>(m.spec_ops),
+                 static_cast<unsigned long long>(m.nonspec_ops),
+                 static_cast<unsigned long long>(m.attempts),
+                 static_cast<unsigned long long>(m.elapsed_cycles),
+                 m.throughput(),
+                 static_cast<unsigned long long>(m.tx.begins),
+                 static_cast<unsigned long long>(m.tx.commits),
+                 static_cast<unsigned long long>(m.tx.aborts));
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(tsx::AbortCause::kCauseCount); ++c) {
+      std::fprintf(out, ",%llu",
+                   static_cast<unsigned long long>(m.tx.aborts_by_cause[c]));
+    }
+    std::fprintf(out, ",%.3f,%llu,%.3f,%llu,%llu,%llu,%d,%llu\n",
+                 m.attempts_hist.mean(),
+                 static_cast<unsigned long long>(m.attempts_hist.max()),
+                 m.rejoin_hist.mean(),
+                 static_cast<unsigned long long>(m.rejoin_hist.max()),
+                 static_cast<unsigned long long>(m.avalanche_episodes),
+                 static_cast<unsigned long long>(m.avalanche_victims),
+                 m.avalanche_max_victims,
+                 static_cast<unsigned long long>(m.avalanche_cycles));
+  }
+}
+
+}  // namespace elision::harness

@@ -1,0 +1,132 @@
+// Metrics registry: aggregates per-(scheme, lock) benchmark series —
+// attempts-per-region histograms, the abort-cause matrix, SCM time-to-rejoin
+// histograms and avalanche-episode summaries — and exports them as JSON or
+// CSV. This is the shared vocabulary benches and tests use to assert on
+// *behaviour* (how critical sections completed) rather than throughput
+// alone.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tsx/stats.hpp"
+#include "tsx/telemetry.hpp"
+
+namespace elision::harness {
+
+struct RunStats;
+
+// Power-of-two-bucketed histogram. Bucket index is std::bit_width(v):
+// bucket 0 holds {0}, bucket 1 holds {1}, bucket 2 holds {2,3}, bucket 3
+// holds {4..7}, and so on. Cheap enough to update per completed region.
+class Histogram {
+ public:
+  void add(std::uint64_t v) {
+    const auto b = static_cast<std::size_t>(std::bit_width(v));
+    if (buckets_.size() <= b) buckets_.resize(b + 1, 0);
+    ++buckets_[b];
+    ++samples_;
+    sum_ += v;
+    if (v > max_) max_ = v;
+  }
+
+  void merge(const Histogram& o) {
+    if (buckets_.size() < o.buckets_.size()) {
+      buckets_.resize(o.buckets_.size(), 0);
+    }
+    for (std::size_t i = 0; i < o.buckets_.size(); ++i) {
+      buckets_[i] += o.buckets_[i];
+    }
+    samples_ += o.samples_;
+    sum_ += o.sum_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+
+  std::uint64_t samples() const { return samples_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return samples_ > 0 ? static_cast<double>(sum_) /
+                              static_cast<double>(samples_)
+                        : 0.0;
+  }
+
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+  // Inclusive value range of bucket i: [lo, hi].
+  static std::uint64_t bucket_lo(std::size_t i) {
+    return i < 2 ? i : std::uint64_t{1} << (i - 1);
+  }
+  static std::uint64_t bucket_hi(std::size_t i) {
+    return i < 2 ? i : (std::uint64_t{1} << i) - 1;
+  }
+  // "0", "1", "2-3", "4-7", ...
+  static std::string bucket_label(std::size_t i);
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t samples_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+// Aggregated behaviour of one (scheme, lock) series across runs.
+struct RegionMetrics {
+  std::uint64_t runs = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t spec_ops = 0;
+  std::uint64_t nonspec_ops = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t elapsed_cycles = 0;
+  double ghz = 3.4;
+  tsx::TxStats tx;            // begins/commits + the abort-cause matrix row
+  Histogram attempts_hist;    // attempts per completed region
+  Histogram rejoin_hist;      // SCM aux-enter -> aux-exit latency (cycles)
+  std::uint64_t avalanche_episodes = 0;
+  std::uint64_t avalanche_victims = 0;
+  std::uint64_t avalanche_cycles = 0;  // summed serialized duration
+  int avalanche_max_victims = 0;
+
+  void absorb(const RunStats& run);
+
+  double seconds() const { return elapsed_cycles / (ghz * 1e9); }
+  double throughput() const {
+    return seconds() > 0 ? static_cast<double>(ops) / seconds() : 0.0;
+  }
+};
+
+// Ordered collection of series, keyed by (scheme, lock). Insertion order is
+// preserved in the exports so tables read in the order benches ran.
+class MetricsRegistry {
+ public:
+  struct Entry {
+    std::string scheme;
+    std::string lock;
+    RegionMetrics metrics;
+  };
+
+  RegionMetrics& series(const std::string& scheme, const std::string& lock);
+
+  void record(const std::string& scheme, const std::string& lock,
+              const RunStats& run) {
+    series(scheme, lock).absorb(run);
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+
+  // {"series":[{"scheme":..., "lock":..., "aborts_by_cause":{...},
+  //             "attempts_hist":{...}, "rejoin_cycles_hist":{...},
+  //             "avalanche":{...}}, ...]}
+  void export_json(std::FILE* out) const;
+  // One row per series; histograms flattened to mean/max.
+  void export_csv(std::FILE* out) const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace elision::harness

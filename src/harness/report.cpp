@@ -58,4 +58,42 @@ void banner(const char* experiment, const char* description) {
   std::printf("\n===== %s =====\n%s\n\n", experiment, description);
 }
 
+void print_episodes(const std::vector<tsx::AvalancheEpisode>& episodes,
+                    std::FILE* out) {
+  if (episodes.empty()) return;
+  Table t({"episode", "trigger", "start", "cycles", "victims", "aborts",
+           "serialized"});
+  for (std::size_t i = 0; i < episodes.size(); ++i) {
+    const auto& ep = episodes[i];
+    t.add_row({fmt_int(i), fmt_int(static_cast<std::uint64_t>(
+                               ep.trigger_thread)),
+               fmt_int(ep.start), fmt_int(ep.duration()),
+               fmt_int(static_cast<std::uint64_t>(ep.victim_count())),
+               fmt_int(ep.aborts), fmt_int(ep.serialized_ops)});
+  }
+  t.print(out);
+}
+
+void print_telemetry_summary(const RunStats& stats, std::FILE* out) {
+  if (stats.telemetry_events == 0) return;
+  std::uint64_t victims = 0, serialized_cycles = 0;
+  for (const auto& ep : stats.episodes) {
+    victims += static_cast<std::uint64_t>(ep.victim_count());
+    serialized_cycles += ep.duration();
+  }
+  std::fprintf(out,
+               "telemetry: %" PRIu64 " events (%" PRIu64
+               " dropped), %zu avalanche episodes, %" PRIu64
+               " victims, %" PRIu64 " serialized cycles\n",
+               stats.telemetry_events, stats.telemetry_dropped,
+               stats.episodes.size(), victims, serialized_cycles);
+  if (stats.rejoin_hist.samples() > 0) {
+    std::fprintf(out,
+                 "scm rejoin: %" PRIu64 " serializations, mean %.0f cycles, "
+                 "max %" PRIu64 " cycles\n",
+                 stats.rejoin_hist.samples(), stats.rejoin_hist.mean(),
+                 stats.rejoin_hist.max());
+  }
+}
+
 }  // namespace elision::harness

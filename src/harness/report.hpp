@@ -5,6 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "harness/runner.hpp"
+#include "tsx/telemetry.hpp"
+
 namespace elision::harness {
 
 // A simple fixed-width table printer: add rows of cells, print aligned.
@@ -30,5 +33,14 @@ std::string fmt_int(std::uint64_t v);
 
 // Prints a figure banner so bench output is self-describing.
 void banner(const char* experiment, const char* description);
+
+// One row per avalanche episode: trigger thread, window, victim set size,
+// aborts, serialized completions. Prints nothing if there are no episodes.
+void print_episodes(const std::vector<tsx::AvalancheEpisode>& episodes,
+                    std::FILE* out = stdout);
+
+// One-paragraph telemetry digest of a run: event volume, episode totals,
+// rejoin latency summary. No-op unless the run collected telemetry.
+void print_telemetry_summary(const RunStats& stats, std::FILE* out = stdout);
 
 }  // namespace elision::harness

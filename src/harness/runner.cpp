@@ -15,6 +15,15 @@ RunStats run_workload(const BenchConfig& cfg, const OpFn& op) {
   sim::Scheduler sched(cfg.machine);
   tsx::Engine eng(sched, cfg.tsx);
 
+  const bool want_telemetry = cfg.telemetry || cfg.telemetry_sink != nullptr;
+  tsx::Telemetry local_telemetry(cfg.telemetry_ring_capacity);
+  tsx::Telemetry* telemetry = cfg.telemetry_sink != nullptr
+                                  ? cfg.telemetry_sink
+                                  : &local_telemetry;
+  if (want_telemetry && tsx::kTelemetryCompiled) {
+    eng.set_telemetry(telemetry);
+  }
+
   const std::uint64_t deadline = cfg.duration_cycles();
   const std::uint64_t slot_cycles = cfg.timeline_slot_cycles;
   const std::size_t n_slots =
@@ -23,6 +32,7 @@ RunStats run_workload(const BenchConfig& cfg, const OpFn& op) {
 
   struct ThreadTally {
     std::uint64_t ops = 0, spec = 0, nonspec = 0, attempts = 0;
+    Histogram attempts_hist;
     std::vector<SlotStats> timeline;
   };
   std::vector<ThreadTally> tallies(cfg.threads);
@@ -41,6 +51,7 @@ RunStats run_workload(const BenchConfig& cfg, const OpFn& op) {
           ++mine.nonspec;
         }
         mine.attempts += static_cast<std::uint64_t>(r.attempts);
+        mine.attempts_hist.add(static_cast<std::uint64_t>(r.attempts));
         if (slot_cycles > 0) {
           const auto slot =
               static_cast<std::size_t>(st.now() / slot_cycles);
@@ -63,13 +74,33 @@ RunStats run_workload(const BenchConfig& cfg, const OpFn& op) {
     out.spec_ops += t.spec;
     out.nonspec_ops += t.nonspec;
     out.attempts += t.attempts;
+    out.attempts_hist.merge(t.attempts_hist);
     for (std::size_t s = 0; s < t.timeline.size(); ++s) {
       out.timeline[s].ops += t.timeline[s].ops;
       out.timeline[s].nonspec_ops += t.timeline[s].nonspec_ops;
     }
   }
   out.tx = eng.total_stats();
+
+  if (want_telemetry && tsx::kTelemetryCompiled) {
+    eng.set_telemetry(nullptr);
+    out.telemetry_events = telemetry->total_recorded();
+    out.telemetry_dropped = telemetry->total_dropped();
+    const auto merged = telemetry->merged();
+    out.episodes = tsx::detect_avalanches(merged, cfg.avalanche);
+    for (const std::uint64_t lat : tsx::rejoin_latencies(merged)) {
+      out.rejoin_hist.add(lat);
+    }
+  }
   return out;
+}
+
+RunStats run_workload(const BenchConfig& cfg, const OpFn& op,
+                      MetricsRegistry& registry,
+                      const std::string& lock_name) {
+  RunStats stats = run_workload(cfg, op);
+  registry.record(cfg.policy.name(), lock_name, stats);
+  return stats;
 }
 
 }  // namespace elision::harness

@@ -2,19 +2,24 @@
 // loop for a fixed amount of *virtual* time, and aggregates the paper's
 // metrics: S (speculative completions), N (non-speculative completions),
 // total execution attempts (A + N + S), throughput, and optional per-slot
-// timelines (Fig 3.3).
+// timelines (Fig 3.3). With cfg.telemetry set it also attaches an event
+// trace to the engine and post-processes it into avalanche episodes and
+// SCM rejoin latencies.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "harness/metrics.hpp"
+#include "locks/policy.hpp"
 #include "locks/region.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/scheduler.hpp"
 #include "tsx/config.hpp"
 #include "tsx/engine.hpp"
 #include "tsx/stats.hpp"
+#include "tsx/telemetry.hpp"
 
 namespace elision::harness {
 
@@ -29,6 +34,22 @@ struct BenchConfig {
   // Scales duration (e.g. from the ELISION_BENCH_SCALE environment
   // variable) without touching per-bench settings.
   double duration_scale = 1.0;
+
+  // How the workload's critical sections execute. Informational to the
+  // runner itself (the op closure owns the CriticalSection), but recorded
+  // into MetricsRegistry series and reports.
+  locks::ElisionPolicy policy = locks::ElisionPolicy::standard();
+
+  // Attach an event trace to the engine for this run and derive episode /
+  // rejoin statistics from it. Costs host memory only: telemetry never
+  // advances virtual time, so virtual throughput is unchanged.
+  bool telemetry = false;
+  std::size_t telemetry_ring_capacity = tsx::Telemetry::kDefaultRingCapacity;
+  tsx::AvalancheConfig avalanche;
+
+  // Record into a caller-owned sink instead of a run-local one, so the raw
+  // event stream outlives the run (tools/trace_dump). Implies `telemetry`.
+  tsx::Telemetry* telemetry_sink = nullptr;
 
   std::uint64_t duration_cycles() const {
     return machine.cycles(duration_sec * duration_scale);
@@ -49,6 +70,15 @@ struct RunStats {
   double ghz = 3.4;
   tsx::TxStats tx;  // engine-level transaction counters
   std::vector<SlotStats> timeline;
+
+  // Always collected (host-side, one Histogram::add per completed region).
+  Histogram attempts_hist;
+
+  // Populated only when BenchConfig::telemetry was set.
+  Histogram rejoin_hist;  // SCM aux-enter -> aux-exit, virtual cycles
+  std::vector<tsx::AvalancheEpisode> episodes;
+  std::uint64_t telemetry_events = 0;   // recorded into the rings
+  std::uint64_t telemetry_dropped = 0;  // lost to ring wrap-around
 
   double seconds() const { return elapsed_cycles / (ghz * 1e9); }
   double throughput() const {
@@ -71,6 +101,10 @@ using OpFn = std::function<locks::RegionResult(tsx::Ctx&)>;
 
 // Runs `threads` copies of `op` in a loop until the virtual deadline.
 RunStats run_workload(const BenchConfig& cfg, const OpFn& op);
+
+// Same, and folds the result into `registry` under (policy name, lock name).
+RunStats run_workload(const BenchConfig& cfg, const OpFn& op,
+                      MetricsRegistry& registry, const std::string& lock_name);
 
 // Reads ELISION_BENCH_SCALE (default 1.0) so users can lengthen runs.
 double env_duration_scale();

@@ -64,25 +64,28 @@ RegionResult grouped_scm_region(tsx::Ctx& ctx, MainLock& main, AuxBank& bank,
     });
     if (st == tsx::kCommitted) {
       r.speculative = true;
+      if (aux != nullptr) eng.note_event(ctx, tsx::EventKind::kAuxRejoin);
       break;
     }
+    r.last_abort = ctx.last_abort_cause();
     // Serializing path: pick the group from the conflict location.
     if (aux == nullptr) {
+      eng.note_event(ctx, tsx::EventKind::kAuxEnter,
+                     ctx.last_conflict_line());
       aux = &bank.group_for(ctx.last_conflict_line());
       aux->lock(ctx);
     } else {
       ++retries;
     }
     if (retries >= params.max_retries) {
-      main.lock(ctx);
-      ++r.attempts;
-      body();
-      main.unlock(ctx);
-      r.speculative = false;
+      complete_locked(ctx, main, r, body);
       break;
     }
   }
-  if (aux != nullptr) aux->unlock(ctx);
+  if (aux != nullptr) {
+    aux->unlock(ctx);
+    eng.note_event(ctx, tsx::EventKind::kAuxExit);
+  }
   return r;
 }
 

@@ -45,6 +45,9 @@ class McsLock {
 
   bool is_held(tsx::Ctx& ctx) { return tail_.value.load(ctx) != nullptr; }
 
+  // Cache line of the elidable lock word (telemetry tagging).
+  support::LineId lock_line() const { return support::line_of(&tail_.value); }
+
   // Abort aftermath: the SWAP is re-issued non-transactionally, enqueueing
   // the thread for a non-speculative critical section (fair locks "remember"
   // the conflict — Ch. 3). Always acquires.

@@ -1,0 +1,152 @@
+// ElisionPolicy: the unified front-end for choosing how a critical section
+// executes.
+//
+// Historically every call site switched on the Scheme enum and constructed
+// per-case ScmParams/SlrParams by hand. ElisionPolicy is one value type that
+// carries the scheme *and* every tuning knob (retry/backoff, SCM retries,
+// SLR attempts, grouped-SCM groups), with named constructors for the six
+// evaluated schemes (Sec. 5.1) and the extra mechanisms. The Scheme enum
+// remains as a thin compatibility alias: ElisionPolicy converts implicitly
+// from it (via from_scheme), so existing callers migrate incrementally.
+//
+//   CriticalSection<TtasLock> cs(ElisionPolicy::hle_scm(), lock);
+//   auto tuned = ElisionPolicy::hle_scm().with_scm_retries(4);
+//   CriticalSection<TtasLock> legacy(Scheme::kHle, lock);  // still compiles
+#pragma once
+
+#include "locks/grouped_scm.hpp"
+#include "locks/region.hpp"
+#include "locks/scm.hpp"
+#include "locks/slr.hpp"
+
+namespace elision::locks {
+
+// The six evaluated locking schemes (Sec. 5.1 Methodology), plus the extra
+// mechanisms used by specific experiments.
+//
+// Deprecated as a front-end: new code should pass an ElisionPolicy (which
+// a Scheme converts into) so tuning knobs travel with the scheme choice.
+enum class Scheme {
+  kStandard,       // (1) plain non-speculative lock
+  kHle,            // (2) hardware lock elision
+  kHleScm,         // (3) HLE + software-assisted conflict management
+  kPesSlr,         // (4) pessimistic software lock removal
+  kOptSlr,         // (5) optimistic software lock removal
+  kOptSlrScm,      // (6) optimistic SLR + conflict management
+  kRtmElide,       // RTM-based elision (Fig 3.5 mechanism comparison)
+  kHleScmNested,   // Algorithm 3 as designed: HLE nested in RTM
+  kHleGroupedScm,  // future-work extension: per-conflict-line aux groups
+};
+
+inline const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kStandard: return "Standard";
+    case Scheme::kHle: return "HLE";
+    case Scheme::kHleScm: return "HLE-SCM";
+    case Scheme::kPesSlr: return "pes-SLR";
+    case Scheme::kOptSlr: return "opt-SLR";
+    case Scheme::kOptSlrScm: return "opt-SLR-SCM";
+    case Scheme::kRtmElide: return "RTM-elide";
+    case Scheme::kHleScmNested: return "HLE-SCM-nested";
+    case Scheme::kHleGroupedScm: return "HLE-gSCM";
+    default: return "?";
+  }
+}
+
+inline constexpr Scheme kAllSixSchemes[] = {
+    Scheme::kStandard, Scheme::kHle,    Scheme::kHleScm,
+    Scheme::kPesSlr,   Scheme::kOptSlr, Scheme::kOptSlrScm,
+};
+
+struct ElisionPolicy {
+  Scheme scheme = Scheme::kStandard;
+  RetryParams retry;       // HLE/RTM elision drivers
+  ScmParams scm;           // kHleScm / kHleScmNested
+  SlrParams slr;           // kPesSlr / kOptSlr / kOptSlrScm
+  GroupedScmParams grouped;  // kHleGroupedScm
+
+  ElisionPolicy() = default;
+
+  // Compatibility shim: a bare Scheme converts to the policy the old
+  // switch-based dispatch would have built for it.
+  ElisionPolicy(Scheme s) : ElisionPolicy(from_scheme(s)) {}  // NOLINT
+
+  // --- named constructors (the paper's six schemes + extras) ---
+  static ElisionPolicy standard() { return with(Scheme::kStandard); }
+  static ElisionPolicy hle() { return with(Scheme::kHle); }
+  static ElisionPolicy hle_scm() { return with(Scheme::kHleScm); }
+  static ElisionPolicy hle_scm_nested() {
+    ElisionPolicy p = with(Scheme::kHleScmNested);
+    p.scm.nested_hle = true;
+    return p;
+  }
+  static ElisionPolicy pes_slr() {
+    ElisionPolicy p = with(Scheme::kPesSlr);
+    p.slr.max_attempts = 1;
+    return p;
+  }
+  static ElisionPolicy opt_slr() {
+    ElisionPolicy p = with(Scheme::kOptSlr);
+    p.slr.max_attempts = 10;
+    return p;
+  }
+  static ElisionPolicy opt_slr_scm() {
+    ElisionPolicy p = with(Scheme::kOptSlrScm);
+    p.slr.scm = true;
+    return p;
+  }
+  static ElisionPolicy rtm_elide() { return with(Scheme::kRtmElide); }
+  static ElisionPolicy hle_grouped_scm() {
+    return with(Scheme::kHleGroupedScm);
+  }
+
+  static ElisionPolicy from_scheme(Scheme s) {
+    switch (s) {
+      case Scheme::kStandard: return standard();
+      case Scheme::kHle: return hle();
+      case Scheme::kHleScm: return hle_scm();
+      case Scheme::kPesSlr: return pes_slr();
+      case Scheme::kOptSlr: return opt_slr();
+      case Scheme::kOptSlrScm: return opt_slr_scm();
+      case Scheme::kRtmElide: return rtm_elide();
+      case Scheme::kHleScmNested: return hle_scm_nested();
+      case Scheme::kHleGroupedScm: return hle_grouped_scm();
+    }
+    return standard();
+  }
+
+  const char* name() const { return scheme_name(scheme); }
+
+  // --- fluent tuning knobs ---
+  ElisionPolicy with_scm_retries(int n) const {
+    ElisionPolicy p = *this;
+    p.scm.max_retries = n;
+    p.slr.scm_max_retries = n;
+    p.grouped.max_retries = n;
+    return p;
+  }
+  ElisionPolicy with_slr_attempts(int n) const {
+    ElisionPolicy p = *this;
+    p.slr.max_attempts = n;
+    return p;
+  }
+  ElisionPolicy with_max_spec_attempts(int n) const {
+    ElisionPolicy p = *this;
+    p.retry.max_spec_attempts = n;
+    return p;
+  }
+  ElisionPolicy with_backoff(std::uint64_t base_cycles) const {
+    ElisionPolicy p = *this;
+    p.retry.backoff_base_cycles = base_cycles;
+    return p;
+  }
+
+ private:
+  static ElisionPolicy with(Scheme s) {
+    ElisionPolicy p;
+    p.scheme = s;
+    return p;
+  }
+};
+
+}  // namespace elision::locks

@@ -12,6 +12,10 @@
 // on the RTM instructions" (Ch. 3 Remark, Fig 3.5): the transaction reads
 // the lock at its start and aborts if it is held; this variant can observe
 // abort statuses, which plain HLE hides.
+//
+// Both drivers share one non-speculative completion tail,
+// complete_standard(), which also emits the lock acquire/release telemetry
+// events the avalanche detector keys on.
 #pragma once
 
 #include "support/function_ref.hpp"
@@ -23,15 +27,94 @@ namespace elision::locks {
 struct RegionResult {
   bool speculative = false;  // completed as a committed transaction
   int attempts = 0;          // executions tried (aborted + the completing one)
+  // Cause of the last *failed* attempt (kNone if the first attempt
+  // committed). Lets callers and the metrics layer attribute fallbacks
+  // without a full event trace.
+  tsx::AbortCause last_abort = tsx::AbortCause::kNone;
 };
 
 // XABORT code used by elision/removal schemes when the lock is observed held.
 inline constexpr std::uint8_t kAbortCodeLockBusy = 0xA0;
 
+// Retry/backoff knobs of the elision drivers (consumed via ElisionPolicy).
+struct RetryParams {
+  // After this many failed speculative attempts the driver stops
+  // re-entering speculation and completes non-speculatively, waiting for
+  // the lock if it must. 0 = keep re-entering speculation (the paper's
+  // baseline HLE behaviour).
+  int max_spec_attempts = 0;
+  // If nonzero, wait a randomized exponentially-growing number of cycles
+  // (base << failures, capped) before re-entering speculation.
+  std::uint64_t backoff_base_cycles = 0;
+};
+
+namespace detail {
+
+// Locks exposing their elidable word's cache line (lock_line()) let
+// telemetry tag lock events with it; others report 0 (unknown).
 template <typename Lock>
-RegionResult hle_region(tsx::Ctx& ctx, Lock& lock,
+support::LineId lock_line_of(Lock& lock) {
+  if constexpr (requires { lock.lock_line(); }) {
+    return lock.lock_line();
+  } else {
+    return 0;
+  }
+}
+
+inline void backoff(tsx::Ctx& ctx, const RetryParams& p, int failures) {
+  if (p.backoff_base_cycles == 0) return;
+  const int shift = failures < 10 ? failures : 10;
+  const std::uint64_t bound = p.backoff_base_cycles << shift;
+  ctx.thread().tick(1 + ctx.thread().rng().next_below(bound));
+}
+
+}  // namespace detail
+
+// The shared fallback tail of the elision schemes: re-issue the acquiring
+// store non-speculatively and, if it acquired, run the body for real and
+// release. Returns false when the re-issued store found the lock held
+// (TTAS), in which case the caller spins and may re-enter speculation.
+//
+// The kLockAcquire event is deliberately timestamped *before* the re-issued
+// store: that store is what invalidates the lock line in every speculating
+// reader (the avalanche trigger), so victims' abort events follow it.
+template <typename Lock>
+bool complete_standard(tsx::Ctx& ctx, Lock& lock, RegionResult& r,
+                       support::FunctionRef<void()> body) {
+  auto& eng = ctx.engine();
+  const support::LineId line = detail::lock_line_of(lock);
+  eng.note_event(ctx, tsx::EventKind::kLockAcquire, line);
+  if (!lock.reissue_acquire_standard(ctx)) return false;
+  ++r.attempts;
+  body();
+  lock.unlock(ctx);
+  eng.note_event(ctx, tsx::EventKind::kLockRelease, line);
+  r.speculative = false;
+  return true;
+}
+
+// Unconditional non-speculative completion: blockingly acquire the main
+// lock, run the body, release. Used by the standard scheme and by the
+// SCM/SLR give-up paths.
+template <typename Lock>
+void complete_locked(tsx::Ctx& ctx, Lock& lock, RegionResult& r,
+                     support::FunctionRef<void()> body) {
+  auto& eng = ctx.engine();
+  const support::LineId line = detail::lock_line_of(lock);
+  eng.note_event(ctx, tsx::EventKind::kLockAcquire, line);
+  lock.lock(ctx);
+  ++r.attempts;
+  body();
+  lock.unlock(ctx);
+  eng.note_event(ctx, tsx::EventKind::kLockRelease, line);
+  r.speculative = false;
+}
+
+template <typename Lock>
+RegionResult hle_region(tsx::Ctx& ctx, Lock& lock, const RetryParams& params,
                         support::FunctionRef<void()> body) {
   RegionResult r;
+  int spec_failures = 0;
   for (;;) {
     ++r.attempts;
     try {
@@ -42,27 +125,41 @@ RegionResult hle_region(tsx::Ctx& ctx, Lock& lock,
       ctx.set_mode(tsx::ElisionMode::kStandard);
       r.speculative = true;
       return r;
-    } catch (const tsx::TxAbortException&) {
+    } catch (const tsx::TxAbortException& e) {
       // rolled back by the engine
+      r.last_abort = e.cause;
     }
     ctx.set_mode(tsx::ElisionMode::kStandard);
-    if (lock.reissue_acquire_standard(ctx)) {
-      ++r.attempts;
-      body();
-      lock.unlock(ctx);
-      r.speculative = false;
-      return r;
+    ++spec_failures;
+    if (complete_standard(ctx, lock, r, body)) return r;
+    if (params.max_spec_attempts > 0 &&
+        spec_failures >= params.max_spec_attempts) {
+      // Speculation budget exhausted: stop re-entering it and wait for the
+      // standard re-acquisition to succeed.
+      for (;;) {
+        while (lock.is_held(ctx)) ctx.engine().pause(ctx);
+        if (complete_standard(ctx, lock, r, body)) return r;
+      }
     }
+    detail::backoff(ctx, params, spec_failures);
     // The re-issued store found the lock held (TTAS): spin in lock() on the
     // next iteration and re-enter speculation once the lock is free.
   }
 }
 
 template <typename Lock>
+RegionResult hle_region(tsx::Ctx& ctx, Lock& lock,
+                        support::FunctionRef<void()> body) {
+  return hle_region(ctx, lock, RetryParams{}, body);
+}
+
+template <typename Lock>
 RegionResult rtm_elide_region(tsx::Ctx& ctx, Lock& lock,
+                              const RetryParams& params,
                               support::FunctionRef<void()> body) {
   auto& eng = ctx.engine();
   RegionResult r;
+  int spec_failures = 0;
   for (;;) {
     ++r.attempts;
     const unsigned st = eng.run_transaction(ctx, [&] {
@@ -75,15 +172,25 @@ RegionResult rtm_elide_region(tsx::Ctx& ctx, Lock& lock,
       r.speculative = true;
       return r;
     }
-    if (lock.reissue_acquire_standard(ctx)) {
-      ++r.attempts;
-      body();
-      lock.unlock(ctx);
-      r.speculative = false;
-      return r;
+    r.last_abort = ctx.last_abort_cause();
+    ++spec_failures;
+    if (complete_standard(ctx, lock, r, body)) return r;
+    if (params.max_spec_attempts > 0 &&
+        spec_failures >= params.max_spec_attempts) {
+      for (;;) {
+        while (lock.is_held(ctx)) eng.pause(ctx);
+        if (complete_standard(ctx, lock, r, body)) return r;
+      }
     }
+    detail::backoff(ctx, params, spec_failures);
     while (lock.is_held(ctx)) eng.pause(ctx);
   }
+}
+
+template <typename Lock>
+RegionResult rtm_elide_region(tsx::Ctx& ctx, Lock& lock,
+                              support::FunctionRef<void()> body) {
+  return rtm_elide_region(ctx, lock, RetryParams{}, body);
 }
 
 }  // namespace elision::locks

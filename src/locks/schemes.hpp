@@ -1,8 +1,11 @@
-// The six evaluated locking schemes (Sec. 5.1 Methodology), plus the extra
-// mechanisms used by specific experiments, behind one uniform runner.
+// The uniform critical-section runner over the evaluated locking schemes
+// (Sec. 5.1 Methodology). Scheme selection and tuning travel together in an
+// ElisionPolicy (locks/policy.hpp); the legacy Scheme enum still converts
+// implicitly for existing call sites.
 #pragma once
 
 #include "locks/mcs_lock.hpp"
+#include "locks/policy.hpp"
 #include "locks/region.hpp"
 #include "locks/grouped_scm.hpp"
 #include "locks/scm.hpp"
@@ -11,97 +14,48 @@
 
 namespace elision::locks {
 
-enum class Scheme {
-  kStandard,       // (1) plain non-speculative lock
-  kHle,            // (2) hardware lock elision
-  kHleScm,         // (3) HLE + software-assisted conflict management
-  kPesSlr,         // (4) pessimistic software lock removal
-  kOptSlr,         // (5) optimistic software lock removal
-  kOptSlrScm,      // (6) optimistic SLR + conflict management
-  kRtmElide,       // RTM-based elision (Fig 3.5 mechanism comparison)
-  kHleScmNested,   // Algorithm 3 as designed: HLE nested in RTM
-  kHleGroupedScm,  // future-work extension: per-conflict-line aux groups
-};
-
-inline const char* scheme_name(Scheme s) {
-  switch (s) {
-    case Scheme::kStandard: return "Standard";
-    case Scheme::kHle: return "HLE";
-    case Scheme::kHleScm: return "HLE-SCM";
-    case Scheme::kPesSlr: return "pes-SLR";
-    case Scheme::kOptSlr: return "opt-SLR";
-    case Scheme::kOptSlrScm: return "opt-SLR-SCM";
-    case Scheme::kRtmElide: return "RTM-elide";
-    case Scheme::kHleScmNested: return "HLE-SCM-nested";
-    case Scheme::kHleGroupedScm: return "HLE-gSCM";
-    default: return "?";
-  }
-}
-
-inline constexpr Scheme kAllSixSchemes[] = {
-    Scheme::kStandard, Scheme::kHle,    Scheme::kHleScm,
-    Scheme::kPesSlr,   Scheme::kOptSlr, Scheme::kOptSlrScm,
-};
-
-// Runs critical sections under a chosen scheme. One instance per (lock,
-// scheme) pair; shared by all threads (the per-episode SCM/SLR state is
+// Runs critical sections under a chosen policy. One instance per (lock,
+// policy) pair; shared by all threads (the per-episode SCM/SLR state is
 // local to each run() call, per Algorithm 3).
 template <typename Lock>
 class CriticalSection {
  public:
-  CriticalSection(Scheme scheme, Lock& main) : scheme_(scheme), main_(main) {}
+  CriticalSection(ElisionPolicy policy, Lock& main)
+      : policy_(policy), main_(main) {}
 
-  Scheme scheme() const { return scheme_; }
+  Scheme scheme() const { return policy_.scheme; }
+  const ElisionPolicy& policy() const { return policy_; }
   Lock& main_lock() { return main_; }
   McsLock& aux_lock() { return aux_; }
 
   RegionResult run(tsx::Ctx& ctx, support::FunctionRef<void()> body) {
-    switch (scheme_) {
+    switch (policy_.scheme) {
       case Scheme::kStandard: {
-        main_.lock(ctx);
-        body();
-        main_.unlock(ctx);
-        return {.speculative = false, .attempts = 1};
+        RegionResult r;
+        complete_locked(ctx, main_, r, body);
+        return r;
       }
       case Scheme::kHle:
-        return hle_region(ctx, main_, body);
+        return hle_region(ctx, main_, policy_.retry, body);
       case Scheme::kRtmElide:
-        return rtm_elide_region(ctx, main_, body);
-      case Scheme::kHleScm: {
-        ScmParams p;
-        return scm_region(ctx, main_, aux_, p, body);
-      }
-      case Scheme::kHleScmNested: {
-        ScmParams p;
-        p.nested_hle = true;
-        return scm_region(ctx, main_, aux_, p, body);
-      }
-      case Scheme::kPesSlr: {
-        SlrParams p;
-        p.max_attempts = 1;
-        return slr_region(ctx, main_, aux_, p, body);
-      }
-      case Scheme::kOptSlr: {
-        SlrParams p;
-        p.max_attempts = 10;
-        return slr_region(ctx, main_, aux_, p, body);
-      }
-      case Scheme::kOptSlrScm: {
-        SlrParams p;
-        p.scm = true;
-        return slr_region(ctx, main_, aux_, p, body);
-      }
-      case Scheme::kHleGroupedScm: {
-        GroupedScmParams p;
-        return grouped_scm_region(ctx, main_, aux_bank_, p, body);
-      }
+        return rtm_elide_region(ctx, main_, policy_.retry, body);
+      case Scheme::kHleScm:
+      case Scheme::kHleScmNested:
+        return scm_region(ctx, main_, aux_, policy_.scm, body);
+      case Scheme::kPesSlr:
+      case Scheme::kOptSlr:
+      case Scheme::kOptSlrScm:
+        return slr_region(ctx, main_, aux_, policy_.slr, body);
+      case Scheme::kHleGroupedScm:
+        return grouped_scm_region(ctx, main_, aux_bank_, policy_.grouped,
+                                  body);
     }
     ELISION_CHECK_MSG(false, "unknown scheme");
     return {};
   }
 
  private:
-  Scheme scheme_;
+  ElisionPolicy policy_;
   Lock& main_;
   // The auxiliary lock must be starvation-free (Ch. 4): MCS.
   McsLock aux_;

@@ -58,25 +58,30 @@ RegionResult scm_region(tsx::Ctx& ctx, MainLock& main, AuxLock& aux,
     }
     if (st == tsx::kCommitted) {
       r.speculative = true;
+      // The conflicting thread completed speculatively while serialized on
+      // the aux lock: it has rejoined the speculative execution (Ch. 4).
+      if (aux_owner) eng.note_event(ctx, tsx::EventKind::kAuxRejoin);
       break;
     }
+    r.last_abort = ctx.last_abort_cause();
     // --- serializing path ---
     if (!aux_owner) {
+      eng.note_event(ctx, tsx::EventKind::kAuxEnter);
       aux.lock(ctx);  // standard, non-transactional acquire
       aux_owner = true;
     } else {
       ++retries;
     }
     if (retries >= params.max_retries) {
-      main.lock(ctx);  // standard acquire: run non-speculatively
-      ++r.attempts;
-      body();
-      main.unlock(ctx);
-      r.speculative = false;
+      // Standard acquire: run non-speculatively.
+      complete_locked(ctx, main, r, body);
       break;
     }
   }
-  if (aux_owner) aux.unlock(ctx);
+  if (aux_owner) {
+    aux.unlock(ctx);
+    eng.note_event(ctx, tsx::EventKind::kAuxExit);
+  }
   return r;
 }
 

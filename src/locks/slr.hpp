@@ -39,8 +39,10 @@ RegionResult slr_region(tsx::Ctx& ctx, MainLock& main, AuxLock& aux,
     });
     if (st == tsx::kCommitted) {
       r.speculative = true;
+      if (aux_owner) eng.note_event(ctx, tsx::EventKind::kAuxRejoin);
       break;
     }
+    r.last_abort = ctx.last_abort_cause();
     ++failures;
     // Tuning (Sec 5.1): when the abort status says a retry cannot succeed
     // (e.g. capacity), switch to a non-speculative execution immediately.
@@ -48,6 +50,7 @@ RegionResult slr_region(tsx::Ctx& ctx, MainLock& main, AuxLock& aux,
     bool give_up;
     if (params.scm) {
       if (!aux_owner) {
+        eng.note_event(ctx, tsx::EventKind::kAuxEnter);
         aux.lock(ctx);
         aux_owner = true;
       } else {
@@ -58,15 +61,14 @@ RegionResult slr_region(tsx::Ctx& ctx, MainLock& main, AuxLock& aux,
       give_up = hopeless || failures >= params.max_attempts;
     }
     if (give_up) {
-      main.lock(ctx);
-      ++r.attempts;
-      body();
-      main.unlock(ctx);
-      r.speculative = false;
+      complete_locked(ctx, main, r, body);
       break;
     }
   }
-  if (aux_owner) aux.unlock(ctx);
+  if (aux_owner) {
+    aux.unlock(ctx);
+    eng.note_event(ctx, tsx::EventKind::kAuxExit);
+  }
   return r;
 }
 

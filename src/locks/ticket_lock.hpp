@@ -51,6 +51,11 @@ class BasicTicketLock {
     return word_.value.next.load(ctx) != word_.value.owner.load(ctx);
   }
 
+  // Cache line of the elidable lock word (telemetry tagging).
+  support::LineId lock_line() const {
+    return support::line_of(&word_.value.next);
+  }
+
   bool reissue_acquire_standard(tsx::Ctx& ctx) {
     lock(ctx);
     return true;

@@ -40,6 +40,9 @@ class TtasLock {
 
   bool is_held(tsx::Ctx& ctx) { return word_.value.load(ctx) != 0; }
 
+  // Cache line of the elidable lock word (telemetry tagging).
+  support::LineId lock_line() const { return support::line_of(&word_.value); }
+
   // Models the hardware's abort aftermath: the XACQUIRE store is re-issued
   // non-transactionally once. Returns true if that store acquired the lock
   // (the thread now runs the critical section non-speculatively); false if

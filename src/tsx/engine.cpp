@@ -121,6 +121,7 @@ void Engine::rollback_and_throw(Ctx& ctx, AbortCause cause,
   }
   ctx.pending_conflict_line_ = 0;
   ctx.pending_conflict_thread_ = -1;
+  ctx.last_abort_cause_ = cause;
   ctx.stats_.record_abort(cause);
   if (trace_ != nullptr) [[unlikely]] {
     trace_->record({.timestamp = ctx.thread().now(),
@@ -129,6 +130,17 @@ void Engine::rollback_and_throw(Ctx& ctx, AbortCause cause,
                     .cause = cause,
                     .conflict_line = ctx.last_conflict_line_,
                     .conflict_thread = ctx.last_conflict_thread_});
+  }
+  if constexpr (kTelemetryCompiled) {
+    if (telemetry_ != nullptr) [[unlikely]] {
+      telemetry_->record(
+          {.timestamp = ctx.thread().now(),
+           .line = ctx.last_conflict_line_,
+           .thread = static_cast<std::int16_t>(ctx.id()),
+           .other_thread = static_cast<std::int16_t>(ctx.last_conflict_thread_),
+           .kind = EventKind::kTxAbort,
+           .cause = cause});
+    }
   }
   ctx.thread().tick(cost_.abort_penalty);
   throw TxAbortException{st, cause};
@@ -438,6 +450,7 @@ void Engine::begin_tx(Ctx& ctx) {
                     .thread = ctx.id(),
                     .kind = TraceEvent::Kind::kBegin});
   }
+  note_event(ctx, EventKind::kTxBegin);
   ctx.thread().tick(cost_.xbegin);
   spurious_check(ctx, config_.spurious_per_begin);
 }
@@ -466,6 +479,7 @@ void Engine::commit(Ctx& ctx) {
                     .thread = ctx.id(),
                     .kind = TraceEvent::Kind::kCommit});
   }
+  note_event(ctx, EventKind::kTxCommit);
 }
 
 unsigned Engine::run_transaction(Ctx& ctx,

@@ -18,6 +18,7 @@
 #include "tsx/abort.hpp"
 #include "tsx/config.hpp"
 #include "tsx/line_table.hpp"
+#include "tsx/telemetry.hpp"
 #include "tsx/trace.hpp"
 #include "tsx/tx_context.hpp"
 
@@ -81,8 +82,33 @@ class Engine {
   TxStats total_stats() const;
 
   // Optional event tracing (nullptr disables; no cost when off).
+  // Deprecated in favour of the Telemetry sink below; kept for existing
+  // tests and tools.
   void set_trace(Trace* trace) { trace_ = trace; }
   Trace* trace() { return trace_; }
+
+  // Abort-telemetry sink (nullptr disables; the hot path then pays one
+  // predictable branch per protocol event, and nothing when compiled out
+  // with ELISION_TELEMETRY_DISABLED).
+  void set_telemetry(Telemetry* t) {
+    if constexpr (kTelemetryCompiled) telemetry_ = t;
+  }
+  Telemetry* telemetry() { return telemetry_; }
+
+  // Telemetry emission hook for the region drivers (lock acquire/release,
+  // SCM aux-lock events). Timestamped with the thread's virtual clock.
+  void note_event(Ctx& ctx, EventKind kind, support::LineId line = 0) {
+    if constexpr (kTelemetryCompiled) {
+      if (telemetry_ != nullptr) [[unlikely]] {
+        telemetry_->record({.timestamp = ctx.thread().now(),
+                            .line = line,
+                            .thread = static_cast<std::int16_t>(ctx.id()),
+                            .other_thread = -1,
+                            .kind = kind,
+                            .cause = AbortCause::kNone});
+      }
+    }
+  }
 
  private:
   // --- transactional paths ---
@@ -139,6 +165,7 @@ class Engine {
   const sim::CostModel& cost_;
   LineTable table_;
   Trace* trace_ = nullptr;
+  Telemetry* telemetry_ = nullptr;
   std::vector<std::unique_ptr<TxContext>> contexts_;  // indexed by thread id
 };
 

@@ -1,0 +1,204 @@
+#include "tsx/telemetry.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+
+namespace elision::tsx {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kTxBegin: return "tx-begin";
+    case EventKind::kTxCommit: return "tx-commit";
+    case EventKind::kTxAbort: return "tx-abort";
+    case EventKind::kLockAcquire: return "lock-acquire";
+    case EventKind::kLockRelease: return "lock-release";
+    case EventKind::kAuxEnter: return "aux-enter";
+    case EventKind::kAuxRejoin: return "aux-rejoin";
+    case EventKind::kAuxExit: return "aux-exit";
+    case EventKind::kKindCount: break;
+  }
+  return "?";
+}
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+EventRing::EventRing(std::size_t capacity)
+    : buf_(round_up_pow2(capacity == 0 ? 1 : capacity)),
+      mask_(buf_.size() - 1) {}
+
+std::vector<TelemetryEvent> EventRing::snapshot() const {
+  std::vector<TelemetryEvent> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  const std::uint64_t first = pushed_ - n;
+  for (std::uint64_t i = first; i < pushed_; ++i) {
+    out.push_back(buf_[static_cast<std::size_t>(i) & mask_]);
+  }
+  return out;
+}
+
+EventRing& Telemetry::ring(int thread) {
+  const auto id = static_cast<std::size_t>(thread < 0 ? 0 : thread);
+  if (id >= rings_.size()) rings_.resize(id + 1);
+  if (!rings_[id]) rings_[id] = std::make_unique<EventRing>(ring_capacity_);
+  return *rings_[id];
+}
+
+std::uint64_t Telemetry::total_recorded() const {
+  std::uint64_t n = 0;
+  for (const auto& r : rings_) {
+    if (r) n += r->recorded();
+  }
+  return n;
+}
+
+std::uint64_t Telemetry::total_dropped() const {
+  std::uint64_t n = 0;
+  for (const auto& r : rings_) {
+    if (r) n += r->dropped();
+  }
+  return n;
+}
+
+std::vector<TelemetryEvent> Telemetry::merged() const {
+  std::vector<TelemetryEvent> all;
+  all.reserve(static_cast<std::size_t>(total_recorded() - total_dropped()));
+  for (const auto& r : rings_) {
+    if (!r) continue;
+    const auto events = r->snapshot();
+    all.insert(all.end(), events.begin(), events.end());
+  }
+  // Stable sort keeps each thread's events in emission order on timestamp
+  // ties; ties across threads break by thread id for determinism.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TelemetryEvent& a, const TelemetryEvent& b) {
+                     if (a.timestamp != b.timestamp) {
+                       return a.timestamp < b.timestamp;
+                     }
+                     return a.thread < b.thread;
+                   });
+  return all;
+}
+
+void Telemetry::dump_csv(std::FILE* out) const {
+  std::fprintf(out,
+               "timestamp,thread,kind,cause,line,other_thread\n");
+  for (const auto& e : merged()) {
+    std::fprintf(out, "%" PRIu64 ",%d,%s,%s,%" PRIxPTR ",%d\n", e.timestamp,
+                 e.thread, to_string(e.kind), to_string(e.cause),
+                 static_cast<std::uintptr_t>(e.line), e.other_thread);
+  }
+}
+
+void Telemetry::dump_json(std::FILE* out) const {
+  std::fprintf(out, "{\n  \"dropped\": %" PRIu64 ",\n  \"events\": [\n",
+               total_dropped());
+  const auto all = merged();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const auto& e = all[i];
+    std::fprintf(out,
+                 "    {\"t\": %" PRIu64 ", \"thread\": %d, \"kind\": \"%s\","
+                 " \"cause\": \"%s\", \"line\": \"%" PRIxPTR
+                 "\", \"other\": %d}%s\n",
+                 e.timestamp, e.thread, to_string(e.kind), to_string(e.cause),
+                 static_cast<std::uintptr_t>(e.line), e.other_thread,
+                 i + 1 < all.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+// ---------------------------------------------------------------------------
+// Avalanche detection
+// ---------------------------------------------------------------------------
+
+std::vector<AvalancheEpisode> detect_avalanches(
+    const std::vector<TelemetryEvent>& merged, const AvalancheConfig& cfg) {
+  std::vector<AvalancheEpisode> out;
+  const std::size_t n = merged.size();
+  std::size_t i = 0;
+  while (i < n) {
+    if (merged[i].kind != EventKind::kLockAcquire) {
+      ++i;
+      continue;
+    }
+    // A non-speculative acquisition seeds a candidate episode.
+    AvalancheEpisode ep;
+    ep.trigger_thread = merged[i].thread;
+    ep.start = merged[i].timestamp;
+    ep.end = merged[i].timestamp;
+    ep.line = merged[i].line;
+    std::uint64_t victim_mask = 0;
+    std::size_t j = i + 1;
+    for (; j < n; ++j) {
+      const TelemetryEvent& e = merged[j];
+      if (e.timestamp > ep.end + cfg.window_cycles) break;
+      switch (e.kind) {
+        case EventKind::kTxAbort:
+          // Any abort inside the window is part of the cascade. Aborts on a
+          // known different lock line belong to another lock's episode.
+          if (ep.line != 0 && e.line != 0 && e.line != ep.line) continue;
+          ++ep.aborts;
+          if (e.thread != ep.trigger_thread && e.thread >= 0 &&
+              e.thread < 64) {
+            victim_mask |= 1ULL << e.thread;
+          }
+          ep.end = e.timestamp;
+          break;
+        case EventKind::kLockAcquire:
+        case EventKind::kLockRelease:
+          // Chained non-speculative activity on the same lock extends the
+          // serialized convoy.
+          if (ep.line != 0 && e.line != 0 && e.line != ep.line) continue;
+          if (e.kind == EventKind::kLockRelease) ++ep.serialized_ops;
+          ep.end = e.timestamp;
+          break;
+        default:
+          // Speculative traffic (begins/commits, aux events) neither extends
+          // nor terminates the episode.
+          break;
+      }
+    }
+    while (victim_mask != 0) {
+      const int v = __builtin_ctzll(victim_mask);
+      victim_mask &= victim_mask - 1;
+      ep.victims.push_back(v);
+    }
+    if (ep.victim_count() >= cfg.min_victims) out.push_back(ep);
+    i = j;
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> rejoin_latencies(
+    const std::vector<TelemetryEvent>& merged) {
+  std::vector<std::uint64_t> out;
+  // Per-thread timestamp of the open kAuxEnter, if any.
+  std::vector<std::uint64_t> open;
+  std::vector<bool> is_open;
+  for (const auto& e : merged) {
+    if (e.thread < 0) continue;
+    const auto id = static_cast<std::size_t>(e.thread);
+    if (id >= open.size()) {
+      open.resize(id + 1, 0);
+      is_open.resize(id + 1, false);
+    }
+    if (e.kind == EventKind::kAuxEnter) {
+      open[id] = e.timestamp;
+      is_open[id] = true;
+    } else if (e.kind == EventKind::kAuxExit && is_open[id]) {
+      out.push_back(e.timestamp - open[id]);
+      is_open[id] = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace elision::tsx

@@ -58,6 +58,9 @@ class TxContext {
   // associated conflict.
   support::LineId last_conflict_line() const { return last_conflict_line_; }
   int last_conflict_thread() const { return last_conflict_thread_; }
+  // Cause of this thread's most recent abort (kNone before the first one).
+  // The region drivers use it to attribute failed attempts in RegionResult.
+  AbortCause last_abort_cause() const { return last_abort_cause_; }
 
  private:
   friend class Engine;
@@ -73,6 +76,7 @@ class TxContext {
   ElisionMode mode_ = ElisionMode::kStandard;
   support::LineId last_conflict_line_ = 0;
   int last_conflict_thread_ = -1;
+  AbortCause last_abort_cause_ = AbortCause::kNone;
   support::LineId pending_conflict_line_ = 0;
   int pending_conflict_thread_ = -1;
 

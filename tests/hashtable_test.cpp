@@ -107,7 +107,9 @@ TEST(HashTable, RandomOracleAgainstStdUnorderedMap) {
           const bool found = ht.lookup(ctx, key, &v);
           const auto it = oracle.find(key);
           EXPECT_EQ(found, it != oracle.end());
-          if (found) EXPECT_EQ(v, it->second);
+          if (found) {
+            EXPECT_EQ(v, it->second);
+          }
           break;
         }
         default: {

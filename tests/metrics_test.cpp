@@ -1,0 +1,175 @@
+// Metrics tests: histogram bucketing, registry aggregation, and the JSON/CSV
+// exports — including the acceptance check that a six-scheme sweep exports
+// an abort-cause matrix and attempts histogram for every scheme.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdint>
+#include <string>
+
+#include "harness/metrics.hpp"
+#include "harness/runner.hpp"
+#include "locks/schemes.hpp"
+#include "locks/ttas_lock.hpp"
+#include "tsx/shared.hpp"
+
+namespace elision::harness {
+namespace {
+
+TEST(Histogram, PowerOfTwoBuckets) {
+  Histogram h;
+  for (const std::uint64_t v : {0, 1, 2, 3, 4, 7, 8, 15, 16}) h.add(v);
+  ASSERT_EQ(h.buckets().size(), 6u);
+  EXPECT_EQ(h.buckets()[0], 1u);  // {0}
+  EXPECT_EQ(h.buckets()[1], 1u);  // {1}
+  EXPECT_EQ(h.buckets()[2], 2u);  // {2,3}
+  EXPECT_EQ(h.buckets()[3], 2u);  // {4..7}
+  EXPECT_EQ(h.buckets()[4], 2u);  // {8..15}
+  EXPECT_EQ(h.buckets()[5], 1u);  // {16..31}
+  EXPECT_EQ(h.samples(), 9u);
+  EXPECT_EQ(h.sum(), 56u);
+  EXPECT_EQ(h.max(), 16u);
+  EXPECT_NEAR(h.mean(), 56.0 / 9.0, 1e-9);
+}
+
+TEST(Histogram, BucketLabelsAndRanges) {
+  EXPECT_EQ(Histogram::bucket_label(0), "0");
+  EXPECT_EQ(Histogram::bucket_label(1), "1");
+  EXPECT_EQ(Histogram::bucket_label(2), "2-3");
+  EXPECT_EQ(Histogram::bucket_label(4), "8-15");
+  EXPECT_EQ(Histogram::bucket_lo(5), 16u);
+  EXPECT_EQ(Histogram::bucket_hi(5), 31u);
+}
+
+TEST(Histogram, MergeAddsBucketwise) {
+  Histogram a, b;
+  a.add(1);
+  a.add(100);
+  b.add(3);
+  a.merge(b);
+  EXPECT_EQ(a.samples(), 3u);
+  EXPECT_EQ(a.sum(), 104u);
+  EXPECT_EQ(a.max(), 100u);
+  EXPECT_EQ(a.buckets()[2], 1u);
+}
+
+TEST(MetricsRegistry, SeriesAreKeyedAndOrdered) {
+  MetricsRegistry reg;
+  reg.series("HLE", "MCS").ops = 10;
+  reg.series("HLE", "TTAS").ops = 20;
+  reg.series("HLE", "MCS").ops += 5;  // same series again
+  ASSERT_EQ(reg.entries().size(), 2u);
+  EXPECT_EQ(reg.entries()[0].metrics.ops, 15u);
+  EXPECT_EQ(reg.entries()[1].metrics.ops, 20u);
+}
+
+TEST(MetricsRegistry, AbsorbAggregatesRunStats) {
+  RunStats run;
+  run.ops = 100;
+  run.spec_ops = 90;
+  run.nonspec_ops = 10;
+  run.attempts = 120;
+  run.elapsed_cycles = 1000;
+  run.tx.begins = 110;
+  run.tx.commits = 90;
+  run.tx.record_abort(tsx::AbortCause::kConflict);
+  run.attempts_hist.add(1);
+  run.attempts_hist.add(3);
+  tsx::AvalancheEpisode ep;
+  ep.start = 100;
+  ep.end = 600;
+  ep.victims = {1, 2, 3};
+  run.episodes.push_back(ep);
+
+  MetricsRegistry reg;
+  reg.record("HLE", "MCS", run);
+  reg.record("HLE", "MCS", run);
+  const auto& m = reg.entries()[0].metrics;
+  EXPECT_EQ(m.runs, 2u);
+  EXPECT_EQ(m.ops, 200u);
+  EXPECT_EQ(m.attempts, 240u);
+  EXPECT_EQ(m.tx.aborts_by_cause[static_cast<std::size_t>(
+                tsx::AbortCause::kConflict)],
+            2u);
+  EXPECT_EQ(m.attempts_hist.samples(), 4u);
+  EXPECT_EQ(m.avalanche_episodes, 2u);
+  EXPECT_EQ(m.avalanche_victims, 6u);
+  EXPECT_EQ(m.avalanche_max_victims, 3);
+  EXPECT_EQ(m.avalanche_cycles, 1000u);
+}
+
+std::string export_to_string(const MetricsRegistry& reg, bool csv) {
+  char* buf = nullptr;
+  std::size_t len = 0;
+  std::FILE* f = open_memstream(&buf, &len);
+  if (csv) {
+    reg.export_csv(f);
+  } else {
+    reg.export_json(f);
+  }
+  std::fclose(f);
+  std::string out(buf, len);
+  std::free(buf);
+  return out;
+}
+
+std::size_t count_occurrences(const std::string& hay,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+// Acceptance: a run over all six evaluated schemes exports one JSON series
+// per scheme, each with the abort-cause matrix and the attempts histogram.
+TEST(MetricsExport, SixSchemeSweepHasMatrixAndHistogramPerScheme) {
+  MetricsRegistry reg;
+  tsx::Shared<std::uint64_t> counter;
+  for (const auto scheme : locks::kAllSixSchemes) {
+    BenchConfig cfg;
+    cfg.threads = 4;
+    cfg.duration_sec = 0.0002;
+    cfg.machine.seed = 7;
+    cfg.policy = scheme;
+    cfg.telemetry = true;
+    locks::TtasLock lock;
+    locks::CriticalSection<locks::TtasLock> cs(cfg.policy, lock);
+    run_workload(
+        cfg,
+        [&](tsx::Ctx& ctx) {
+          return cs.run(ctx,
+                        [&] { counter.store(ctx, counter.load(ctx) + 1); });
+        },
+        reg, locks::TtasLock::kName);
+  }
+  ASSERT_EQ(reg.entries().size(), 6u);
+
+  const std::string json = export_to_string(reg, /*csv=*/false);
+  for (const auto scheme : locks::kAllSixSchemes) {
+    const std::string key =
+        std::string("\"scheme\":\"") + locks::scheme_name(scheme) + "\"";
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_EQ(count_occurrences(json, "\"aborts_by_cause\""), 6u);
+  EXPECT_EQ(count_occurrences(json, "\"attempts_hist\""), 6u);
+  EXPECT_EQ(count_occurrences(json, "\"rejoin_cycles_hist\""), 6u);
+  EXPECT_NE(json.find("\"conflict\""), std::string::npos);
+
+  // Every scheme completed regions, so every histogram has samples.
+  for (const auto& e : reg.entries()) {
+    EXPECT_GT(e.metrics.ops, 0u) << e.scheme;
+    EXPECT_GT(e.metrics.attempts_hist.samples(), 0u) << e.scheme;
+  }
+
+  const std::string csv = export_to_string(reg, /*csv=*/true);
+  EXPECT_NE(csv.find("scheme,lock,runs"), std::string::npos);
+  EXPECT_NE(csv.find("aborts_conflict"), std::string::npos);
+  // Header line + one row per scheme.
+  EXPECT_EQ(count_occurrences(csv, "\n"), 7u);
+}
+
+}  // namespace
+}  // namespace elision::harness

@@ -205,7 +205,7 @@ TEST(Scheduler, PerThreadRngsDiffer) {
 }
 
 TEST(SchedulerDeath, MaxSwitchesDetectsRunaway) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   EXPECT_DEATH(
       {
         MachineConfig cfg;

@@ -123,7 +123,7 @@ TEST(StampSpeedup, ElisionBeatsSerialAtEightThreads) {
 }
 
 TEST(StampApi, UnknownAppCheckFails) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   StampConfig cfg = base_config();
   EXPECT_DEATH(run_app("nonexistent", cfg), "unknown STAMP app");
 }

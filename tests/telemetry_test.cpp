@@ -1,0 +1,239 @@
+// Telemetry tests: event-ring mechanics, avalanche detection on synthetic
+// traces, and the end-to-end Chapter 3 phenomenon — HLE over a fair lock
+// cascades into a mass-abort convoy, while SCM keeps serialization local to
+// the conflicting threads.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "ds/rbtree.hpp"
+#include "harness/runner.hpp"
+#include "locks/mcs_lock.hpp"
+#include "locks/schemes.hpp"
+#include "support/rng.hpp"
+#include "tsx/telemetry.hpp"
+
+namespace elision::tsx {
+namespace {
+
+TelemetryEvent ev(std::uint64_t t, int thread, EventKind kind,
+                  support::LineId line = 0,
+                  AbortCause cause = AbortCause::kNone) {
+  TelemetryEvent e;
+  e.timestamp = t;
+  e.thread = static_cast<std::int16_t>(thread);
+  e.kind = kind;
+  e.line = line;
+  e.cause = cause;
+  return e;
+}
+
+TEST(EventRing, RoundsCapacityUpAndKeepsOrder) {
+  EventRing ring(5);  // rounds up to 8
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (int i = 0; i < 6; ++i) {
+    ring.push(ev(100 + i, i, EventKind::kTxBegin));
+  }
+  EXPECT_EQ(ring.recorded(), 6u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  const auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(snap[i].timestamp, 100u + i);
+  }
+}
+
+TEST(EventRing, WrapKeepsNewestAndCountsDropped) {
+  EventRing ring(4);
+  for (int i = 0; i < 11; ++i) {
+    ring.push(ev(i, 0, EventKind::kTxBegin));
+  }
+  EXPECT_EQ(ring.recorded(), 11u);
+  EXPECT_EQ(ring.dropped(), 7u);
+  EXPECT_EQ(ring.size(), 4u);
+  const auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap.front().timestamp, 7u);  // oldest retained
+  EXPECT_EQ(snap.back().timestamp, 10u);
+}
+
+TEST(Telemetry, MergesAcrossThreadsInTimestampOrder) {
+  Telemetry t(16);
+  t.record(ev(30, 1, EventKind::kTxCommit));
+  t.record(ev(10, 0, EventKind::kTxBegin));
+  t.record(ev(20, 2, EventKind::kTxBegin));
+  t.record(ev(20, 0, EventKind::kTxAbort));  // tie: lower thread id first
+  const auto merged = t.merged();
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].timestamp, 10u);
+  EXPECT_EQ(merged[1].timestamp, 20u);
+  EXPECT_EQ(merged[1].thread, 0);
+  EXPECT_EQ(merged[2].thread, 2);
+  EXPECT_EQ(merged[3].timestamp, 30u);
+  EXPECT_EQ(t.total_recorded(), 4u);
+  EXPECT_EQ(t.total_dropped(), 0u);
+}
+
+// --- avalanche detector on synthetic traces ---
+
+TEST(AvalancheDetector, FindsCascadeAfterNonSpeculativeAcquire) {
+  const support::LineId lock_line = 0xABC0;
+  std::vector<TelemetryEvent> trace = {
+      ev(1000, 0, EventKind::kLockAcquire, lock_line),
+      ev(1100, 1, EventKind::kTxAbort, lock_line, AbortCause::kConflict),
+      ev(1200, 2, EventKind::kTxAbort, 0, AbortCause::kPause),
+      ev(1300, 3, EventKind::kTxAbort, lock_line, AbortCause::kConflict),
+      ev(2000, 0, EventKind::kLockRelease, lock_line),
+      ev(2100, 1, EventKind::kLockAcquire, lock_line),
+      ev(2900, 1, EventKind::kLockRelease, lock_line),
+  };
+  AvalancheConfig cfg;
+  cfg.window_cycles = 5000;
+  cfg.min_victims = 2;
+  const auto episodes = detect_avalanches(trace, cfg);
+  ASSERT_EQ(episodes.size(), 1u);
+  const auto& ep = episodes[0];
+  EXPECT_EQ(ep.trigger_thread, 0);
+  EXPECT_EQ(ep.start, 1000u);
+  EXPECT_EQ(ep.end, 2900u);
+  EXPECT_EQ(ep.line, lock_line);
+  EXPECT_EQ(ep.aborts, 3u);
+  EXPECT_EQ(ep.serialized_ops, 2u);
+  ASSERT_EQ(ep.victim_count(), 3);
+  EXPECT_EQ(ep.victims, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(ep.duration(), 1900u);
+}
+
+TEST(AvalancheDetector, BelowMinVictimsIsNotAnAvalanche) {
+  // One conflicting pair serializing is expected behaviour, not a cascade.
+  std::vector<TelemetryEvent> trace = {
+      ev(1000, 0, EventKind::kLockAcquire),
+      ev(1100, 1, EventKind::kTxAbort, 0, AbortCause::kConflict),
+      ev(1500, 0, EventKind::kLockRelease),
+  };
+  EXPECT_TRUE(detect_avalanches(trace, {}).empty());
+}
+
+TEST(AvalancheDetector, QuietWindowSplitsEpisodes) {
+  std::vector<TelemetryEvent> trace = {
+      ev(1000, 0, EventKind::kLockAcquire),
+      ev(1100, 1, EventKind::kTxAbort, 0, AbortCause::kConflict),
+      ev(1200, 2, EventKind::kTxAbort, 0, AbortCause::kConflict),
+      // > window_cycles of silence: a fresh episode.
+      ev(50000, 3, EventKind::kLockAcquire),
+      ev(50100, 4, EventKind::kTxAbort, 0, AbortCause::kConflict),
+      ev(50200, 5, EventKind::kTxAbort, 0, AbortCause::kConflict),
+  };
+  AvalancheConfig cfg;
+  cfg.window_cycles = 10000;
+  const auto episodes = detect_avalanches(trace, cfg);
+  ASSERT_EQ(episodes.size(), 2u);
+  EXPECT_EQ(episodes[0].trigger_thread, 0);
+  EXPECT_EQ(episodes[1].trigger_thread, 3);
+  EXPECT_EQ(episodes[1].victims, (std::vector<int>{4, 5}));
+}
+
+TEST(AvalancheDetector, IgnoresAbortsOnOtherLockLines) {
+  std::vector<TelemetryEvent> trace = {
+      ev(1000, 0, EventKind::kLockAcquire, 0x100),
+      ev(1100, 1, EventKind::kTxAbort, 0x200, AbortCause::kConflict),
+      ev(1200, 2, EventKind::kTxAbort, 0x200, AbortCause::kConflict),
+      ev(1300, 3, EventKind::kTxAbort, 0x100, AbortCause::kConflict),
+  };
+  const auto episodes = detect_avalanches(trace, {});
+  // Only thread 3 aborted on the trigger's line: below min_victims.
+  EXPECT_TRUE(episodes.empty());
+}
+
+TEST(RejoinLatencies, PairsEnterWithExitPerThread) {
+  std::vector<TelemetryEvent> trace = {
+      ev(100, 0, EventKind::kAuxEnter),
+      ev(150, 1, EventKind::kAuxEnter),
+      ev(300, 0, EventKind::kAuxExit),
+      ev(500, 1, EventKind::kAuxExit),
+      ev(900, 1, EventKind::kAuxExit),  // unmatched: ignored
+  };
+  const auto lats = rejoin_latencies(trace);
+  ASSERT_EQ(lats.size(), 2u);
+  EXPECT_EQ(lats[0], 200u);
+  EXPECT_EQ(lats[1], 350u);
+}
+
+// --- end-to-end: the Chapter 3 avalanche on a real workload ---
+
+harness::RunStats run_rb(locks::ElisionPolicy policy, bool telemetry) {
+  constexpr std::size_t kSize = 64;
+  ds::RbTree tree(kSize * 4 + 256);
+  support::Xoshiro256 fill(42);
+  std::size_t filled = 0;
+  while (filled < kSize) {
+    if (tree.unsafe_insert(fill.next_below(kSize * 2))) ++filled;
+  }
+  harness::BenchConfig cfg;
+  cfg.threads = 8;
+  cfg.duration_sec = 0.001;
+  cfg.machine.seed = 42;
+  cfg.policy = policy;
+  cfg.telemetry = telemetry;
+  tree.unsafe_distribute_free_lists(cfg.threads);
+
+  locks::McsLock lock;
+  locks::CriticalSection<locks::McsLock> cs(policy, lock);
+  return harness::run_workload(cfg, [&](tsx::Ctx& ctx) {
+    auto& rng = ctx.thread().rng();
+    const std::uint64_t key = rng.next_below(kSize * 2);
+    const auto dice = static_cast<int>(rng.next_below(100));
+    return cs.run(ctx, [&] {
+      if (dice < 10) {
+        tree.insert(ctx, key);
+      } else if (dice < 20) {
+        tree.erase(ctx, key);
+      } else {
+        tree.contains(ctx, key);
+      }
+    });
+  });
+}
+
+int max_victims(const harness::RunStats& stats) {
+  int m = 0;
+  for (const auto& ep : stats.episodes) {
+    if (ep.victim_count() > m) m = ep.victim_count();
+  }
+  return m;
+}
+
+TEST(AvalancheIntegration, HleOverMcsCascadesScmContainsIt) {
+  const auto hle = run_rb(locks::ElisionPolicy::hle(), true);
+  const auto scm = run_rb(locks::ElisionPolicy::hle_scm(), true);
+
+  // HLE over a fair lock: one abort convoys the whole thread set (Fig 3.1).
+  ASSERT_FALSE(hle.episodes.empty());
+  EXPECT_GE(max_victims(hle), 5);
+  EXPECT_GT(hle.nonspec_fraction(), 0.5);
+
+  // SCM serializes only the threads that actually conflicted: strictly
+  // fewer victims per episode, and speculation continues throughout.
+  EXPECT_LT(max_victims(scm), max_victims(hle));
+  EXPECT_LT(scm.nonspec_fraction(), 0.1);
+  EXPECT_GT(scm.rejoin_hist.samples(), 0u);
+  EXPECT_GT(scm.throughput(), hle.throughput());
+}
+
+TEST(AvalancheIntegration, TelemetryDoesNotPerturbVirtualTime) {
+  // Telemetry records host-side only; the simulated run must be bit-for-bit
+  // identical with it on or off.
+  const auto off = run_rb(locks::ElisionPolicy::hle(), false);
+  const auto on = run_rb(locks::ElisionPolicy::hle(), true);
+  EXPECT_EQ(off.ops, on.ops);
+  EXPECT_EQ(off.spec_ops, on.spec_ops);
+  EXPECT_EQ(off.attempts, on.attempts);
+  EXPECT_EQ(off.elapsed_cycles, on.elapsed_cycles);
+  EXPECT_EQ(off.tx.aborts, on.tx.aborts);
+  EXPECT_EQ(off.telemetry_events, 0u);
+  EXPECT_GT(on.telemetry_events, 0u);
+}
+
+}  // namespace
+}  // namespace elision::tsx

@@ -1,0 +1,289 @@
+// trace_dump — run a red-black-tree workload with abort telemetry attached
+// and dump what happened: the raw event trace (CSV/JSON), detected avalanche
+// episodes, and the aggregated metrics registry.
+//
+//   trace_dump [--lock L] [--scheme S] [--threads N] [--size K]
+//              [--updates PCT] [--ms VIRTUAL_MS] [--seed X]
+//              [--window CYCLES] [--min-victims N]
+//              [--events FILE] [--events-format csv|json]
+//              [--metrics FILE] [--metrics-format json|csv]
+//              [--all-schemes]
+//
+// Locks: ttas mcs ticket ticket-adj clh clh-adj
+// Schemes: standard hle hle-scm pes-slr opt-slr opt-slr-scm rtm-elide
+//          hle-scm-nested hle-gscm
+//
+// --all-schemes runs the paper's six schemes (Sec. 5.1) back to back and
+// aggregates all of them into one metrics export; --scheme is ignored.
+//
+// To reproduce the Fig 3.3 avalanche timeline: run HLE over MCS on a small
+// tree and inspect the episode table / event dump (see docs/telemetry.md).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "ds/rbtree.hpp"
+#include "harness/metrics.hpp"
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+#include "locks/clh_lock.hpp"
+#include "locks/mcs_lock.hpp"
+#include "locks/schemes.hpp"
+#include "locks/ticket_lock.hpp"
+#include "locks/ttas_lock.hpp"
+#include "support/rng.hpp"
+#include "tsx/telemetry.hpp"
+
+namespace {
+
+using namespace elision;
+
+struct Options {
+  std::string lock = "mcs";
+  std::string scheme = "hle";
+  int threads = 8;
+  std::size_t size = 128;
+  int updates = 20;
+  double ms = 1.0;
+  std::uint64_t seed = 42;
+  tsx::AvalancheConfig avalanche;
+  std::string events_file;
+  std::string events_format = "csv";
+  std::string metrics_file;
+  std::string metrics_format = "json";
+  bool all_schemes = false;
+};
+
+[[noreturn]] void usage(const char* why) {
+  std::fprintf(stderr, "error: %s\n\n", why);
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  trace_dump [--lock L] [--scheme S] [--threads N] [--size K]\n"
+      "             [--updates PCT] [--ms MS] [--seed X]\n"
+      "             [--window CYCLES] [--min-victims N]\n"
+      "             [--events FILE] [--events-format csv|json]\n"
+      "             [--metrics FILE] [--metrics-format json|csv]\n"
+      "             [--all-schemes]\n"
+      "\n"
+      "locks:   ttas mcs ticket ticket-adj clh clh-adj\n"
+      "schemes: standard hle hle-scm pes-slr opt-slr opt-slr-scm rtm-elide\n"
+      "         hle-scm-nested hle-gscm\n");
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + a).c_str());
+      return argv[++i];
+    };
+    if (a == "--lock") {
+      o.lock = next();
+    } else if (a == "--scheme") {
+      o.scheme = next();
+    } else if (a == "--threads") {
+      o.threads = std::atoi(next().c_str());
+    } else if (a == "--size") {
+      o.size = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (a == "--updates") {
+      o.updates = std::atoi(next().c_str());
+    } else if (a == "--ms") {
+      o.ms = std::atof(next().c_str());
+    } else if (a == "--seed") {
+      o.seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    } else if (a == "--window") {
+      o.avalanche.window_cycles =
+          static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    } else if (a == "--min-victims") {
+      o.avalanche.min_victims = std::atoi(next().c_str());
+    } else if (a == "--events") {
+      o.events_file = next();
+    } else if (a == "--events-format") {
+      o.events_format = next();
+    } else if (a == "--metrics") {
+      o.metrics_file = next();
+    } else if (a == "--metrics-format") {
+      o.metrics_format = next();
+    } else if (a == "--all-schemes") {
+      o.all_schemes = true;
+    } else {
+      usage(("unknown argument " + a).c_str());
+    }
+  }
+  if (o.threads < 1 || o.threads > 64) usage("--threads must be in [1,64]");
+  if (o.updates < 0 || o.updates > 100) usage("--updates must be in [0,100]");
+  if (o.events_format != "csv" && o.events_format != "json") {
+    usage("--events-format must be csv or json");
+  }
+  if (o.metrics_format != "csv" && o.metrics_format != "json") {
+    usage("--metrics-format must be csv or json");
+  }
+  return o;
+}
+
+locks::ElisionPolicy parse_policy(const std::string& s) {
+  using locks::ElisionPolicy;
+  if (s == "standard") return ElisionPolicy::standard();
+  if (s == "hle") return ElisionPolicy::hle();
+  if (s == "hle-scm") return ElisionPolicy::hle_scm();
+  if (s == "pes-slr") return ElisionPolicy::pes_slr();
+  if (s == "opt-slr") return ElisionPolicy::opt_slr();
+  if (s == "opt-slr-scm") return ElisionPolicy::opt_slr_scm();
+  if (s == "rtm-elide") return ElisionPolicy::rtm_elide();
+  if (s == "hle-scm-nested") return ElisionPolicy::hle_scm_nested();
+  if (s == "hle-gscm") return ElisionPolicy::hle_grouped_scm();
+  usage(("unknown scheme " + s).c_str());
+}
+
+template <typename Lock>
+harness::RunStats run_with(const Options& o, locks::ElisionPolicy policy,
+                           tsx::Telemetry* sink) {
+  ds::RbTree tree(o.size * 4 + 256);
+  support::Xoshiro256 fill(o.seed);
+  std::size_t filled = 0;
+  while (filled < o.size) {
+    if (tree.unsafe_insert(fill.next_below(o.size * 2))) ++filled;
+  }
+  tree.unsafe_distribute_free_lists(o.threads);
+
+  Lock lock;
+  locks::CriticalSection<Lock> cs(policy, lock);
+  harness::BenchConfig cfg;
+  cfg.threads = o.threads;
+  cfg.duration_sec = o.ms / 1e3;
+  cfg.machine.seed = o.seed;
+  cfg.policy = policy;
+  cfg.telemetry = true;
+  cfg.telemetry_sink = sink;
+  cfg.avalanche = o.avalanche;
+  const std::uint64_t domain = o.size * 2;
+  const int half = o.updates / 2;
+  return harness::run_workload(cfg, [&](tsx::Ctx& ctx) {
+    auto& rng = ctx.thread().rng();
+    const std::uint64_t key = rng.next_below(domain);
+    const auto dice = static_cast<int>(rng.next_below(100));
+    return cs.run(ctx, [&] {
+      if (dice < half) {
+        tree.insert(ctx, key);
+      } else if (dice < o.updates) {
+        tree.erase(ctx, key);
+      } else {
+        tree.contains(ctx, key);
+      }
+    });
+  });
+}
+
+harness::RunStats run_policy(const Options& o, locks::ElisionPolicy policy,
+                             tsx::Telemetry* sink) {
+  if (o.lock == "ttas") return run_with<locks::TtasLock>(o, policy, sink);
+  if (o.lock == "mcs") return run_with<locks::McsLock>(o, policy, sink);
+  if (o.lock == "ticket") return run_with<locks::TicketLock>(o, policy, sink);
+  if (o.lock == "ticket-adj") {
+    return run_with<locks::TicketLockAdjusted>(o, policy, sink);
+  }
+  if (o.lock == "clh") return run_with<locks::ClhLock>(o, policy, sink);
+  if (o.lock == "clh-adj") {
+    return run_with<locks::ClhLockAdjusted>(o, policy, sink);
+  }
+  usage(("unknown lock " + o.lock).c_str());
+}
+
+std::FILE* open_or_die(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  return f;
+}
+
+const char* lock_display_name(const std::string& l) {
+  if (l == "ttas") return locks::TtasLock::kName;
+  if (l == "mcs") return locks::McsLock::kName;
+  if (l == "ticket") return locks::TicketLock::kName;
+  if (l == "ticket-adj") return locks::TicketLockAdjusted::kName;
+  if (l == "clh") return locks::ClhLock::kName;
+  if (l == "clh-adj") return locks::ClhLockAdjusted::kName;
+  return l.c_str();
+}
+
+void report_run(const Options& o, locks::ElisionPolicy policy,
+                const harness::RunStats& stats) {
+  std::printf("scheme:     %s on %s  (%d threads, %zu-node tree, %d%% "
+              "updates, %.2f ms)\n",
+              policy.name(), lock_display_name(o.lock), o.threads, o.size,
+              o.updates, o.ms);
+  std::printf("throughput: %.2f Mops/s   attempts/op %.2f   "
+              "non-speculative %.1f%%\n",
+              stats.throughput() / 1e6, stats.attempts_per_op(),
+              100 * stats.nonspec_fraction());
+  harness::print_telemetry_summary(stats);
+  harness::print_episodes(stats.episodes);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  if (!tsx::kTelemetryCompiled) {
+    std::fprintf(stderr,
+                 "telemetry was compiled out (ELISION_TELEMETRY=OFF); "
+                 "trace_dump has nothing to record\n");
+    return 1;
+  }
+
+  harness::MetricsRegistry registry;
+  tsx::Telemetry telemetry;
+
+  if (o.all_schemes) {
+    if (!o.events_file.empty()) {
+      std::fprintf(stderr,
+                   "warning: --events is ignored with --all-schemes (the "
+                   "trace is reset between schemes)\n");
+    }
+    for (const auto scheme : locks::kAllSixSchemes) {
+      telemetry.clear();
+      const locks::ElisionPolicy policy(scheme);
+      const auto stats = run_policy(o, policy, &telemetry);
+      registry.record(policy.name(), lock_display_name(o.lock), stats);
+      report_run(o, policy, stats);
+    }
+  } else {
+    const locks::ElisionPolicy policy = parse_policy(o.scheme);
+    const auto stats = run_policy(o, policy, &telemetry);
+    registry.record(policy.name(), lock_display_name(o.lock), stats);
+    report_run(o, policy, stats);
+    if (!o.events_file.empty()) {
+      std::FILE* f = open_or_die(o.events_file);
+      if (o.events_format == "json") {
+        telemetry.dump_json(f);
+      } else {
+        telemetry.dump_csv(f);
+      }
+      std::fclose(f);
+      std::printf("events: %llu recorded (%llu dropped) -> %s\n",
+                  static_cast<unsigned long long>(telemetry.total_recorded()),
+                  static_cast<unsigned long long>(telemetry.total_dropped()),
+                  o.events_file.c_str());
+    }
+  }
+
+  if (!o.metrics_file.empty()) {
+    std::FILE* f = open_or_die(o.metrics_file);
+    if (o.metrics_format == "csv") {
+      registry.export_csv(f);
+    } else {
+      registry.export_json(f);
+    }
+    std::fclose(f);
+    std::printf("metrics: %zu series -> %s\n", registry.entries().size(),
+                o.metrics_file.c_str());
+  }
+  return 0;
+}
