@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Strict pre-merge check: configure with warnings-as-errors, build
-# everything, run the full test suite, and smoke-test the telemetry path
-# end to end (trace_dump must detect the HLE avalanche and export metrics).
-# Uses its own build tree (build-check/) so it never dirties build/.
+# everything, run the full test suite (plain and under ASan+UBSan), and
+# smoke-test the telemetry and stress paths end to end (trace_dump must
+# detect the HLE avalanche and export metrics; stress_cli must hold all
+# invariants over a perturbed sweep and find the planted RacyLock bug).
+# Uses its own build trees (build-check*/) so it never dirties build/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,6 +14,15 @@ cmake -B "$BUILD" -S . -DELISION_WERROR=ON -DELISION_TELEMETRY=ON
 cmake --build "$BUILD" -j
 
 ctest --test-dir "$BUILD" --output-on-failure -j
+
+# The same suite under AddressSanitizer + UndefinedBehaviorSanitizer: the
+# simulator is single-OS-threaded, so this is cheap and catches exactly the
+# class of bug the stress subsystem hunts (overflow, slot-array overruns,
+# use-after-free in rolled-back free lists).
+SAN_BUILD=build-check-san
+cmake -B "$SAN_BUILD" -S . -DELISION_WERROR=ON -DELISION_SANITIZE=ON
+cmake --build "$SAN_BUILD" -j
+ctest --test-dir "$SAN_BUILD" --output-on-failure -j
 
 # Telemetry smoke: HLE over MCS must show at least one avalanche episode,
 # and the six-scheme sweep must export a parseable metrics file.
@@ -35,5 +46,14 @@ for s in series:
     assert "aborts_by_cause" in s and "attempts_hist" in s, s["scheme"]
 print("metrics export: 6 schemes, abort-cause matrix + histograms present")
 EOF
+
+# Stress smoke: a small perturbed sweep over every scheme x lock must hold
+# every invariant, and the self-test must *find* the planted RacyLock bug
+# (proof the checkers are not vacuous). Fixed seeds: fully reproducible.
+"$BUILD"/tools/stress_cli --schemes all --locks all --seeds 3 --quiet || {
+  echo "check: stress sweep found an invariant violation" >&2; exit 1; }
+"$BUILD"/tools/stress_cli --selftest --seeds 5 || {
+  echo "check: stress self-test missed the planted RacyLock bug" >&2
+  exit 1; }
 
 echo "check: OK"

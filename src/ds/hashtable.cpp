@@ -1,5 +1,7 @@
 #include "ds/hashtable.hpp"
 
+#include <unordered_set>
+
 #include "support/check.hpp"
 
 namespace elision::ds {
@@ -132,6 +134,46 @@ std::size_t HashTable::unsafe_size() const {
     }
   }
   return count;
+}
+
+bool HashTable::unsafe_validate(std::string* why) const {
+  const auto fail = [why](const char* what) {
+    if (why != nullptr) *why = what;
+    return false;
+  };
+  const auto in_arena = [this](const Node* n) {
+    return n >= arena_.data() && n < arena_.data() + arena_.size();
+  };
+  std::unordered_set<const Node*> seen;
+  std::unordered_set<std::uint64_t> keys;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    for (const Node* n = buckets_[b].unsafe_get(); n != nullptr;
+         n = n->next.unsafe_get()) {
+      if (!in_arena(n)) return fail("chained node outside the arena");
+      if (!seen.insert(n).second) {
+        return fail("node on two lists (or a chain cycle)");
+      }
+      const std::uint64_t key = n->key.unsafe_get();
+      if (hash(key) % buckets_.size() != b) {
+        return fail("node chained in a bucket its key does not hash to");
+      }
+      if (!keys.insert(key).second) return fail("duplicate key");
+    }
+  }
+  for (const auto& list : free_) {
+    for (const Node* n = list.value.unsafe_get(); n != nullptr;
+         n = n->next.unsafe_get()) {
+      if (!in_arena(n)) return fail("free node outside the arena");
+      if (!seen.insert(n).second) {
+        return fail("free node also reachable elsewhere (or a free-list "
+                    "cycle)");
+      }
+    }
+  }
+  if (seen.size() != arena_.size()) {
+    return fail("arena node unreachable from every bucket and free list");
+  }
+  return true;
 }
 
 bool HashTable::unsafe_lookup(std::uint64_t key, std::uint64_t* value) const {

@@ -5,9 +5,11 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "support/align.hpp"
+#include "tsx/config.hpp"
 #include "tsx/shared.hpp"
 
 namespace elision::ds {
@@ -42,6 +44,13 @@ class HashTable {
   std::size_t unsafe_size() const;
   bool unsafe_lookup(std::uint64_t key, std::uint64_t* value) const;
 
+  // Validates structural invariants (no simulated threads running): every
+  // chained node lives in the bucket its key hashes to, keys are unique,
+  // all node pointers point into the arena, and every arena node sits on
+  // exactly one list — a bucket chain or a free list. On failure returns
+  // false and, if `why` is non-null, a description of the broken invariant.
+  bool unsafe_validate(std::string* why = nullptr) const;
+
  private:
   struct alignas(support::kCacheLineBytes) Node {
     tsx::Shared<std::uint64_t> key;
@@ -66,7 +75,8 @@ class HashTable {
   tsx::SharedArray<Node*> buckets_;
   // Per-thread free lists (thread-caching allocator; see RbTree). Slot 64 is
   // the setup/global list.
-  static constexpr int kFreeLists = 65;
+  // One free list per possible simulated thread + one setup/global list.
+  static constexpr int kFreeLists = tsx::kMaxThreads + 1;
   std::array<support::CacheAligned<tsx::Shared<Node*>>, kFreeLists> free_;
 };
 

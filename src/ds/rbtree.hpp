@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "support/align.hpp"
+#include "tsx/config.hpp"
 #include "tsx/shared.hpp"
 
 namespace elision::ds {
@@ -75,7 +76,8 @@ class RbTree {
   // thread-caching allocator (jemalloc) the paper's benchmarks use: without
   // it every mutation would conflict on a single allocator word, which the
   // real system does not do. Slot 64 is the setup/global list.
-  static constexpr int kFreeLists = 65;
+  // One free list per possible simulated thread + one setup/global list.
+  static constexpr int kFreeLists = tsx::kMaxThreads + 1;
   std::array<support::CacheAligned<tsx::Shared<Node*>>, kFreeLists> free_;
 };
 

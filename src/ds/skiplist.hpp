@@ -15,6 +15,7 @@
 
 #include "support/align.hpp"
 #include "support/rng.hpp"
+#include "tsx/config.hpp"
 #include "tsx/shared.hpp"
 
 namespace elision::ds {
@@ -57,7 +58,8 @@ class SkipList {
 
   std::vector<Node> arena_;
   Node head_;  // full-height sentinel; key unused
-  static constexpr int kFreeLists = 65;
+  // One free list per possible simulated thread + one setup/global list.
+  static constexpr int kFreeLists = tsx::kMaxThreads + 1;
   std::array<support::CacheAligned<tsx::Shared<Node*>>, kFreeLists> free_;
   support::Xoshiro256 setup_rng_;
 };

@@ -39,11 +39,12 @@ RunStats run_workload(const BenchConfig& cfg, const OpFn& op) {
 
   for (int t = 0; t < cfg.threads; ++t) {
     tallies[t].timeline.resize(n_slots);
-    sched.spawn([&eng, &op, &tallies, slot_cycles, t](sim::SimThread& st) {
+    sched.spawn([&cfg, &eng, &op, &tallies, slot_cycles, t](sim::SimThread& st) {
       auto& ctx = eng.context(st);
       auto& mine = tallies[t];
       while (!st.stop_requested()) {
         const locks::RegionResult r = op(ctx);
+        if (cfg.on_region_complete) cfg.on_region_complete(ctx, r);
         ++mine.ops;
         if (r.speculative) {
           ++mine.spec;
@@ -68,6 +69,7 @@ RunStats run_workload(const BenchConfig& cfg, const OpFn& op) {
   RunStats out;
   out.ghz = cfg.machine.ghz;
   out.elapsed_cycles = sched.elapsed_cycles();
+  out.perturb_points = sched.perturb_points_used();
   out.timeline.resize(n_slots);
   for (const auto& t : tallies) {
     out.ops += t.ops;

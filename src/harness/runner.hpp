@@ -51,6 +51,13 @@ struct BenchConfig {
   // event stream outlives the run (tools/trace_dump). Implies `telemetry`.
   tsx::Telemetry* telemetry_sink = nullptr;
 
+  // Called after every completed region, on the completing simulated thread
+  // (its virtual clock is current). The stress subsystem hangs its
+  // invariant checkers and starvation watchdog off this; leave unset for
+  // plain benchmarking (null = zero cost).
+  std::function<void(tsx::Ctx&, const locks::RegionResult&)>
+      on_region_complete;
+
   std::uint64_t duration_cycles() const {
     return machine.cycles(duration_sec * duration_scale);
   }
@@ -67,6 +74,9 @@ struct RunStats {
   std::uint64_t nonspec_ops = 0;  // N
   std::uint64_t attempts = 0;     // A + N + S
   std::uint64_t elapsed_cycles = 0;
+  // Delay injections performed by the scheduler's perturbation layer
+  // (0 unless machine.perturb was configured; see src/stress).
+  std::uint64_t perturb_points = 0;
   double ghz = 3.4;
   tsx::TxStats tx;  // engine-level transaction counters
   std::vector<SlotStats> timeline;

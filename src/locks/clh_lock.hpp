@@ -14,6 +14,8 @@
 #include <cstdint>
 
 #include "support/align.hpp"
+#include "support/check.hpp"
+#include "tsx/config.hpp"
 #include "tsx/shared.hpp"
 
 namespace elision::locks {
@@ -23,7 +25,7 @@ class BasicClhLock {
  public:
   static constexpr const char* kName = kAdjusted ? "CLH-adj" : "CLH";
   static constexpr bool kIsFair = true;
-  static constexpr int kMaxThreads = 64;
+  static constexpr int kMaxThreads = tsx::kMaxThreads;
 
   BasicClhLock() {
     tail_.value.unsafe_set(&nodes_[kMaxThreads]);  // dummy, unlocked
@@ -31,26 +33,30 @@ class BasicClhLock {
   }
 
   void lock(tsx::Ctx& ctx) {
-    QNode* my = my_[ctx.id()];
+    ELISION_CHECK_MSG(ctx.id() >= 0 && ctx.id() < kMaxThreads,
+                      "thread id outside the CLH lock's node array");
+    const auto id = static_cast<std::size_t>(ctx.id());
+    QNode* my = my_[id];
     my->locked.store(ctx, 1);  // before the XACQUIRE: non-transactional
     QNode* pred = tail_.value.xacquire_exchange(ctx, my);
-    pred_[ctx.id()] = pred;
+    pred_[id] = pred;
     while (pred->locked.load(ctx) != 0) ctx.engine().pause(ctx);
   }
 
   void unlock(tsx::Ctx& ctx) {
-    QNode* my = my_[ctx.id()];
-    QNode* pred = pred_[ctx.id()];
+    const auto id = static_cast<std::size_t>(ctx.id());
+    QNode* my = my_[id];
+    QNode* pred = pred_[id];
     if constexpr (kAdjusted) {
       if (tail_.value.xrelease_compare_exchange(ctx, my, pred)) {
         return;  // presence erased; we keep our node
       }
       my->locked.store(ctx, 0);
-      my_[ctx.id()] = pred;
+      my_[id] = pred;
     } else {
       // Algorithm 6 under HLE: releases a different address — never commits.
       my->locked.xrelease_store(ctx, 0);
-      my_[ctx.id()] = pred;
+      my_[id] = pred;
     }
   }
 

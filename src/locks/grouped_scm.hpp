@@ -68,6 +68,13 @@ RegionResult grouped_scm_region(tsx::Ctx& ctx, MainLock& main, AuxBank& bank,
       break;
     }
     r.last_abort = ctx.last_abort_cause();
+    // No RETRY in the status (e.g. capacity): no re-execution can commit,
+    // so don't burn max_retries serialized attempts — same short-circuit as
+    // scm_region/slr_region.
+    if ((st & tsx::status::kRetry) == 0) {
+      complete_locked(ctx, main, r, body);
+      break;
+    }
     // Serializing path: pick the group from the conflict location.
     if (aux == nullptr) {
       eng.note_event(ctx, tsx::EventKind::kAuxEnter,

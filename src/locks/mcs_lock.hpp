@@ -12,6 +12,8 @@
 #include <cstdint>
 
 #include "support/align.hpp"
+#include "support/check.hpp"
+#include "tsx/config.hpp"
 #include "tsx/shared.hpp"
 
 namespace elision::locks {
@@ -20,10 +22,12 @@ class McsLock {
  public:
   static constexpr const char* kName = "MCS";
   static constexpr bool kIsFair = true;
-  static constexpr int kMaxThreads = 64;
+  static constexpr int kMaxThreads = tsx::kMaxThreads;
 
   void lock(tsx::Ctx& ctx) {
-    QNode& my = nodes_[ctx.id()];
+    ELISION_CHECK_MSG(ctx.id() >= 0 && ctx.id() < kMaxThreads,
+                      "thread id outside the MCS lock's node array");
+    QNode& my = nodes_[static_cast<std::size_t>(ctx.id())];
     // Node initialization precedes the XACQUIRE: non-transactional.
     my.locked.store(ctx, 1);
     my.next.store(ctx, nullptr);
@@ -35,7 +39,7 @@ class McsLock {
   }
 
   void unlock(tsx::Ctx& ctx) {
-    QNode& my = nodes_[ctx.id()];
+    QNode& my = nodes_[static_cast<std::size_t>(ctx.id())];
     if (my.next.load(ctx) == nullptr) {
       if (tail_.value.xrelease_compare_exchange(ctx, &my, nullptr)) return;
       while (my.next.load(ctx) == nullptr) ctx.engine().pause(ctx);

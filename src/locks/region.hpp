@@ -61,10 +61,22 @@ support::LineId lock_line_of(Lock& lock) {
   }
 }
 
+// Longest randomized backoff wait: 2^32 cycles (~1.3 simulated seconds at
+// 3.4 GHz) — far beyond any useful backoff, but finite, so a pathological
+// backoff_base_cycles cannot stall a thread for a virtual eternity.
+inline constexpr std::uint64_t kMaxBackoffBoundCycles = std::uint64_t{1}
+                                                        << 32;
+
 inline void backoff(tsx::Ctx& ctx, const RetryParams& p, int failures) {
   if (p.backoff_base_cycles == 0) return;
   const int shift = failures < 10 ? failures : 10;
-  const std::uint64_t bound = p.backoff_base_cycles << shift;
+  // Clamp before shifting: for a large base, base << shift wraps modulo
+  // 2^64 — possibly to 0, which next_below() rejects (and which would mean
+  // "no backoff at all" exactly when the caller asked for the longest one).
+  const std::uint64_t bound =
+      p.backoff_base_cycles >= (kMaxBackoffBoundCycles >> shift)
+          ? kMaxBackoffBoundCycles
+          : p.backoff_base_cycles << shift;
   ctx.thread().tick(1 + ctx.thread().rng().next_below(bound));
 }
 

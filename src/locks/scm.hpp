@@ -64,6 +64,15 @@ RegionResult scm_region(tsx::Ctx& ctx, MainLock& main, AuxLock& aux,
       break;
     }
     r.last_abort = ctx.last_abort_cause();
+    // Tuning (Sec 5.1), as in slr_region: an abort status without RETRY
+    // (e.g. capacity) means no re-execution can ever commit — serializing
+    // max_retries hopeless attempts on the aux lock would only stall the
+    // conflict group. Complete non-speculatively right away, without even
+    // acquiring the aux lock if this was the first failure.
+    if ((st & tsx::status::kRetry) == 0) {
+      complete_locked(ctx, main, r, body);
+      break;
+    }
     // --- serializing path ---
     if (!aux_owner) {
       eng.note_event(ctx, tsx::EventKind::kAuxEnter);

@@ -45,8 +45,13 @@ RegionResult slr_region(tsx::Ctx& ctx, MainLock& main, AuxLock& aux,
     r.last_abort = ctx.last_abort_cause();
     ++failures;
     // Tuning (Sec 5.1): when the abort status says a retry cannot succeed
-    // (e.g. capacity), switch to a non-speculative execution immediately.
-    const bool hopeless = (st & tsx::status::kRetry) == 0;
+    // (e.g. capacity), switch to a non-speculative execution immediately —
+    // before joining the aux-lock queue, which would serialize this thread
+    // behind the conflict group for nothing.
+    if ((st & tsx::status::kRetry) == 0) {
+      complete_locked(ctx, main, r, body);
+      break;
+    }
     bool give_up;
     if (params.scm) {
       if (!aux_owner) {
@@ -56,9 +61,9 @@ RegionResult slr_region(tsx::Ctx& ctx, MainLock& main, AuxLock& aux,
       } else {
         ++retries;
       }
-      give_up = hopeless || retries >= params.scm_max_retries;
+      give_up = retries >= params.scm_max_retries;
     } else {
-      give_up = hopeless || failures >= params.max_attempts;
+      give_up = failures >= params.max_attempts;
     }
     if (give_up) {
       complete_locked(ctx, main, r, body);

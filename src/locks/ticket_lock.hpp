@@ -13,6 +13,8 @@
 #include <cstdint>
 
 #include "support/align.hpp"
+#include "support/check.hpp"
+#include "tsx/config.hpp"
 #include "tsx/shared.hpp"
 
 namespace elision::locks {
@@ -22,17 +24,20 @@ class BasicTicketLock {
  public:
   static constexpr const char* kName = kAdjusted ? "Ticket-adj" : "Ticket";
   static constexpr bool kIsFair = true;
+  static constexpr int kMaxThreads = tsx::kMaxThreads;
 
   void lock(tsx::Ctx& ctx) {
+    ELISION_CHECK_MSG(ctx.id() >= 0 && ctx.id() < kMaxThreads,
+                      "thread id outside the ticket lock's slot array");
     // `next` and `owner` share a cache line, as in the usual one-word
     // implementation the paper references.
     const std::uint64_t current = word_.value.next.xacquire_fetch_add(ctx, 1);
-    current_[ctx.id()] = current;
+    current_[static_cast<std::size_t>(ctx.id())] = current;
     while (word_.value.owner.load(ctx) != current) ctx.engine().pause(ctx);
   }
 
   void unlock(tsx::Ctx& ctx) {
-    const std::uint64_t current = current_[ctx.id()];
+    const std::uint64_t current = current_[static_cast<std::size_t>(ctx.id())];
     if constexpr (kAdjusted) {
       // Algorithm 5: try to erase the acquisition. Fails only in a standard
       // run with other requesters, where the normal release takes over.
@@ -68,7 +73,10 @@ class BasicTicketLock {
   };
 
   support::CacheAligned<Words> word_;
-  std::array<std::uint64_t, 64> current_{};  // per-thread ticket (private)
+  // Per-thread ticket (private). Sized from the simulator-wide thread cap;
+  // lock() bounds-checks the index so a larger simulated machine fails loudly
+  // instead of silently corrupting neighbouring memory.
+  std::array<std::uint64_t, kMaxThreads> current_{};
 };
 
 using TicketLock = BasicTicketLock<false>;

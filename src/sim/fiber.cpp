@@ -8,6 +8,31 @@
 #error "elision fibers currently require x86-64 (SysV ABI)"
 #endif
 
+// AddressSanitizer must be told about manual stack switches: it keeps
+// per-thread stack bounds (and a fake stack for use-after-return detection),
+// and an exception thrown on an unannounced fiber stack makes its no-return
+// handler unpoison the wrong memory — a crash inside the sanitizer runtime.
+#if defined(__SANITIZE_ADDRESS__)
+#define ELISION_FIBER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define ELISION_FIBER_ASAN 1
+#endif
+#endif
+#ifndef ELISION_FIBER_ASAN
+#define ELISION_FIBER_ASAN 0
+#endif
+
+#if ELISION_FIBER_ASAN
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom,
+                                    std::size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old,
+                                     std::size_t* size_old);
+}
+#endif
+
 namespace elision::sim {
 namespace {
 
@@ -58,6 +83,24 @@ __asm__(
 extern "C" void elision_fiber_switch(void** save_sp, void* next_sp);
 extern "C" void elision_fiber_trampoline();
 
+#if ELISION_FIBER_ASAN
+// The fiber that initiated the in-flight switch. The simulator is
+// single-OS-threaded, so a plain static suffices. Lets the resumed side
+// learn the *host* fiber's stack bounds (unknown at construction — it owns
+// no stack) from __sanitizer_finish_switch_fiber's out-parameters the first
+// time the host switches away.
+Fiber* g_switching_from = nullptr;
+
+void finish_switch_fiber(void* fake_stack_save) {
+  const void* prev_bottom = nullptr;
+  std::size_t prev_size = 0;
+  __sanitizer_finish_switch_fiber(fake_stack_save, &prev_bottom, &prev_size);
+  Fiber* from = g_switching_from;
+  g_switching_from = nullptr;
+  if (from != nullptr) from->note_stack_bounds(prev_bottom, prev_size);
+}
+#endif
+
 }  // namespace
 
 Fiber::Fiber(Entry entry, void* arg, std::size_t stack_bytes) {
@@ -83,6 +126,8 @@ Fiber::Fiber(Entry entry, void* arg, std::size_t stack_bytes) {
   slots[-6] = nullptr;                          // r14
   slots[-7] = nullptr;                          // r15
   sp_ = static_cast<void*>(slots - 7);
+  asan_stack_bottom_ = stack_.get();
+  asan_stack_size_ = stack_bytes;
 }
 
 void Fiber::switch_to(Fiber& from, Fiber& to) {
@@ -90,7 +135,23 @@ void Fiber::switch_to(Fiber& from, Fiber& to) {
   ELISION_CHECK(to.sp_ != nullptr);
   void* next = to.sp_;
   to.sp_ = nullptr;  // `to` is now running; its slot is dead until it suspends
+#if ELISION_FIBER_ASAN
+  g_switching_from = &from;
+  __sanitizer_start_switch_fiber(&from.asan_fake_stack_, to.asan_stack_bottom_,
+                                 to.asan_stack_size_);
+#endif
   elision_fiber_switch(&from.sp_, next);
+#if ELISION_FIBER_ASAN
+  // Running again on `from`'s stack: complete the switch that resumed us.
+  finish_switch_fiber(from.asan_fake_stack_);
+#endif
+}
+
+void Fiber::on_fiber_entry() {
+#if ELISION_FIBER_ASAN
+  // A fresh fiber has no fake stack to restore (it never suspended).
+  finish_switch_fiber(nullptr);
+#endif
 }
 
 }  // namespace elision::sim

@@ -6,6 +6,8 @@
 // yielding affordable.
 //
 // Invariants:
+//  * A fiber entry function must call Fiber::on_fiber_entry() before any
+//    other work (sanitizer stack-switch bookkeeping; free otherwise).
 //  * A fiber entry function must never return through the trampoline; the
 //    scheduler switches away from a finishing fiber (enforced with a trap).
 //  * Exceptions must be caught within the fiber that threw them; unwinding
@@ -37,9 +39,32 @@ class Fiber {
   // Returns when something later switches back to `from`.
   static void switch_to(Fiber& from, Fiber& to);
 
+  // Must be called first thing inside a fiber's entry function, before any
+  // other work on the fresh stack. No-op unless compiled under ASan, where
+  // it completes the sanitizer's stack-switch bookkeeping (a fresh fiber
+  // never returns through the switch_to() that started it, so the matching
+  // __sanitizer_finish_switch_fiber has to run here).
+  static void on_fiber_entry();
+
+  // Internal (ASan bookkeeping): records this fiber's stack bounds if they
+  // are not known yet. The host fiber owns no stack, so its bounds are
+  // learned from the sanitizer the first time it switches away.
+  void note_stack_bounds(const void* bottom, std::size_t size) {
+    if (asan_stack_bottom_ == nullptr) {
+      asan_stack_bottom_ = bottom;
+      asan_stack_size_ = size;
+    }
+  }
+
  private:
   void* sp_ = nullptr;  // saved stack pointer while suspended
   std::unique_ptr<std::byte[]> stack_;
+  // ASan stack-switch bookkeeping (unused otherwise; kept unconditional so
+  // the layout does not depend on compile flags). The host fiber's bounds
+  // start unknown and are learned at its first switch away.
+  const void* asan_stack_bottom_ = nullptr;
+  std::size_t asan_stack_size_ = 0;
+  void* asan_fake_stack_ = nullptr;
 };
 
 }  // namespace elision::sim

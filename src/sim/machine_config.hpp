@@ -9,6 +9,30 @@
 
 namespace elision::sim {
 
+// Hard cap on simulated threads per Scheduler. The TSX layer identifies
+// readers with a 64-bit thread mask (tsx::kMaxThreads aliases this), so the
+// cap is load-bearing, not just a sizing hint.
+inline constexpr int kMaxSimThreads = 64;
+
+// Schedule-exploration knobs (src/stress). When `probability` is nonzero,
+// every simulated memory access becomes a *perturbation point*: with that
+// probability the accessing thread's virtual clock jumps forward by a
+// random delay in [1, max_delay_cycles], re-sorting it in the earliest-first
+// run order and thereby exploring a different interleaving. Perturbation
+// draws from its own RNG (seeded from `seed`, per thread), so the workload's
+// random choices are untouched and a (workload seed, perturbation seed) pair
+// is fully reproducible.
+struct PerturbConfig {
+  double probability = 0.0;  // 0 = off (the default: production runs pay
+                             // one branch per access and nothing else)
+  std::uint64_t max_delay_cycles = 2000;
+  std::uint64_t seed = 0;
+  // Global budget of injected perturbations across all threads (0 =
+  // unlimited). Failing-seed minimization shrinks this to find the smallest
+  // prefix of injections that still reproduces a violation.
+  std::uint64_t max_points = 0;
+};
+
 struct MachineConfig {
   // Topology. Logical thread t runs on core (t % n_cores); threads mapped to
   // the same core are hyperthread siblings and run slower while co-active.
@@ -35,6 +59,9 @@ struct MachineConfig {
   std::uint64_t max_switches = 0;
 
   std::uint64_t seed = 0x1234ABCDULL;
+
+  // Schedule perturbation (off by default; see PerturbConfig above).
+  PerturbConfig perturb;
 
   std::uint64_t cycles(double seconds) const {
     return static_cast<std::uint64_t>(seconds * ghz * 1e9);

@@ -10,11 +10,15 @@ SimThread::SimThread(Scheduler& sched, int tid, std::uint64_t seed,
                      std::size_t stack_bytes)
     : sched_(sched),
       tid_(tid),
+      sched_perturb_enabled_(sched.config().perturb.probability > 0),
       rng_(seed),
+      perturb_rng_(sched.config().perturb.seed * 0xA0761D6478BD642FULL +
+                   0xE7037ED1A0B428DBULL * static_cast<std::uint64_t>(tid + 1)),
       body_(std::move(body)),
       fiber_(&SimThread::entry, this, stack_bytes) {}
 
 void SimThread::entry(void* self) {
+  Fiber::on_fiber_entry();  // ASan stack-switch bookkeeping; no-op otherwise
   auto* t = static_cast<SimThread*>(self);
   try {
     t->body_(*t);
@@ -40,6 +44,16 @@ void SimThread::maybe_yield() {
 
 void SimThread::yield() { sched_.yield_from(*this); }
 
+void SimThread::maybe_perturb() {
+  const PerturbConfig& p = sched_.config().perturb;
+  if (!perturb_rng_.next_bool(p.probability)) return;
+  if (!sched_.consume_perturb_point()) return;
+  // The delay alone changes the interleaving: the earliest-first scheduler
+  // re-sorts this thread behind everyone it jumped over at the maybe_yield()
+  // that follows in tick().
+  advance(1 + perturb_rng_.next_below(p.max_delay_cycles));
+}
+
 bool SimThread::stop_requested() const {
   return vclock_ >= sched_.deadline();
 }
@@ -60,7 +74,8 @@ Scheduler::~Scheduler() {
 SimThread& Scheduler::spawn(std::function<void(SimThread&)> body) {
   ELISION_CHECK_MSG(!running_, "spawn() during run() is not supported");
   const int tid = static_cast<int>(threads_.size());
-  ELISION_CHECK_MSG(tid < 64, "at most 64 simulated threads");
+  ELISION_CHECK_MSG(tid < kMaxSimThreads,
+                    "at most kMaxSimThreads simulated threads");
   threads_.push_back(std::make_unique<SimThread>(
       *this, tid, config_.seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL * (tid + 1),
       std::move(body), config_.fiber_stack_bytes));

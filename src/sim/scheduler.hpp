@@ -56,9 +56,13 @@ class SimThread {
   void yield();
 
   // Convenience: advance then maybe_yield. This is the hook the shared-memory
-  // layer calls once per simulated memory access.
+  // layer calls once per simulated memory access — and therefore the
+  // perturbation point of the schedule-exploration stress subsystem
+  // (src/stress): with PerturbConfig enabled, a random extra delay may be
+  // injected here before the yield decision.
   void tick(std::uint64_t cycles) {
     advance(cycles);
+    if (sched_perturb_enabled_) maybe_perturb();
     maybe_yield();
   }
 
@@ -73,11 +77,17 @@ class SimThread {
   friend class Scheduler;
   static void entry(void* self);
 
+  // Slow path of tick(): draws from the perturbation RNG and, budget
+  // permitting, jumps this thread's clock forward by a random delay.
+  void maybe_perturb();
+
   Scheduler& sched_;
   const int tid_;
   std::uint64_t vclock_ = 0;
   bool finished_ = false;
+  const bool sched_perturb_enabled_;
   support::Xoshiro256 rng_;
+  support::Xoshiro256 perturb_rng_;
   std::function<void(SimThread&)> body_;
   Fiber fiber_;
 };
@@ -108,6 +118,20 @@ class Scheduler {
   std::uint64_t deadline() const { return deadline_; }
   std::uint64_t switch_count() const { return switches_; }
 
+  // Perturbations injected so far (see PerturbConfig). The stress driver
+  // reads this after a failing run to seed budget minimization.
+  std::uint64_t perturb_points_used() const { return perturb_points_; }
+
+  // Consumes one unit of the perturbation budget; false when exhausted.
+  bool consume_perturb_point() {
+    if (config_.perturb.max_points != 0 &&
+        perturb_points_ >= config_.perturb.max_points) {
+      return false;
+    }
+    ++perturb_points_;
+    return true;
+  }
+
   // The thread currently executing, or nullptr when the host context runs.
   SimThread* current() { return current_; }
 
@@ -129,6 +153,7 @@ class Scheduler {
   SimThread* current_ = nullptr;
   std::uint64_t deadline_ = UINT64_MAX;
   std::uint64_t switches_ = 0;
+  std::uint64_t perturb_points_ = 0;
   bool running_ = false;
 };
 

@@ -1,0 +1,122 @@
+// Invariant checkers for the schedule-exploration stress subsystem.
+//
+// All checker state is host-side: it is invisible to the simulated cache-
+// coherence fabric (no Shared<T>), costs no virtual time, and therefore
+// cannot perturb the very interleavings it is checking. The price is that
+// checkers must be careful about speculative execution: a transactional
+// body may run, be rolled back, and run again, so host-side counters are
+// only touched from non-transactional executions (which never roll back).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+#include "tsx/tx_context.hpp"
+
+namespace elision::stress {
+
+// Mutual exclusion: at most one thread may be inside a critical section
+// *non-speculatively* per lock. Speculative (transactional) executions
+// legitimately overlap — the TM layer arbitrates them and rolls losers
+// back — so only non-transactional occupancy counts. Scope a Guard over the
+// critical-section body:
+//
+//   cs.run(ctx, [&] {
+//     MutualExclusionChecker::Guard g(checker, ctx);
+//     ... body ...
+//   });
+class MutualExclusionChecker {
+ public:
+  // Counts the enclosing scope as a non-speculative critical-section
+  // occupancy unless the thread is in a transaction. The decision is
+  // latched at construction: an abort can only unwind a *transactional*
+  // scope (never counted), so a counted scope always runs its destructor
+  // exactly once.
+  class Guard {
+   public:
+    Guard(MutualExclusionChecker& checker, tsx::Ctx& ctx)
+        : checker_(checker), counted_(!ctx.in_tx()) {
+      if (counted_ && ++checker_.inside_ > 1) ++checker_.violations_;
+    }
+    ~Guard() {
+      if (counted_) --checker_.inside_;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    MutualExclusionChecker& checker_;
+    const bool counted_;
+  };
+
+  std::uint64_t violations() const { return violations_; }
+  void reset() {
+    inside_ = 0;
+    violations_ = 0;
+  }
+
+ private:
+  int inside_ = 0;
+  std::uint64_t violations_ = 0;
+};
+
+// Virtual-time livelock/starvation watchdog. Feed it every region
+// completion (thread id + the completing thread's virtual clock); it flags
+// any thread that went `gap_cycles` of simulated time without completing a
+// region while the rest of the system completed at least `min_other_ops`
+// regions — i.e. the thread was starved, not the system idle.
+class StarvationWatchdog {
+ public:
+  StarvationWatchdog(int n_threads, std::uint64_t gap_cycles,
+                     std::uint64_t min_other_ops)
+      : gap_cycles_(gap_cycles),
+        min_other_ops_(min_other_ops),
+        threads_(static_cast<std::size_t>(n_threads)) {}
+
+  void note_completion(int tid, std::uint64_t now) {
+    ELISION_CHECK(tid >= 0 &&
+                  static_cast<std::size_t>(tid) < threads_.size());
+    auto& t = threads_[static_cast<std::size_t>(tid)];
+    check_gap(tid, t, now);
+    ++total_ops_;
+    t.last_completion = now;
+    t.ops_at_last = total_ops_;
+  }
+
+  // Call once after the run with the final virtual time: a thread that fell
+  // silent and never completed again is starvation too.
+  void finish(std::uint64_t end_time) {
+    for (std::size_t tid = 0; tid < threads_.size(); ++tid) {
+      check_gap(static_cast<int>(tid), threads_[tid], end_time);
+    }
+  }
+
+  const std::vector<std::string>& violations() const { return violations_; }
+
+ private:
+  struct PerThread {
+    std::uint64_t last_completion = 0;
+    std::uint64_t ops_at_last = 0;
+  };
+
+  void check_gap(int tid, const PerThread& t, std::uint64_t now) {
+    const std::uint64_t gap = now - t.last_completion;
+    const std::uint64_t other_ops = total_ops_ - t.ops_at_last;
+    if (gap > gap_cycles_ && other_ops >= min_other_ops_) {
+      violations_.push_back(
+          "thread " + std::to_string(tid) + " completed nothing for " +
+          std::to_string(gap) + " cycles while " +
+          std::to_string(other_ops) + " other completions went through");
+    }
+  }
+
+  const std::uint64_t gap_cycles_;
+  const std::uint64_t min_other_ops_;
+  std::vector<PerThread> threads_;
+  std::uint64_t total_ops_ = 0;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace elision::stress

@@ -1,0 +1,318 @@
+#include "stress/stress.hpp"
+
+#include <utility>
+
+#include "ds/hashtable.hpp"
+#include "harness/runner.hpp"
+#include "locks/clh_lock.hpp"
+#include "locks/mcs_lock.hpp"
+#include "locks/schemes.hpp"
+#include "locks/ticket_lock.hpp"
+#include "locks/ttas_lock.hpp"
+#include "stress/invariants.hpp"
+#include "stress/racy_lock.hpp"
+#include "support/check.hpp"
+
+namespace elision::stress {
+
+const char* lock_name(LockKind k) {
+  switch (k) {
+    case LockKind::kTtas: return locks::TtasLock::kName;
+    case LockKind::kMcs: return locks::McsLock::kName;
+    case LockKind::kTicket: return locks::TicketLock::kName;
+    case LockKind::kTicketAdj: return locks::TicketLockAdjusted::kName;
+    case LockKind::kClh: return locks::ClhLock::kName;
+    case LockKind::kClhAdj: return locks::ClhLockAdjusted::kName;
+    case LockKind::kRacy: return RacyLock::kName;
+  }
+  return "?";
+}
+
+std::vector<LockKind> all_locks() {
+  return {LockKind::kTtas,      LockKind::kMcs, LockKind::kTicket,
+          LockKind::kTicketAdj, LockKind::kClh, LockKind::kClhAdj};
+}
+
+const char* workload_name(Workload w) {
+  switch (w) {
+    case Workload::kCounter: return "counter";
+    case Workload::kHashTable: return "hashtable";
+  }
+  return "?";
+}
+
+std::vector<Workload> all_workloads() {
+  return {Workload::kCounter, Workload::kHashTable};
+}
+
+std::vector<locks::Scheme> all_schemes() {
+  std::vector<locks::Scheme> v(std::begin(locks::kAllSixSchemes),
+                               std::end(locks::kAllSixSchemes));
+  v.push_back(locks::Scheme::kRtmElide);
+  return v;
+}
+
+std::string case_name(const StressCase& c) {
+  std::string s = scheme_name(c.scheme);
+  s += '/';
+  s += lock_name(c.lock);
+  s += '/';
+  s += workload_name(c.workload);
+  s += " pseed=";
+  s += std::to_string(c.perturb_seed);
+  if (c.perturb_points != 0) {
+    s += " budget=";
+    s += std::to_string(c.perturb_points);
+  }
+  return s;
+}
+
+namespace {
+
+harness::BenchConfig base_config(const StressOptions& o, const StressCase& c) {
+  harness::BenchConfig cfg;
+  cfg.threads = o.threads;
+  cfg.duration_sec = o.duration_ms / 1e3;
+  cfg.machine.seed = o.workload_seed;
+  cfg.machine.max_switches = o.max_switches;
+  cfg.machine.perturb.probability = o.perturb_probability;
+  cfg.machine.perturb.max_delay_cycles = o.perturb_max_delay_cycles;
+  cfg.machine.perturb.seed = c.perturb_seed;
+  cfg.machine.perturb.max_points = c.perturb_points;
+  cfg.policy = locks::ElisionPolicy::from_scheme(c.scheme);
+  // Algorithm 3 as designed needs HLE nested inside RTM.
+  if (c.scheme == locks::Scheme::kHleScmNested) {
+    cfg.tsx.allow_hle_in_rtm = true;
+  }
+  cfg.telemetry = o.telemetry;
+  return cfg;
+}
+
+void fill_outcome(const harness::RunStats& stats, RunOutcome* out) {
+  out->ops = stats.ops;
+  out->aborts = stats.tx.aborts;
+  out->perturb_points_used = stats.perturb_points;
+  out->elapsed_cycles = stats.elapsed_cycles;
+  out->avalanche_episodes = stats.episodes.size();
+}
+
+void append_watchdog(const StarvationWatchdog& dog, RunOutcome* out) {
+  for (const std::string& v : dog.violations()) {
+    out->violations.push_back("starvation: " + v);
+  }
+}
+
+// One hot Shared counter. Every completed region increments it exactly once
+// (a committed transaction or a genuinely locked execution), so after the
+// run it must equal the harness's completed-op count: any racy overlap of
+// two non-speculative bodies manifests as a lost update.
+template <typename Lock>
+RunOutcome run_counter(const StressOptions& o, const StressCase& c) {
+  harness::BenchConfig cfg = base_config(o, c);
+  Lock lock;
+  locks::CriticalSection<Lock> cs(cfg.policy, lock);
+  tsx::Shared<std::uint64_t> counter(0);
+  MutualExclusionChecker mutex;
+  StarvationWatchdog dog(o.threads, o.starvation_gap_cycles,
+                         o.starvation_min_other_ops);
+  cfg.on_region_complete = [&dog](tsx::Ctx& ctx, const locks::RegionResult&) {
+    dog.note_completion(ctx.id(), ctx.thread().now());
+  };
+  const harness::RunStats stats =
+      harness::run_workload(cfg, [&](tsx::Ctx& ctx) {
+        return cs.run(ctx, [&] {
+          MutualExclusionChecker::Guard g(mutex, ctx);
+          counter.store(ctx, counter.load(ctx) + 1);
+          ctx.engine().compute(ctx, 20);
+        });
+      });
+  dog.finish(stats.elapsed_cycles);
+
+  RunOutcome out;
+  fill_outcome(stats, &out);
+  if (counter.unsafe_get() != stats.ops) {
+    out.violations.push_back(
+        "lost updates: counter=" + std::to_string(counter.unsafe_get()) +
+        " completed ops=" + std::to_string(stats.ops));
+  }
+  if (mutex.violations() > 0) {
+    out.violations.push_back(
+        "mutual exclusion: " + std::to_string(mutex.violations()) +
+        " overlapping non-speculative critical sections");
+  }
+  append_watchdog(dog, &out);
+  return out;
+}
+
+// Mixed insert/erase/lookup over the chained hash table. The net insertion
+// balance is tracked in a Shared counter (so speculative replays roll it
+// back together with the structure) and reconciled against the table's
+// actual size; the structure itself is validated node-by-node afterwards.
+template <typename Lock>
+RunOutcome run_hashtable(const StressOptions& o, const StressCase& c) {
+  harness::BenchConfig cfg = base_config(o, c);
+  Lock lock;
+  locks::CriticalSection<Lock> cs(cfg.policy, lock);
+  ds::HashTable table(o.hashtable_buckets, o.hashtable_capacity, o.threads);
+  // Prefill half the key domain so erase/lookup hit from the start.
+  std::uint64_t prefilled = 0;
+  for (std::uint64_t k = 0; k < o.hashtable_key_domain; k += 2) {
+    if (table.unsafe_insert(k, k * 3)) ++prefilled;
+  }
+  tsx::Shared<std::uint64_t> net(prefilled);
+  MutualExclusionChecker mutex;
+  StarvationWatchdog dog(o.threads, o.starvation_gap_cycles,
+                         o.starvation_min_other_ops);
+  cfg.on_region_complete = [&dog](tsx::Ctx& ctx, const locks::RegionResult&) {
+    dog.note_completion(ctx.id(), ctx.thread().now());
+  };
+  // Host-side, set-only: committed stores are always key*3, and the TM
+  // buffers speculative writes until commit, so no execution — not even a
+  // doomed one — should ever observe anything else.
+  std::uint64_t torn_values = 0;
+  const harness::RunStats stats =
+      harness::run_workload(cfg, [&](tsx::Ctx& ctx) {
+        const std::uint64_t key =
+            ctx.thread().rng().next_below(o.hashtable_key_domain);
+        const std::uint64_t dice = ctx.thread().rng().next_below(100);
+        return cs.run(ctx, [&] {
+          MutualExclusionChecker::Guard g(mutex, ctx);
+          if (dice < 35) {
+            if (table.insert(ctx, key, key * 3)) {
+              net.store(ctx, net.load(ctx) + 1);
+            }
+          } else if (dice < 70) {
+            if (table.erase(ctx, key)) {
+              net.store(ctx, net.load(ctx) - 1);
+            }
+          } else {
+            std::uint64_t v = 0;
+            if (table.lookup(ctx, key, &v) && v != key * 3) ++torn_values;
+          }
+        });
+      });
+  dog.finish(stats.elapsed_cycles);
+
+  RunOutcome out;
+  fill_outcome(stats, &out);
+  std::string why;
+  if (!table.unsafe_validate(&why)) {
+    out.violations.push_back("hashtable structure: " + why);
+  }
+  if (net.unsafe_get() != table.unsafe_size()) {
+    out.violations.push_back(
+        "hashtable net size: tracked " + std::to_string(net.unsafe_get()) +
+        " but table holds " + std::to_string(table.unsafe_size()));
+  }
+  if (torn_values > 0) {
+    out.violations.push_back("hashtable torn values: " +
+                             std::to_string(torn_values) +
+                             " lookups observed value != 3*key");
+  }
+  if (mutex.violations() > 0) {
+    out.violations.push_back(
+        "mutual exclusion: " + std::to_string(mutex.violations()) +
+        " overlapping non-speculative critical sections");
+  }
+  append_watchdog(dog, &out);
+  return out;
+}
+
+template <typename Lock>
+RunOutcome run_with(const StressOptions& o, const StressCase& c) {
+  switch (c.workload) {
+    case Workload::kCounter: return run_counter<Lock>(o, c);
+    case Workload::kHashTable: return run_hashtable<Lock>(o, c);
+  }
+  ELISION_CHECK_MSG(false, "unknown workload");
+  return {};
+}
+
+}  // namespace
+
+RunOutcome run_case(const StressOptions& o, const StressCase& c) {
+  switch (c.lock) {
+    case LockKind::kTtas: return run_with<locks::TtasLock>(o, c);
+    case LockKind::kMcs: return run_with<locks::McsLock>(o, c);
+    case LockKind::kTicket: return run_with<locks::TicketLock>(o, c);
+    case LockKind::kTicketAdj:
+      return run_with<locks::TicketLockAdjusted>(o, c);
+    case LockKind::kClh: return run_with<locks::ClhLock>(o, c);
+    case LockKind::kClhAdj: return run_with<locks::ClhLockAdjusted>(o, c);
+    case LockKind::kRacy:
+      ELISION_CHECK_MSG(c.scheme == locks::Scheme::kStandard,
+                        "RacyLock is a standard-scheme self-test instrument");
+      return run_with<RacyLock>(o, c);
+  }
+  ELISION_CHECK_MSG(false, "unknown lock kind");
+  return {};
+}
+
+Minimized minimize_case(const StressOptions& o, StressCase c) {
+  Minimized best;
+  best.points = c.perturb_points;
+  best.outcome = run_case(o, c);
+  if (best.outcome.ok()) return best;
+  // Pin the budget to what the failing run actually used, then keep halving
+  // while the failure reproduces. Greedy, not exhaustive: failures need not
+  // be monotone in the budget, so this finds *a* small repro, cheaply.
+  std::uint64_t points = best.outcome.perturb_points_used;
+  if (points == 0) {
+    best.points = 0;
+    return best;  // fails with no injections at all: nothing to shrink
+  }
+  for (;;) {
+    c.perturb_points = points;
+    RunOutcome trial = run_case(o, c);
+    if (!trial.ok()) {
+      best.points = points;
+      best.outcome = std::move(trial);
+      if (points <= 1) break;
+      points /= 2;
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+SweepStats sweep(
+    const StressOptions& o, const std::vector<locks::Scheme>& schemes,
+    const std::vector<LockKind>& locks, const std::vector<Workload>& workloads,
+    std::uint64_t first_seed, int n_seeds,
+    const std::function<void(const StressCase&, const RunOutcome&)>& on_run) {
+  SweepStats stats;
+  for (int i = 0; i < n_seeds; ++i) {
+    for (const locks::Scheme scheme : schemes) {
+      for (const LockKind lock : locks) {
+        for (const Workload workload : workloads) {
+          StressCase c;
+          c.scheme = scheme;
+          c.lock = lock;
+          c.workload = workload;
+          c.perturb_seed = first_seed + static_cast<std::uint64_t>(i);
+          const RunOutcome out = run_case(o, c);
+          ++stats.runs;
+          stats.total_ops += out.ops;
+          if (!out.ok()) {
+            FailureReport f;
+            f.c = c;
+            if (o.minimize) {
+              const Minimized m = minimize_case(o, c);
+              f.outcome = m.outcome;
+              f.minimized_points = m.points;
+            } else {
+              f.outcome = out;
+              f.minimized_points = c.perturb_points;
+            }
+            stats.failures.push_back(std::move(f));
+          }
+          if (on_run) on_run(c, out);
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace elision::stress

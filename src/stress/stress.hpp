@@ -1,0 +1,158 @@
+// Schedule-exploration stress harness.
+//
+// The deterministic virtual-time simulator executes exactly one
+// interleaving per seed, so a fixed-seed test suite explores a vanishingly
+// small corner of the schedule space — and fallback-path bugs (the place
+// HTM algorithms actually break) hide in the rest of it. This subsystem
+// systematically perturbs schedules and checks invariants:
+//
+//  * perturbation — sim::PerturbConfig injects random extra delays at
+//    shared-memory access points, driven by a dedicated per-run seed
+//    (the workload's own random choices are untouched);
+//  * invariants — mutual exclusion (at most one *non-speculative* thread
+//    per lock's critical section), lost-update detection, data-structure
+//    validation after every run, and a virtual-time starvation watchdog;
+//  * sweeping — run_case() executes one (scheme, lock, workload,
+//    perturbation seed) cell; sweep() crosses scheme x lock x workload x
+//    seed; minimize_case() shrinks a failing seed's perturbation budget to
+//    the smallest injection prefix that still reproduces the violation.
+//
+// Reproduce any reported failure with tools/stress_cli (see docs/stress.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "locks/policy.hpp"
+
+namespace elision::stress {
+
+// Locks under test. kRacy is the self-test instrument (racy_lock.hpp):
+// excluded from all_locks(), only valid with Scheme::kStandard.
+enum class LockKind {
+  kTtas,
+  kMcs,
+  kTicket,
+  kTicketAdj,
+  kClh,
+  kClhAdj,
+  kRacy,
+};
+
+const char* lock_name(LockKind k);
+std::vector<LockKind> all_locks();
+
+enum class Workload {
+  kCounter,    // one hot Shared counter; checks lost updates + mutex
+  kHashTable,  // mixed insert/erase/lookup; checks structure + net size
+};
+
+const char* workload_name(Workload w);
+std::vector<Workload> all_workloads();
+
+// Schemes covered by "--schemes all": the paper's six evaluated schemes
+// plus the RTM-based elision mechanism.
+std::vector<locks::Scheme> all_schemes();
+
+// Per-sweep knobs (shared by every case of a sweep).
+struct StressOptions {
+  int threads = 8;
+  double duration_ms = 0.05;  // virtual milliseconds per run
+
+  // Perturbation layer (sim::PerturbConfig; the per-case seed and budget
+  // live in StressCase).
+  double perturb_probability = 0.05;
+  std::uint64_t perturb_max_delay_cycles = 2000;
+
+  // Workload randomness (distinct from the perturbation seed: the sweep
+  // varies schedules over a fixed workload).
+  std::uint64_t workload_seed = 0x1234ABCDULL;
+
+  // Starvation watchdog: flag a thread silent for gap_cycles of virtual
+  // time while >= min_other_ops other completions went through.
+  std::uint64_t starvation_gap_cycles = 400000;
+  std::uint64_t starvation_min_other_ops = 50;
+
+  // Deadlock valve: abort the simulation (loudly) after this many context
+  // switches. 0 disables.
+  std::uint64_t max_switches = 50000000;
+
+  // Attach an abort-telemetry ring to each run and report episode counts
+  // in the outcome (host-memory cost only; see docs/telemetry.md).
+  bool telemetry = false;
+
+  // Hash-table workload sizing.
+  std::uint64_t hashtable_key_domain = 96;
+  std::size_t hashtable_buckets = 32;
+  std::size_t hashtable_capacity = 256;
+
+  // Shrink failing seeds' perturbation budgets during sweep().
+  bool minimize = true;
+};
+
+// One cell of the sweep.
+struct StressCase {
+  locks::Scheme scheme = locks::Scheme::kHle;
+  LockKind lock = LockKind::kTtas;
+  Workload workload = Workload::kCounter;
+  std::uint64_t perturb_seed = 0;
+  // Perturbation budget (sim::PerturbConfig::max_points); 0 = unlimited.
+  std::uint64_t perturb_points = 0;
+};
+
+std::string case_name(const StressCase& c);
+
+struct RunOutcome {
+  std::vector<std::string> violations;
+  std::uint64_t ops = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t perturb_points_used = 0;
+  std::uint64_t elapsed_cycles = 0;
+  std::uint64_t avalanche_episodes = 0;  // only when telemetry is on
+  bool ok() const { return violations.empty(); }
+};
+
+// Runs one case under the options' perturbation/invariant configuration.
+RunOutcome run_case(const StressOptions& o, const StressCase& c);
+
+// Greedy budget-halving repro shrinking: starting from the failing run's
+// injection count, keep halving the budget while the violation still
+// reproduces. Returns the smallest failing budget found (not guaranteed
+// globally minimal — failures need not be monotone in the budget) and the
+// outcome under it. If `c` does not fail at all, returns its passing
+// outcome with points == c.perturb_points.
+struct Minimized {
+  std::uint64_t points = 0;
+  RunOutcome outcome;
+};
+Minimized minimize_case(const StressOptions& o, StressCase c);
+
+struct FailureReport {
+  StressCase c;
+  RunOutcome outcome;
+  // Smallest failing perturbation budget (== outcome's budget when
+  // minimization is off).
+  std::uint64_t minimized_points = 0;
+};
+
+struct SweepStats {
+  int runs = 0;
+  std::uint64_t total_ops = 0;
+  std::vector<FailureReport> failures;
+  bool ok() const { return failures.empty(); }
+};
+
+// Crosses schemes x locks x workloads x perturbation seeds
+// [first_seed, first_seed + n_seeds). `on_run`, if set, is called after
+// every case (progress reporting).
+SweepStats sweep(
+    const StressOptions& o, const std::vector<locks::Scheme>& schemes,
+    const std::vector<LockKind>& locks,
+    const std::vector<Workload>& workloads, std::uint64_t first_seed,
+    int n_seeds,
+    const std::function<void(const StressCase&, const RunOutcome&)>& on_run =
+        {});
+
+}  // namespace elision::stress

@@ -4,7 +4,17 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "sim/machine_config.hpp"
+
 namespace elision::tsx {
+
+// Maximum simulated threads the TSX layer supports. The line table tracks
+// readers with one bit per thread in a 64-bit mask (TxContext::bit()), so
+// this equals — and must never exceed — the scheduler's own cap. Lock
+// implementations size their per-thread slot arrays from this constant and
+// bounds-check thread ids against it.
+inline constexpr int kMaxThreads = sim::kMaxSimThreads;
+static_assert(kMaxThreads <= 64, "thread ids must fit a 64-bit reader mask");
 
 // Conflict-management policy of the simulated TM.
 //

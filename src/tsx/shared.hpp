@@ -5,6 +5,14 @@
 // conflict detection, elision, and virtual-time cost accounting. T must be
 // trivially copyable and at most 8 bytes (pointers, integers, doubles,
 // small enums/structs).
+//
+// Because every access ends in the engine's cost accounting, each one is
+// also a SimThread::tick() call — and therefore a perturbation point for the
+// schedule-exploration stress subsystem (src/stress, sim::PerturbConfig):
+// stress runs may inject a random delay at any Shared<T> access, exploring
+// interleavings a fixed seed would never produce. Code that bypasses
+// Shared<T> for simulated state is invisible to conflict detection *and* to
+// the stress harness; don't.
 #pragma once
 
 #include <cstdint>

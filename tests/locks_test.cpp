@@ -151,6 +151,48 @@ void expect_fifo_order() {
   EXPECT_EQ(acquisition_order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
 }
 
+// Regression: the per-thread slot arrays (ticket/MCS/CLH) were hard-coded
+// to 64 entries while the scheduler's thread cap lived elsewhere; a larger
+// simulated machine would have silently corrupted neighbouring memory. The
+// arrays are now sized from tsx::kMaxThreads (the single source of truth)
+// and lock() bounds-checks the id — so the locks must work, not just
+// compile, at exactly the cap.
+template <typename Lock>
+void expect_correct_at_thread_cap() {
+  Lock lock;
+  tsx::Shared<std::uint64_t> counter(0);
+  sim::MachineConfig m = quiet_machine();
+  sim::Scheduler sched(m);
+  tsx::Engine eng(sched, quiet_tsx());
+  constexpr int kThreads = tsx::kMaxThreads;
+  constexpr int kIters = 5;
+  for (int t = 0; t < kThreads; ++t) {
+    sched.spawn([&](sim::SimThread& st) {
+      auto& ctx = eng.context(st);
+      for (int k = 0; k < kIters; ++k) {
+        lock.lock(ctx);
+        counter.store(ctx, counter.load(ctx) + 1);
+        lock.unlock(ctx);
+      }
+    });
+  }
+  sched.run();
+  EXPECT_EQ(counter.unsafe_get(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(ThreadCap, TicketAtMaxThreads) {
+  expect_correct_at_thread_cap<TicketLock>();
+}
+TEST(ThreadCap, TicketAdjustedAtMaxThreads) {
+  expect_correct_at_thread_cap<TicketLockAdjusted>();
+}
+TEST(ThreadCap, McsAtMaxThreads) { expect_correct_at_thread_cap<McsLock>(); }
+TEST(ThreadCap, ClhAtMaxThreads) { expect_correct_at_thread_cap<ClhLock>(); }
+TEST(ThreadCap, ClhAdjustedAtMaxThreads) {
+  expect_correct_at_thread_cap<ClhLockAdjusted>();
+}
+
 TEST(Fairness, McsIsFifo) { expect_fifo_order<McsLock>(); }
 TEST(Fairness, TicketIsFifo) { expect_fifo_order<TicketLock>(); }
 TEST(Fairness, TicketAdjustedIsFifo) { expect_fifo_order<TicketLockAdjusted>(); }

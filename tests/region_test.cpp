@@ -186,6 +186,34 @@ TEST(Region, RtmElideCountsAbortsHleCannot) {
   EXPECT_GT(eng.total_stats().aborts, 0u);
 }
 
+TEST(Region, BackoffClampsPathologicalBase) {
+  // Regression: `base << failures` wraps modulo 2^64 for large bases — for
+  // base = 2^60 and shift 10 it wraps to exactly 0, which next_below()
+  // rejects (and which would mean "no backoff" precisely when the caller
+  // asked for the longest one). The clamp must keep every wait in
+  // [1, kMaxBackoffBoundCycles] without overflowing the shift.
+  const std::uint64_t bases[] = {
+      1, 1000, std::uint64_t{1} << 60, ~std::uint64_t{0}};
+  for (const std::uint64_t base : bases) {
+    sim::Scheduler sched(quiet_machine());
+    tsx::Engine eng(sched, quiet_tsx());
+    sched.spawn([&](sim::SimThread& st) {
+      auto& ctx = eng.context(st);
+      RetryParams p;
+      p.backoff_base_cycles = base;
+      for (const int failures : {0, 1, 10, 64, 1000}) {
+        const std::uint64_t before = st.now();
+        detail::backoff(ctx, p, failures);
+        const std::uint64_t waited = st.now() - before;
+        EXPECT_GE(waited, 1u) << "base=" << base << " failures=" << failures;
+        EXPECT_LE(waited, detail::kMaxBackoffBoundCycles)
+            << "base=" << base << " failures=" << failures;
+      }
+    });
+    sched.run();
+  }
+}
+
 TEST(Region, BodySideEffectsReplayOnRetry) {
   // Host-side (non-simulated) body effects replay on every attempt: the
   // caller contract is that bodies are idempotent apart from simulated

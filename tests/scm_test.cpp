@@ -101,9 +101,11 @@ TEST(Scm, ConflictingThreadsProgressWithoutTakingMainLock) {
   EXPECT_LT(static_cast<double>(nonspec) / static_cast<double>(ops), 0.05);
 }
 
-TEST(Scm, GivesUpAndTakesMainLockAfterMaxRetries) {
-  // Force hopeless speculation with a write-set-overflowing body: the aux
-  // holder must fall back to the main lock after max_retries failures.
+TEST(Scm, HopelessAbortShortCircuitsToMainLock) {
+  // Regression: a capacity abort's status lacks the RETRY bit — retrying
+  // can never succeed. scm_region used to serialize max_retries hopeless
+  // re-executions on the aux lock anyway; now it must go straight to the
+  // main lock after the first failure.
   TtasLock main;
   McsLock aux;
   constexpr std::size_t kLines = 600;  // > 512: always capacity-aborts
@@ -118,11 +120,49 @@ TEST(Scm, GivesUpAndTakesMainLockAfterMaxRetries) {
       for (auto& b : big) b.value.store(ctx, b.value.load(ctx) + 1);
     });
     EXPECT_FALSE(r.speculative);
-    // 1 initial + 3 retries (speculative) + 1 non-speculative completion.
-    EXPECT_EQ(r.attempts, 5);
+    EXPECT_EQ(r.last_abort, tsx::AbortCause::kCapacity);
+    // Exactly 1 speculative attempt + 1 non-speculative completion: no
+    // doomed retries, no aux-lock episode.
+    EXPECT_EQ(r.attempts, 2);
   });
   sched.run();
   for (auto& b : big) EXPECT_EQ(b.value.unsafe_get(), 1u);
+}
+
+TEST(Scm, GivesUpAndTakesMainLockAfterMaxRetries) {
+  // Retryable (conflict) aborts still go through the full aux-lock episode:
+  // a disturber thread keeps writing the hot line non-transactionally, so
+  // every speculative re-execution conflict-aborts (with RETRY set), and the
+  // aux holder must fall back to the main lock after max_retries failures.
+  TtasLock main;
+  McsLock aux;
+  tsx::Shared<std::uint64_t> hot(0);
+  bool done = false;  // host-side: invisible to conflict detection
+  sim::Scheduler sched(quiet_machine());
+  tsx::Engine eng(sched, quiet_tsx());
+  sched.spawn([&](sim::SimThread& st) {
+    auto& ctx = eng.context(st);
+    while (!done) hot.store(ctx, hot.load(ctx) + 1);
+  });
+  sched.spawn([&](sim::SimThread& st) {
+    auto& ctx = eng.context(st);
+    ScmParams p;
+    p.max_retries = 3;
+    const auto r = scm_region(ctx, main, aux, p, [&] {
+      // Long window: several re-reads of the contended line make a commit
+      // between two disturber stores impossible.
+      for (int i = 0; i < 20; ++i) {
+        hot.store(ctx, hot.load(ctx) + 1);
+      }
+    });
+    done = true;
+    EXPECT_FALSE(r.speculative);
+    EXPECT_EQ(r.last_abort, tsx::AbortCause::kConflict);
+    // 1 initial + 3 aux-serialized retries + 1 non-speculative completion.
+    EXPECT_EQ(r.attempts, 5);
+  });
+  sched.run();
+  EXPECT_GE(hot.unsafe_get(), 20u);
 }
 
 TEST(Scm, AuxiliaryLockReleasedAfterEpisode) {

@@ -22,6 +22,7 @@ TEST(Fiber, RunsEntryOnSwitch) {
   static Fiber* worker;
   Fiber w(
       [](void*) {
+        Fiber::on_fiber_entry();  // required first on every fresh fiber stack
         value = 42;
         Fiber::switch_to(*worker, host);
       },

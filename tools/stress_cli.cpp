@@ -1,0 +1,218 @@
+// stress_cli: schedule-exploration stress driver (see docs/stress.md).
+//
+// Sweeps scheme x lock x workload x perturbation-seed, checks the run-time
+// invariants from src/stress, and shrinks any failing seed's perturbation
+// budget to a small reproducer. Exit status 0 iff no violations.
+//
+//   stress_cli --schemes all --locks all --seeds 200
+//   stress_cli --schemes HLE-SCM --locks MCS --workloads hashtable
+//              --seeds 50 --prob 0.1
+//   stress_cli --selftest     # must *find* the planted RacyLock bug
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "stress/stress.hpp"
+
+namespace {
+
+using elision::locks::Scheme;
+using namespace elision::stress;
+
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::fprintf(stderr, "stress_cli: %s\n", msg.c_str());
+  std::fprintf(
+      stderr,
+      "usage: stress_cli [--schemes all|NAME[,NAME...]]\n"
+      "                  [--locks all|NAME[,NAME...]]\n"
+      "                  [--workloads all|counter|hashtable]\n"
+      "                  [--seeds N] [--first-seed S] [--threads N]\n"
+      "                  [--duration-ms MS] [--prob P] [--max-delay CYCLES]\n"
+      "                  [--no-minimize] [--telemetry] [--quiet]\n"
+      "                  [--selftest]\n");
+  std::exit(2);
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::vector<Scheme> parse_schemes(const std::string& arg) {
+  if (arg == "all") return all_schemes();
+  static const Scheme kKnown[] = {
+      Scheme::kStandard,  Scheme::kHle,          Scheme::kHleScm,
+      Scheme::kPesSlr,    Scheme::kOptSlr,       Scheme::kOptSlrScm,
+      Scheme::kRtmElide,  Scheme::kHleScmNested, Scheme::kHleGroupedScm,
+  };
+  std::vector<Scheme> out;
+  for (const std::string& name : split_commas(arg)) {
+    bool found = false;
+    for (const Scheme s : kKnown) {
+      if (name == elision::locks::scheme_name(s)) {
+        out.push_back(s);
+        found = true;
+        break;
+      }
+    }
+    if (!found) usage_error("unknown scheme '" + name + "'");
+  }
+  return out;
+}
+
+std::vector<LockKind> parse_locks(const std::string& arg) {
+  if (arg == "all") return all_locks();
+  static const LockKind kKnown[] = {
+      LockKind::kTtas, LockKind::kMcs, LockKind::kTicket,
+      LockKind::kTicketAdj, LockKind::kClh, LockKind::kClhAdj,
+      LockKind::kRacy,
+  };
+  std::vector<LockKind> out;
+  for (const std::string& name : split_commas(arg)) {
+    bool found = false;
+    for (const LockKind k : kKnown) {
+      if (name == lock_name(k)) {
+        out.push_back(k);
+        found = true;
+        break;
+      }
+    }
+    if (!found) usage_error("unknown lock '" + name + "'");
+  }
+  return out;
+}
+
+std::vector<Workload> parse_workloads(const std::string& arg) {
+  if (arg == "all") return all_workloads();
+  std::vector<Workload> out;
+  for (const std::string& name : split_commas(arg)) {
+    if (name == workload_name(Workload::kCounter)) {
+      out.push_back(Workload::kCounter);
+    } else if (name == workload_name(Workload::kHashTable)) {
+      out.push_back(Workload::kHashTable);
+    } else {
+      usage_error("unknown workload '" + name + "'");
+    }
+  }
+  return out;
+}
+
+void print_failure(const FailureReport& f) {
+  std::printf("FAIL %s (minimized budget=%llu)\n", case_name(f.c).c_str(),
+              static_cast<unsigned long long>(f.minimized_points));
+  for (const std::string& v : f.outcome.violations) {
+    std::printf("     %s\n", v.c_str());
+  }
+}
+
+// Self-test: the harness must be able to find the planted check-then-act
+// bug in RacyLock within a modest seed budget, and shrink it.
+int run_selftest(StressOptions o, std::uint64_t first_seed, int n_seeds,
+                 bool quiet) {
+  o.minimize = true;
+  const SweepStats s =
+      sweep(o, {Scheme::kStandard}, {LockKind::kRacy},
+            {Workload::kCounter}, first_seed, n_seeds);
+  if (s.failures.empty()) {
+    std::printf("selftest: FAILED — %d perturbed runs missed the planted "
+                "RacyLock bug (raise --seeds or --prob)\n",
+                s.runs);
+    return 1;
+  }
+  if (!quiet) {
+    std::printf("selftest: ok — planted bug found in %zu/%d runs; first:\n",
+                s.failures.size(), s.runs);
+    print_failure(s.failures.front());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  StressOptions o;
+  std::vector<Scheme> schemes = all_schemes();
+  std::vector<LockKind> locks = all_locks();
+  std::vector<Workload> workloads = all_workloads();
+  std::uint64_t first_seed = 1;
+  int n_seeds = 20;
+  bool quiet = false;
+  bool selftest = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error("missing value for " + a);
+      return argv[++i];
+    };
+    if (a == "--schemes") {
+      schemes = parse_schemes(value());
+    } else if (a == "--locks") {
+      locks = parse_locks(value());
+    } else if (a == "--workloads") {
+      workloads = parse_workloads(value());
+    } else if (a == "--seeds") {
+      n_seeds = std::atoi(value().c_str());
+    } else if (a == "--first-seed") {
+      first_seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (a == "--threads") {
+      o.threads = std::atoi(value().c_str());
+    } else if (a == "--duration-ms") {
+      o.duration_ms = std::atof(value().c_str());
+    } else if (a == "--prob") {
+      o.perturb_probability = std::atof(value().c_str());
+    } else if (a == "--max-delay") {
+      o.perturb_max_delay_cycles = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (a == "--no-minimize") {
+      o.minimize = false;
+    } else if (a == "--telemetry") {
+      o.telemetry = true;
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (a == "--selftest") {
+      selftest = true;
+    } else if (a == "--help" || a == "-h") {
+      usage_error("help");
+    } else {
+      usage_error("unknown flag '" + a + "'");
+    }
+  }
+  if (n_seeds <= 0) usage_error("--seeds must be positive");
+
+  if (selftest) return run_selftest(o, first_seed, n_seeds, quiet);
+
+  int done = 0;
+  const int total = n_seeds * static_cast<int>(schemes.size()) *
+                    static_cast<int>(locks.size()) *
+                    static_cast<int>(workloads.size());
+  const SweepStats s = sweep(
+      o, schemes, locks, workloads, first_seed, n_seeds,
+      [&](const StressCase& c, const RunOutcome& out) {
+        ++done;
+        if (!out.ok()) {
+          std::printf("[%d/%d] VIOLATION %s\n", done, total,
+                      case_name(c).c_str());
+        } else if (!quiet && done % 100 == 0) {
+          std::printf("[%d/%d] ok\n", done, total);
+          std::fflush(stdout);
+        }
+      });
+
+  std::printf("%d runs, %llu total ops, %zu failing\n", s.runs,
+              static_cast<unsigned long long>(s.total_ops),
+              s.failures.size());
+  for (const FailureReport& f : s.failures) print_failure(f);
+  return s.ok() ? 0 : 1;
+}
