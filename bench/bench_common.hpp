@@ -1,7 +1,8 @@
-// Shared driver for the red-black-tree figure benches: builds the paper's
-// benchmark (a global-lock-protected tree, random insert/delete/lookup mix,
-// fixed virtual duration) for any (lock, scheme, size, mix, threads)
-// combination.
+// Shared driver for the red-black-tree figure benches. The point machinery
+// (RbPoint, run_rb_point, the tree-size sweeps and mixes) is library code in
+// src/harness/rb_workload.hpp so the bench-suite driver and tests run the
+// exact same definitions; this header re-exports it under elision::bench for
+// the figure binaries, plus the headers their main()s have come to rely on.
 #pragma once
 
 #include <cstddef>
@@ -9,8 +10,9 @@
 
 #include "ds/hashtable.hpp"
 #include "ds/rbtree.hpp"
-#include "harness/runner.hpp"
+#include "harness/rb_workload.hpp"
 #include "harness/report.hpp"
+#include "harness/runner.hpp"
 #include "locks/clh_lock.hpp"
 #include "locks/mcs_lock.hpp"
 #include "locks/schemes.hpp"
@@ -20,164 +22,14 @@
 
 namespace elision::bench {
 
-enum class LockSel { kTtas, kMcs, kTicketAdj, kClhAdj, kTicket, kClh };
-
-inline const char* lock_sel_name(LockSel s) {
-  switch (s) {
-    case LockSel::kTtas: return "TTAS";
-    case LockSel::kMcs: return "MCS";
-    case LockSel::kTicketAdj: return "Ticket-adj";
-    case LockSel::kClhAdj: return "CLH-adj";
-    case LockSel::kTicket: return "Ticket";
-    case LockSel::kClh: return "CLH";
-  }
-  return "?";
-}
-
-struct RbPoint {
-  std::size_t size = 128;
-  int update_pct = 20;  // split evenly between inserts and deletes
-  int threads = 8;
-  // Accepts a bare locks::Scheme (implicit conversion) or a tuned policy.
-  locks::ElisionPolicy scheme = locks::ElisionPolicy::standard();
-  LockSel lock = LockSel::kTtas;
-  double duration_sec = 0.003;
-  // Collect an event trace and derive avalanche/rejoin statistics.
-  bool telemetry = false;
-  tsx::AvalancheConfig avalanche;
-  // Runs averaged per point (different machine seeds). Avalanche latching
-  // is bistable at short windows, so single runs have high variance.
-  int seeds = 2;
-  bool hardware_extension = false;
-  std::uint64_t timeline_slot_cycles = 0;
-  std::uint64_t seed = 42;
-
-  // Out-param: fraction of TTAS lock arrivals that found the lock held
-  // (the boxed series of Fig 3.1). Only filled for LockSel::kTtas.
-  double* arrival_held_frac = nullptr;
-};
-
-namespace detail {
-
-template <typename Lock>
-harness::RunStats run_rb_with_lock(const RbPoint& p, ds::RbTree& tree) {
-  Lock lock;
-  locks::CriticalSection<Lock> cs(p.scheme, lock);
-  harness::BenchConfig cfg;
-  cfg.threads = p.threads;
-  cfg.duration_sec = p.duration_sec;
-  cfg.duration_scale = harness::env_duration_scale();
-  cfg.tsx.hardware_extension = p.hardware_extension;
-  cfg.machine.seed = p.seed;
-  cfg.timeline_slot_cycles = p.timeline_slot_cycles;
-  cfg.policy = p.scheme;
-  cfg.telemetry = p.telemetry;
-  cfg.avalanche = p.avalanche;
-  const std::uint64_t domain = p.size * 2;
-  const int half_updates = p.update_pct / 2;
-  auto stats = harness::run_workload(cfg, [&](tsx::Ctx& ctx) {
-    auto& rng = ctx.thread().rng();
-    const std::uint64_t key = rng.next_below(domain);
-    const auto dice = static_cast<int>(rng.next_below(100));
-    return cs.run(ctx, [&] {
-      if (dice < half_updates) {
-        tree.insert(ctx, key);
-      } else if (dice < p.update_pct) {
-        tree.erase(ctx, key);
-      } else {
-        tree.contains(ctx, key);
-      }
-    });
-  });
-  if constexpr (std::is_same_v<Lock, locks::TtasLock>) {
-    if (p.arrival_held_frac != nullptr) {
-      *p.arrival_held_frac =
-          lock.arrivals() > 0
-              ? static_cast<double>(lock.arrivals_lock_held()) /
-                    static_cast<double>(lock.arrivals())
-              : 0.0;
-    }
-  }
-  return stats;
-}
-
-}  // namespace detail
-
-// Builds the tree (random keys from a domain of 2*size, as in Ch. 3) and
-// runs the benchmark for the configured virtual duration, once.
-inline harness::RunStats run_rb_point_once(const RbPoint& p) {
-  ds::RbTree tree(p.size * 4 + 256);
-  support::Xoshiro256 fill(p.seed);
-  std::size_t filled = 0;
-  while (filled < p.size) {
-    if (tree.unsafe_insert(fill.next_below(p.size * 2))) ++filled;
-  }
-  tree.unsafe_distribute_free_lists(p.threads);
-  switch (p.lock) {
-    case LockSel::kTtas:
-      return detail::run_rb_with_lock<locks::TtasLock>(p, tree);
-    case LockSel::kMcs:
-      return detail::run_rb_with_lock<locks::McsLock>(p, tree);
-    case LockSel::kTicketAdj:
-      return detail::run_rb_with_lock<locks::TicketLockAdjusted>(p, tree);
-    case LockSel::kClhAdj:
-      return detail::run_rb_with_lock<locks::ClhLockAdjusted>(p, tree);
-    case LockSel::kTicket:
-      return detail::run_rb_with_lock<locks::TicketLock>(p, tree);
-    case LockSel::kClh:
-      return detail::run_rb_with_lock<locks::ClhLock>(p, tree);
-  }
-  return {};
-}
-
-// Averages `p.seeds` independent runs (the paper averages 10 three-second
-// runs per point).
-inline harness::RunStats run_rb_point(const RbPoint& p) {
-  harness::RunStats total;
-  RbPoint q = p;
-  q.arrival_held_frac = nullptr;
-  double arrival_sum = 0.0;
-  const int n = p.seeds > 0 ? p.seeds : 1;
-  for (int s = 0; s < n; ++s) {
-    q.seed = p.seed + static_cast<std::uint64_t>(s) * 0x9E3779B9ULL;
-    double arrival = 0.0;
-    q.arrival_held_frac = p.arrival_held_frac != nullptr ? &arrival : nullptr;
-    const auto r = run_rb_point_once(q);
-    total.ops += r.ops;
-    total.spec_ops += r.spec_ops;
-    total.nonspec_ops += r.nonspec_ops;
-    total.attempts += r.attempts;
-    total.elapsed_cycles += r.elapsed_cycles;
-    total.ghz = r.ghz;
-    total.tx += r.tx;
-    total.attempts_hist.merge(r.attempts_hist);
-    total.rejoin_hist.merge(r.rejoin_hist);
-    total.episodes.insert(total.episodes.end(), r.episodes.begin(),
-                          r.episodes.end());
-    total.telemetry_events += r.telemetry_events;
-    total.telemetry_dropped += r.telemetry_dropped;
-    arrival_sum += arrival;
-  }
-  if (p.arrival_held_frac != nullptr) *p.arrival_held_frac = arrival_sum / n;
-  return total;
-}
-
-// The paper's tree-size sweep (Fig 3.1/3.4/5.2 x-axis).
-inline const std::size_t kTreeSizes[] = {2,    8,    32,   128,   512,
-                                         2048, 8192, 32768, 131072, 524288};
-
-// A faster subset for the benches that run many (scheme x lock) combos.
-inline const std::size_t kTreeSizesSmall[] = {2, 8, 32, 128, 512, 2048, 8192,
-                                              32768};
-
-struct Mix {
-  const char* name;
-  int update_pct;
-};
-inline const Mix kMixes[] = {
-    {"lookups-only", 0},
-    {"10i-10d-80l", 20},
-    {"50i-50d", 100},
-};
+using harness::LockSel;
+using harness::lock_sel_name;
+using harness::RbPoint;
+using harness::run_rb_point;
+using harness::run_rb_point_once;
+using harness::kTreeSizes;
+using harness::kTreeSizesSmall;
+using harness::Mix;
+using harness::kMixes;
 
 }  // namespace elision::bench

@@ -24,9 +24,19 @@ void timeline_for(elision::bench::LockSel lock) {
   p.timeline_slot_cycles = 340000;
   const auto stats = run_rb_point(p);
 
-  const double slots_used =
-      static_cast<double>(stats.elapsed_cycles) / p.timeline_slot_cycles;
-  const double avg_ops = static_cast<double>(stats.ops) / slots_used;
+  // The timeline merges all seed runs slot-wise, so normalize against the
+  // average over populated slots (elapsed_cycles spans seeds sequentially
+  // and would overstate the slot count by the seed multiplier).
+  std::uint64_t timeline_ops = 0;
+  std::size_t populated = 0;
+  for (const auto& slot : stats.timeline) {
+    if (slot.ops == 0) continue;
+    timeline_ops += slot.ops;
+    ++populated;
+  }
+  if (populated == 0) return;
+  const double avg_ops =
+      static_cast<double>(timeline_ops) / static_cast<double>(populated);
   std::printf("\n-- %s lock (HLE), 100us slots --\n", lock_sel_name(lock));
   harness::Table table({"slot", "normalized-throughput", "nonspec-frac"});
   for (std::size_t s = 0; s < stats.timeline.size(); ++s) {

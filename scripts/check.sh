@@ -4,6 +4,9 @@
 # smoke-test the telemetry and stress paths end to end (trace_dump must
 # detect the HLE avalanche and export metrics; stress_cli must hold all
 # invariants over a perturbed sweep and find the planted RacyLock bug).
+# Finally runs the bench-suite smoke tier gated against the committed
+# baseline (bench/baseline.json), including a self-check that a planted
+# 50% throughput regression is actually caught.
 # Uses its own build trees (build-check*/) so it never dirties build/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -55,5 +58,38 @@ EOF
 "$BUILD"/tools/stress_cli --selftest --seeds 5 || {
   echo "check: stress self-test missed the planted RacyLock bug" >&2
   exit 1; }
+
+# Bench-suite smoke: run the curated smoke tier, emit canonical results,
+# check the paper-qualitative invariants, and gate against the committed
+# baseline (see docs/benchmarks.md for tolerances and the update workflow).
+bench_json=$(mktemp)
+trap 'rm -f "$metrics" "$bench_json"' EXIT
+"$BUILD"/tools/bench_suite --tier smoke --out "$bench_json" \
+    --baseline bench/baseline.json --gate --quiet || {
+  echo "check: bench_suite smoke gate failed (perf regression or paper" \
+       "invariant violation)" >&2; exit 1; }
+python3 - "$bench_json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema_version"] == 1 and doc["tier"] == "smoke", doc.keys()
+assert doc["points"], "no points in BENCH_results.json"
+for p in doc["points"]:
+    m = p["metrics"]
+    for key in ("throughput_ops_per_sec", "spec_fraction",
+                "nonspec_fraction", "attempts_per_op", "aborts_by_cause",
+                "avalanche_episodes"):
+        assert key in m, f"{p['id']} missing {key}"
+print(f"bench suite: {len(doc['points'])} smoke points, schema valid")
+EOF
+
+# Gate self-check: a planted 50% throughput regression must be detected
+# (proof the gate is not vacuous).
+if "$BUILD"/tools/bench_suite --tier smoke --plant-regression 0.5 \
+    --out /dev/null --baseline bench/baseline.json --gate --quiet \
+    >/dev/null 2>&1; then
+  echo "check: bench gate missed a planted 50% throughput regression" >&2
+  exit 1
+fi
+echo "bench suite: planted-regression self-check caught the regression"
 
 echo "check: OK"

@@ -1,6 +1,8 @@
 #include "harness/metrics.hpp"
 
 #include "harness/runner.hpp"
+#include "support/check.hpp"
+#include "support/json.hpp"
 
 namespace elision::harness {
 
@@ -10,13 +12,19 @@ std::string Histogram::bucket_label(std::size_t i) {
 }
 
 void RegionMetrics::absorb(const RunStats& run) {
+  if (runs == 0) {
+    ghz = run.ghz;
+  } else {
+    ELISION_CHECK_MSG(ghz == run.ghz,
+                      "absorbed runs with different MachineConfig::ghz into "
+                      "one series; their cycle counts are not comparable");
+  }
   ++runs;
   ops += run.ops;
   spec_ops += run.spec_ops;
   nonspec_ops += run.nonspec_ops;
   attempts += run.attempts;
   elapsed_cycles += run.elapsed_cycles;
-  ghz = run.ghz;
   tx += run.tx;
   attempts_hist.merge(run.attempts_hist);
   rejoin_hist.merge(run.rejoin_hist);
@@ -65,7 +73,8 @@ void MetricsRegistry::export_json(std::FILE* out) const {
     const auto& e = entries_[n];
     const auto& m = e.metrics;
     std::fprintf(out, "%s{\"scheme\":\"%s\",\"lock\":\"%s\",\"runs\":%llu,",
-                 n == 0 ? "" : ",", e.scheme.c_str(), e.lock.c_str(),
+                 n == 0 ? "" : ",", support::json::escape(e.scheme).c_str(),
+                 support::json::escape(e.lock).c_str(),
                  static_cast<unsigned long long>(m.runs));
     std::fprintf(
         out,

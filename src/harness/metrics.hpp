@@ -56,12 +56,18 @@ class Histogram {
 
   const std::vector<std::uint64_t>& buckets() const { return buckets_; }
 
-  // Inclusive value range of bucket i: [lo, hi].
+  // Inclusive value range of bucket i: [lo, hi]. Bucket 64 (samples with
+  // the top bit set, e.g. add(UINT64_MAX)) saturates at UINT64_MAX — the
+  // unclamped shift by 64 would be UB.
   static std::uint64_t bucket_lo(std::size_t i) {
-    return i < 2 ? i : std::uint64_t{1} << (i - 1);
+    if (i < 2) return i;
+    if (i > 64) return UINT64_MAX;
+    return std::uint64_t{1} << (i - 1);
   }
   static std::uint64_t bucket_hi(std::size_t i) {
-    return i < 2 ? i : (std::uint64_t{1} << i) - 1;
+    if (i < 2) return i;
+    if (i >= 64) return UINT64_MAX;
+    return (std::uint64_t{1} << i) - 1;
   }
   // "0", "1", "2-3", "4-7", ...
   static std::string bucket_label(std::size_t i);
@@ -81,6 +87,8 @@ struct RegionMetrics {
   std::uint64_t nonspec_ops = 0;
   std::uint64_t attempts = 0;
   std::uint64_t elapsed_cycles = 0;
+  // Taken from the first absorbed run's MachineConfig; all runs folded into
+  // one series must agree (absorb checks) or throughput would be nonsense.
   double ghz = 3.4;
   tsx::TxStats tx;            // begins/commits + the abort-cause matrix row
   Histogram attempts_hist;    // attempts per completed region

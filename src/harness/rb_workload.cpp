@@ -1,0 +1,115 @@
+#include "harness/rb_workload.hpp"
+
+#include <type_traits>
+
+#include "ds/rbtree.hpp"
+#include "locks/clh_lock.hpp"
+#include "locks/mcs_lock.hpp"
+#include "locks/schemes.hpp"
+#include "locks/ticket_lock.hpp"
+#include "locks/ttas_lock.hpp"
+#include "support/rng.hpp"
+
+namespace elision::harness {
+
+const char* lock_sel_name(LockSel s) {
+  switch (s) {
+    case LockSel::kTtas: return "TTAS";
+    case LockSel::kMcs: return "MCS";
+    case LockSel::kTicketAdj: return "Ticket-adj";
+    case LockSel::kClhAdj: return "CLH-adj";
+    case LockSel::kTicket: return "Ticket";
+    case LockSel::kClh: return "CLH";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename Lock>
+RunStats run_rb_with_lock(const RbPoint& p, ds::RbTree& tree) {
+  Lock lock;
+  locks::CriticalSection<Lock> cs(p.scheme, lock);
+  BenchConfig cfg;
+  cfg.threads = p.threads;
+  cfg.duration_sec = p.duration_sec;
+  cfg.duration_scale = env_duration_scale();
+  cfg.tsx.hardware_extension = p.hardware_extension;
+  cfg.machine.seed = p.seed;
+  cfg.timeline_slot_cycles = p.timeline_slot_cycles;
+  cfg.policy = p.scheme;
+  cfg.telemetry = p.telemetry;
+  cfg.avalanche = p.avalanche;
+  const std::uint64_t domain = p.size * 2;
+  const int half_updates = p.update_pct / 2;
+  auto stats = run_workload(cfg, [&](tsx::Ctx& ctx) {
+    auto& rng = ctx.thread().rng();
+    const std::uint64_t key = rng.next_below(domain);
+    const auto dice = static_cast<int>(rng.next_below(100));
+    return cs.run(ctx, [&] {
+      if (dice < half_updates) {
+        tree.insert(ctx, key);
+      } else if (dice < p.update_pct) {
+        tree.erase(ctx, key);
+      } else {
+        tree.contains(ctx, key);
+      }
+    });
+  });
+  if constexpr (std::is_same_v<Lock, locks::TtasLock>) {
+    if (p.arrival_held_frac != nullptr) {
+      *p.arrival_held_frac =
+          lock.arrivals() > 0
+              ? static_cast<double>(lock.arrivals_lock_held()) /
+                    static_cast<double>(lock.arrivals())
+              : 0.0;
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+RunStats run_rb_point_once(const RbPoint& p) {
+  ds::RbTree tree(p.size * 4 + 256);
+  support::Xoshiro256 fill(p.seed);
+  std::size_t filled = 0;
+  while (filled < p.size) {
+    if (tree.unsafe_insert(fill.next_below(p.size * 2))) ++filled;
+  }
+  tree.unsafe_distribute_free_lists(p.threads);
+  switch (p.lock) {
+    case LockSel::kTtas:
+      return run_rb_with_lock<locks::TtasLock>(p, tree);
+    case LockSel::kMcs:
+      return run_rb_with_lock<locks::McsLock>(p, tree);
+    case LockSel::kTicketAdj:
+      return run_rb_with_lock<locks::TicketLockAdjusted>(p, tree);
+    case LockSel::kClhAdj:
+      return run_rb_with_lock<locks::ClhLockAdjusted>(p, tree);
+    case LockSel::kTicket:
+      return run_rb_with_lock<locks::TicketLock>(p, tree);
+    case LockSel::kClh:
+      return run_rb_with_lock<locks::ClhLock>(p, tree);
+  }
+  return {};
+}
+
+RunStats run_rb_point(const RbPoint& p) {
+  RunStats total;
+  RbPoint q = p;
+  q.arrival_held_frac = nullptr;
+  double arrival_sum = 0.0;
+  const int n = p.seeds > 0 ? p.seeds : 1;
+  for (int s = 0; s < n; ++s) {
+    q.seed = p.seed + static_cast<std::uint64_t>(s) * 0x9E3779B9ULL;
+    double arrival = 0.0;
+    q.arrival_held_frac = p.arrival_held_frac != nullptr ? &arrival : nullptr;
+    total.accumulate(run_rb_point_once(q));
+    arrival_sum += arrival;
+  }
+  if (p.arrival_held_frac != nullptr) *p.arrival_held_frac = arrival_sum / n;
+  return total;
+}
+
+}  // namespace elision::harness

@@ -1,14 +1,61 @@
 #include "harness/runner.hpp"
 
+#include <cctype>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+
+#include "support/check.hpp"
 
 namespace elision::harness {
 
 double env_duration_scale() {
   const char* s = std::getenv("ELISION_BENCH_SCALE");
-  if (s == nullptr) return 1.0;
-  const double v = std::atof(s);
-  return v > 0 ? v : 1.0;
+  if (s == nullptr || *s == '\0') return 1.0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  while (end != nullptr && *end != '\0' &&
+         std::isspace(static_cast<unsigned char>(*end))) {
+    ++end;
+  }
+  if (end == s || *end != '\0' || !std::isfinite(v) || v <= 0.0) {
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "harness: ignoring ELISION_BENCH_SCALE=\"%s\" (want a "
+                   "positive finite number); using 1.0\n",
+                   s);
+    }
+    return 1.0;
+  }
+  return v;
+}
+
+void RunStats::accumulate(const RunStats& o) {
+  if (elapsed_cycles == 0 && ops == 0) {
+    ghz = o.ghz;
+  } else {
+    ELISION_CHECK_MSG(ghz == o.ghz,
+                      "accumulated runs with different MachineConfig::ghz");
+  }
+  ops += o.ops;
+  spec_ops += o.spec_ops;
+  nonspec_ops += o.nonspec_ops;
+  attempts += o.attempts;
+  elapsed_cycles += o.elapsed_cycles;
+  perturb_points += o.perturb_points;
+  tx += o.tx;
+  if (timeline.size() < o.timeline.size()) timeline.resize(o.timeline.size());
+  for (std::size_t s = 0; s < o.timeline.size(); ++s) {
+    timeline[s].ops += o.timeline[s].ops;
+    timeline[s].nonspec_ops += o.timeline[s].nonspec_ops;
+  }
+  attempts_hist.merge(o.attempts_hist);
+  rejoin_hist.merge(o.rejoin_hist);
+  episodes.insert(episodes.end(), o.episodes.begin(), o.episodes.end());
+  telemetry_events += o.telemetry_events;
+  telemetry_dropped += o.telemetry_dropped;
 }
 
 RunStats run_workload(const BenchConfig& cfg, const OpFn& op) {

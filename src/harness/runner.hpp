@@ -90,6 +90,12 @@ struct RunStats {
   std::uint64_t telemetry_events = 0;   // recorded into the rings
   std::uint64_t telemetry_dropped = 0;  // lost to ring wrap-around
 
+  // Folds another run into this one: every counter, histogram and episode
+  // list is merged, and timelines are added slot-wise (resizing to the
+  // longer of the two). ghz is taken from the first non-empty run and must
+  // match across all accumulated runs.
+  void accumulate(const RunStats& o);
+
   double seconds() const { return elapsed_cycles / (ghz * 1e9); }
   double throughput() const {
     return seconds() > 0 ? static_cast<double>(ops) / seconds() : 0.0;

@@ -1,0 +1,630 @@
+#include "harness/suite.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstring>
+
+#include "sim/machine_config.hpp"
+#include "tsx/telemetry.hpp"
+
+namespace elision::harness {
+
+const char* suite_tier_name(SuiteTier t) {
+  switch (t) {
+    case SuiteTier::kSmoke: return "smoke";
+    case SuiteTier::kFull: return "full";
+  }
+  return "?";
+}
+
+std::optional<SuiteTier> suite_tier_from_name(const std::string& name) {
+  if (name == "smoke") return SuiteTier::kSmoke;
+  if (name == "full") return SuiteTier::kFull;
+  return std::nullopt;
+}
+
+namespace {
+
+const char* lock_slug(LockSel l) {
+  switch (l) {
+    case LockSel::kTtas: return "ttas";
+    case LockSel::kMcs: return "mcs";
+    case LockSel::kTicketAdj: return "ticket-adj";
+    case LockSel::kClhAdj: return "clh-adj";
+    case LockSel::kTicket: return "ticket";
+    case LockSel::kClh: return "clh";
+  }
+  return "?";
+}
+
+std::string scheme_slug(const locks::ElisionPolicy& p) {
+  std::string s = p.name();
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  return s;
+}
+
+SuitePoint make_point(SuiteTier tier, const char* figure, std::size_t size,
+                      int update_pct, int threads, LockSel lock,
+                      locks::ElisionPolicy scheme, bool telemetry = false) {
+  SuitePoint sp;
+  sp.tier = tier;
+  sp.figure = figure;
+  sp.point.size = size;
+  sp.point.update_pct = update_pct;
+  sp.point.threads = threads;
+  sp.point.lock = lock;
+  sp.point.scheme = scheme;
+  sp.point.telemetry = telemetry;
+  sp.point.duration_sec = 0.003;
+  sp.point.seeds = threads == 1 ? 1 : 2;
+  sp.id = "rb-s" + std::to_string(size) + "-u" + std::to_string(update_pct) +
+          "-t" + std::to_string(threads) + "-" + lock_slug(lock) + "-" +
+          scheme_slug(scheme);
+  return sp;
+}
+
+std::vector<SuitePoint> build_points() {
+  using locks::ElisionPolicy;
+  constexpr SuiteTier S = SuiteTier::kSmoke;
+  constexpr SuiteTier F = SuiteTier::kFull;
+  std::vector<SuitePoint> v;
+
+  // --- smoke tier: the qualitative backbone of Ch. 3/5/6, < 30s wall ---
+  // Contended small tree on TTAS (Fig 5.1/5.2 left edge).
+  v.push_back(make_point(S, "fig5.1", 64, 20, 8, LockSel::kTtas,
+                         ElisionPolicy::standard()));
+  v.push_back(
+      make_point(S, "fig5.1", 64, 20, 8, LockSel::kTtas, ElisionPolicy::hle()));
+  v.push_back(make_point(S, "fig5.2", 64, 20, 8, LockSel::kTtas,
+                         ElisionPolicy::hle_scm()));
+  v.push_back(make_point(S, "fig5.2", 64, 20, 8, LockSel::kTtas,
+                         ElisionPolicy::opt_slr_scm()));
+  // Contended MCS: the avalanche point (Fig 3.3) and its SCM rescue, with
+  // telemetry so episode counts land in the results.
+  v.push_back(make_point(S, "fig3.3", 64, 20, 8, LockSel::kMcs,
+                         ElisionPolicy::hle(), /*telemetry=*/true));
+  v.push_back(make_point(S, "fig5.2", 64, 20, 8, LockSel::kMcs,
+                         ElisionPolicy::hle_scm(), /*telemetry=*/true));
+  // Low-contention big tree (Fig 3.4 right edge: elision pays off solo).
+  v.push_back(make_point(S, "fig3.4", 8192, 20, 8, LockSel::kTtas,
+                         ElisionPolicy::hle()));
+  // Ch. 6 fair locks, solo: adjusted ticket/CLH must elide, the unadjusted
+  // ticket must not (XRELEASE mismatch on every attempt).
+  v.push_back(make_point(S, "ch6", 64, 20, 1, LockSel::kTicketAdj,
+                         ElisionPolicy::hle()));
+  v.push_back(
+      make_point(S, "ch6", 64, 20, 1, LockSel::kClhAdj, ElisionPolicy::hle()));
+  v.push_back(
+      make_point(S, "ch6", 64, 20, 1, LockSel::kTicket, ElisionPolicy::hle()));
+
+  // --- full tier: wider scheme / size / mix / lock coverage ---
+  v.push_back(make_point(F, "fig5.2", 64, 20, 8, LockSel::kTtas,
+                         ElisionPolicy::pes_slr()));
+  v.push_back(make_point(F, "fig5.2", 64, 20, 8, LockSel::kTtas,
+                         ElisionPolicy::opt_slr()));
+  v.push_back(make_point(F, "fig5.1", 64, 20, 8, LockSel::kMcs,
+                         ElisionPolicy::standard()));
+  v.push_back(make_point(F, "fig5.2", 64, 20, 8, LockSel::kMcs,
+                         ElisionPolicy::opt_slr_scm()));
+  v.push_back(make_point(F, "fig3.4", 512, 20, 8, LockSel::kTtas,
+                         ElisionPolicy::hle()));
+  v.push_back(make_point(F, "fig3.4", 32768, 20, 8, LockSel::kTtas,
+                         ElisionPolicy::hle()));
+  v.push_back(make_point(F, "fig5.1", 64, 0, 8, LockSel::kTtas,
+                         ElisionPolicy::hle_scm()));
+  v.push_back(make_point(F, "fig5.1", 64, 100, 8, LockSel::kTtas,
+                         ElisionPolicy::hle_scm()));
+  v.push_back(make_point(F, "tbl-fairlocks", 64, 20, 8, LockSel::kTicketAdj,
+                         ElisionPolicy::hle_scm()));
+  v.push_back(make_point(F, "tbl-fairlocks", 64, 20, 8, LockSel::kClhAdj,
+                         ElisionPolicy::hle_scm()));
+  v.push_back(make_point(F, "fig3.5", 64, 20, 8, LockSel::kTtas,
+                         ElisionPolicy::rtm_elide()));
+  v.push_back(make_point(F, "abl-scm-nested", 64, 20, 8, LockSel::kTtas,
+                         ElisionPolicy::hle_scm_nested()));
+  v.push_back(make_point(F, "abl-grouped-scm", 64, 20, 8, LockSel::kTtas,
+                         ElisionPolicy::hle_grouped_scm()));
+  return v;
+}
+
+}  // namespace
+
+const std::vector<SuitePoint>& suite_points() {
+  static const std::vector<SuitePoint> points = build_points();
+  return points;
+}
+
+std::vector<SuitePoint> suite_points_for(SuiteTier tier) {
+  std::vector<SuitePoint> out;
+  for (const auto& p : suite_points()) {
+    if (tier == SuiteTier::kFull || p.tier == SuiteTier::kSmoke) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+PointMetrics PointMetrics::derive(const RunStats& stats) {
+  PointMetrics m;
+  m.throughput_ops_per_sec = stats.throughput();
+  m.nonspec_fraction = stats.nonspec_fraction();
+  m.spec_fraction =
+      stats.ops > 0 ? static_cast<double>(stats.spec_ops) /
+                          static_cast<double>(stats.ops)
+                    : 0.0;
+  m.attempts_per_op = stats.attempts_per_op();
+  m.ops = stats.ops;
+  m.attempts = stats.attempts;
+  m.elapsed_cycles = stats.elapsed_cycles;
+  m.tx_begins = stats.tx.begins;
+  m.tx_commits = stats.tx.commits;
+  m.tx_aborts = stats.tx.aborts;
+  const auto n_causes = static_cast<std::size_t>(tsx::AbortCause::kCauseCount);
+  m.aborts_by_cause.assign(n_causes, 0);
+  for (std::size_t c = 0; c < n_causes; ++c) {
+    m.aborts_by_cause[c] = stats.tx.aborts_by_cause[c];
+  }
+  m.avalanche_episodes = stats.episodes.size();
+  for (const auto& ep : stats.episodes) {
+    m.avalanche_victims += static_cast<std::uint64_t>(ep.victim_count());
+  }
+  return m;
+}
+
+const PointRecord* SuiteResult::find(const std::string& id) const {
+  for (const auto& p : points) {
+    if (p.def.id == id) return &p;
+  }
+  return nullptr;
+}
+
+SuiteResult run_suite(SuiteTier tier, const SuiteRunOptions& opts) {
+  SuiteResult result;
+  result.tier = tier;
+  result.duration_scale = env_duration_scale();
+  result.telemetry_compiled = tsx::kTelemetryCompiled;
+  const sim::MachineConfig machine;  // every point runs the paper's machine
+  result.n_cores = machine.n_cores;
+  result.smt_per_core = machine.smt_per_core;
+  result.ghz = machine.ghz;
+  for (const auto& sp : suite_points_for(tier)) {
+    const RunStats stats = run_rb_point(sp.point);
+    PointMetrics m = PointMetrics::derive(stats);
+    m.throughput_ops_per_sec *= opts.plant_throughput_factor;
+    if (opts.on_point) opts.on_point(sp, m);
+    result.points.push_back({sp, m});
+  }
+  return result;
+}
+
+// ---- canonical JSON results ----
+
+namespace {
+
+void write_point_json(const PointRecord& r, std::FILE* out) {
+  const auto& d = r.def;
+  const auto& m = r.metrics;
+  std::fprintf(
+      out,
+      "    {\"id\":\"%s\",\"tier\":\"%s\",\"figure\":\"%s\","
+      "\"lock\":\"%s\",\"scheme\":\"%s\",\"size\":%zu,\"update_pct\":%d,"
+      "\"threads\":%d,\"seeds\":%d,\"duration_sec\":%g,\"seed\":%llu,"
+      "\"telemetry\":%s,\n",
+      support::json::escape(d.id).c_str(), suite_tier_name(d.tier),
+      support::json::escape(d.figure).c_str(),
+      lock_sel_name(d.point.lock),
+      support::json::escape(d.point.scheme.name()).c_str(), d.point.size,
+      d.point.update_pct, d.point.threads, d.point.seeds,
+      d.point.duration_sec,
+      static_cast<unsigned long long>(d.point.seed),
+      d.point.telemetry ? "true" : "false");
+  std::fprintf(
+      out,
+      "     \"metrics\":{\"throughput_ops_per_sec\":%.3f,"
+      "\"spec_fraction\":%.6f,\"nonspec_fraction\":%.6f,"
+      "\"attempts_per_op\":%.6f,\"ops\":%llu,\"attempts\":%llu,"
+      "\"elapsed_cycles\":%llu,\"tx\":{\"begins\":%llu,\"commits\":%llu,"
+      "\"aborts\":%llu},",
+      m.throughput_ops_per_sec, m.spec_fraction, m.nonspec_fraction,
+      m.attempts_per_op, static_cast<unsigned long long>(m.ops),
+      static_cast<unsigned long long>(m.attempts),
+      static_cast<unsigned long long>(m.elapsed_cycles),
+      static_cast<unsigned long long>(m.tx_begins),
+      static_cast<unsigned long long>(m.tx_commits),
+      static_cast<unsigned long long>(m.tx_aborts));
+  std::fprintf(out, "\"aborts_by_cause\":{");
+  for (std::size_t c = 0; c < m.aborts_by_cause.size(); ++c) {
+    std::fprintf(out, "%s\"%s\":%llu", c == 0 ? "" : ",",
+                 tsx::to_string(static_cast<tsx::AbortCause>(c)),
+                 static_cast<unsigned long long>(m.aborts_by_cause[c]));
+  }
+  std::fprintf(out,
+               "},\"avalanche_episodes\":%llu,\"avalanche_victims\":%llu}}",
+               static_cast<unsigned long long>(m.avalanche_episodes),
+               static_cast<unsigned long long>(m.avalanche_victims));
+}
+
+}  // namespace
+
+void write_results_json(const SuiteResult& result, std::FILE* out) {
+  std::fprintf(out,
+               "{\n  \"schema_version\":%d,\n  \"suite\":\"elision-bench\",\n"
+               "  \"tier\":\"%s\",\n  \"run\":{\"duration_scale\":%g,"
+               "\"telemetry_compiled\":%s,"
+               "\"machine\":{\"n_cores\":%u,\"smt_per_core\":%u,"
+               "\"ghz\":%g}},\n  \"points\":[\n",
+               kSuiteSchemaVersion, suite_tier_name(result.tier),
+               result.duration_scale,
+               result.telemetry_compiled ? "true" : "false", result.n_cores,
+               result.smt_per_core, result.ghz);
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    write_point_json(result.points[i], out);
+    std::fprintf(out, "%s\n", i + 1 < result.points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+namespace {
+
+LockSel lock_from_name(const std::string& name) {
+  for (const LockSel l : {LockSel::kTtas, LockSel::kMcs, LockSel::kTicketAdj,
+                          LockSel::kClhAdj, LockSel::kTicket, LockSel::kClh}) {
+    if (name == lock_sel_name(l)) return l;
+  }
+  return LockSel::kTtas;
+}
+
+}  // namespace
+
+std::optional<SuiteResult> parse_results_json(
+    const support::json::Value& doc) {
+  using support::json::Value;
+  if (!doc.is_object()) return std::nullopt;
+  const Value* version = doc.find("schema_version");
+  if (version == nullptr ||
+      static_cast<int>(version->as_double()) != kSuiteSchemaVersion) {
+    return std::nullopt;
+  }
+  SuiteResult out;
+  if (const Value* tier = doc.find("tier")) {
+    const auto t = suite_tier_from_name(tier->as_string());
+    if (!t) return std::nullopt;
+    out.tier = *t;
+  }
+  if (const Value* run = doc.find("run")) {
+    out.duration_scale = run->find("duration_scale") != nullptr
+                             ? run->find("duration_scale")->as_double(1.0)
+                             : 1.0;
+    if (const Value* tc = run->find("telemetry_compiled")) {
+      out.telemetry_compiled = tc->as_bool();
+    }
+    if (const Value* machine = run->find("machine")) {
+      if (const Value* v = machine->find("n_cores")) {
+        out.n_cores = static_cast<unsigned>(v->as_u64());
+      }
+      if (const Value* v = machine->find("smt_per_core")) {
+        out.smt_per_core = static_cast<unsigned>(v->as_u64());
+      }
+      if (const Value* v = machine->find("ghz")) out.ghz = v->as_double();
+    }
+  }
+  const Value* points = doc.find("points");
+  if (points == nullptr || !points->is_array()) return std::nullopt;
+  for (const Value& p : points->items()) {
+    if (!p.is_object()) return std::nullopt;
+    const Value* id = p.find("id");
+    const Value* metrics = p.find("metrics");
+    if (id == nullptr || metrics == nullptr || !metrics->is_object()) {
+      return std::nullopt;
+    }
+    PointRecord rec;
+    rec.def.id = id->as_string();
+    if (const Value* tier = p.find("tier")) {
+      if (const auto t = suite_tier_from_name(tier->as_string())) {
+        rec.def.tier = *t;
+      }
+    }
+    if (const Value* fig = p.find("figure")) rec.def.figure = fig->as_string();
+    if (const Value* v = p.find("lock")) {
+      rec.def.point.lock = lock_from_name(v->as_string());
+    }
+    if (const Value* v = p.find("size")) {
+      rec.def.point.size = static_cast<std::size_t>(v->as_u64());
+    }
+    if (const Value* v = p.find("update_pct")) {
+      rec.def.point.update_pct = static_cast<int>(v->as_u64());
+    }
+    if (const Value* v = p.find("threads")) {
+      rec.def.point.threads = static_cast<int>(v->as_u64());
+    }
+    if (const Value* v = p.find("seeds")) {
+      rec.def.point.seeds = static_cast<int>(v->as_u64());
+    }
+    if (const Value* v = p.find("telemetry")) {
+      rec.def.point.telemetry = v->as_bool();
+    }
+    auto& m = rec.metrics;
+    auto num = [&](const char* key, double fallback = 0.0) {
+      const Value* v = metrics->find(key);
+      return v != nullptr ? v->as_double(fallback) : fallback;
+    };
+    m.throughput_ops_per_sec = num("throughput_ops_per_sec");
+    m.spec_fraction = num("spec_fraction");
+    m.nonspec_fraction = num("nonspec_fraction");
+    m.attempts_per_op = num("attempts_per_op");
+    m.ops = static_cast<std::uint64_t>(num("ops"));
+    m.attempts = static_cast<std::uint64_t>(num("attempts"));
+    m.elapsed_cycles = static_cast<std::uint64_t>(num("elapsed_cycles"));
+    if (const Value* tx = metrics->find("tx")) {
+      if (const Value* v = tx->find("begins")) m.tx_begins = v->as_u64();
+      if (const Value* v = tx->find("commits")) m.tx_commits = v->as_u64();
+      if (const Value* v = tx->find("aborts")) m.tx_aborts = v->as_u64();
+    }
+    const auto n_causes =
+        static_cast<std::size_t>(tsx::AbortCause::kCauseCount);
+    m.aborts_by_cause.assign(n_causes, 0);
+    if (const Value* causes = metrics->find("aborts_by_cause")) {
+      for (std::size_t c = 0; c < n_causes; ++c) {
+        const Value* v =
+            causes->find(tsx::to_string(static_cast<tsx::AbortCause>(c)));
+        if (v != nullptr) m.aborts_by_cause[c] = v->as_u64();
+      }
+    }
+    if (const Value* v = metrics->find("avalanche_episodes")) {
+      m.avalanche_episodes = v->as_u64();
+    }
+    if (const Value* v = metrics->find("avalanche_victims")) {
+      m.avalanche_victims = v->as_u64();
+    }
+    out.points.push_back(std::move(rec));
+  }
+  return out;
+}
+
+std::optional<SuiteResult> load_results_file(const std::string& path) {
+  const auto doc = support::json::parse_file(path.c_str());
+  if (!doc) return std::nullopt;
+  return parse_results_json(*doc);
+}
+
+// ---- regression gate ----
+
+GateReport compare_to_baseline(const SuiteResult& current,
+                               const SuiteResult& baseline,
+                               const GateTolerance& tol) {
+  GateReport report;
+  if (current.duration_scale != baseline.duration_scale) {
+    report.notes.push_back(
+        "duration_scale differs from baseline (" +
+        std::to_string(current.duration_scale) + " vs " +
+        std::to_string(baseline.duration_scale) +
+        "); ratio metrics are compared anyway");
+  }
+  if (current.ghz != baseline.ghz || current.n_cores != baseline.n_cores ||
+      current.smt_per_core != baseline.smt_per_core) {
+    report.notes.push_back(
+        "machine config differs from baseline; numbers may not be "
+        "comparable");
+  }
+
+  for (const auto& cur : current.points) {
+    const PointRecord* base = baseline.find(cur.def.id);
+    if (base == nullptr) {
+      report.notes.push_back("point " + cur.def.id +
+                             " is not in the baseline (new point; refresh "
+                             "the baseline to gate it)");
+      continue;
+    }
+    const auto& bm = base->metrics;
+    const auto& cm = cur.metrics;
+
+    if (bm.throughput_ops_per_sec > 0) {
+      const double floor = bm.throughput_ops_per_sec * (1 - tol.throughput_rel);
+      const double ceil = bm.throughput_ops_per_sec * (1 + tol.throughput_rel);
+      if (cm.throughput_ops_per_sec < floor) {
+        report.regressions.push_back(
+            {cur.def.id, "throughput_ops_per_sec", bm.throughput_ops_per_sec,
+             cm.throughput_ops_per_sec,
+             "throughput dropped more than " +
+                 std::to_string(static_cast<int>(tol.throughput_rel * 100)) +
+                 "%"});
+      } else if (cm.throughput_ops_per_sec > ceil) {
+        report.improvements.push_back(
+            {cur.def.id, "throughput_ops_per_sec", bm.throughput_ops_per_sec,
+             cm.throughput_ops_per_sec,
+             "throughput improved beyond tolerance; refresh the baseline"});
+      }
+    }
+
+    if (bm.attempts_per_op > 0) {
+      const double ceil = bm.attempts_per_op * (1 + tol.attempts_rel);
+      const double floor = bm.attempts_per_op * (1 - tol.attempts_rel);
+      if (cm.attempts_per_op > ceil) {
+        report.regressions.push_back(
+            {cur.def.id, "attempts_per_op", bm.attempts_per_op,
+             cm.attempts_per_op, "more attempts needed per completed region"});
+      } else if (cm.attempts_per_op < floor) {
+        report.improvements.push_back(
+            {cur.def.id, "attempts_per_op", bm.attempts_per_op,
+             cm.attempts_per_op,
+             "attempts/op improved beyond tolerance; refresh the baseline"});
+      }
+    }
+
+    if (cm.nonspec_fraction > bm.nonspec_fraction + tol.fraction_abs) {
+      report.regressions.push_back(
+          {cur.def.id, "nonspec_fraction", bm.nonspec_fraction,
+           cm.nonspec_fraction,
+           "more operations fell back to non-speculative execution"});
+    } else if (cm.nonspec_fraction + tol.fraction_abs < bm.nonspec_fraction) {
+      report.improvements.push_back(
+          {cur.def.id, "nonspec_fraction", bm.nonspec_fraction,
+           cm.nonspec_fraction,
+           "nonspec fraction improved beyond tolerance; refresh the "
+           "baseline"});
+    }
+
+    if (current.telemetry_compiled && baseline.telemetry_compiled &&
+        cur.def.point.telemetry &&
+        cm.avalanche_episodes != bm.avalanche_episodes) {
+      report.notes.push_back(
+          "point " + cur.def.id + ": avalanche episodes changed (" +
+          std::to_string(bm.avalanche_episodes) + " -> " +
+          std::to_string(cm.avalanche_episodes) + ")");
+    }
+  }
+
+  // Coverage loss: a baseline point of this tier that no longer runs.
+  for (const auto& base : baseline.points) {
+    if (current.tier == SuiteTier::kSmoke &&
+        base.def.tier != SuiteTier::kSmoke) {
+      continue;  // baseline may be full-tier; smoke runs only its subset
+    }
+    if (current.find(base.def.id) == nullptr) {
+      report.regressions.push_back(
+          {base.def.id, "coverage", 0.0, 0.0,
+           "baseline point missing from this run (coverage loss)"});
+    }
+  }
+  return report;
+}
+
+void print_gate_report(const GateReport& report, std::FILE* out) {
+  for (const auto& note : report.notes) {
+    std::fprintf(out, "note: %s\n", note.c_str());
+  }
+  for (const auto& imp : report.improvements) {
+    std::fprintf(out, "improvement: %s %s: %.4g -> %.4g (%s)\n",
+                 imp.point_id.c_str(), imp.metric.c_str(), imp.baseline,
+                 imp.current, imp.detail.c_str());
+  }
+  for (const auto& reg : report.regressions) {
+    std::fprintf(out, "REGRESSION: %s %s: %.4g -> %.4g (%s)\n",
+                 reg.point_id.c_str(), reg.metric.c_str(), reg.baseline,
+                 reg.current, reg.detail.c_str());
+  }
+  std::fprintf(out, "gate: %zu regression(s), %zu improvement(s), %zu "
+                    "note(s)\n",
+               report.regressions.size(), report.improvements.size(),
+               report.notes.size());
+}
+
+// ---- paper-qualitative invariants ----
+
+namespace {
+
+InvariantResult skipped(const char* name, const char* why) {
+  return {name, /*ok=*/true, /*skipped=*/true, why};
+}
+
+}  // namespace
+
+std::vector<InvariantResult> check_invariants(const SuiteResult& result) {
+  std::vector<InvariantResult> out;
+  auto point = [&](const char* id) { return result.find(id); };
+  char buf[256];
+
+  // (1) SCM >= plain HLE throughput on the contended MCS point: software
+  // conflict management eliminates the avalanche (Fig 5.2 headline claim).
+  {
+    const char* name = "scm-beats-hle-on-contended-mcs";
+    const auto* hle = point("rb-s64-u20-t8-mcs-hle");
+    const auto* scm = point("rb-s64-u20-t8-mcs-hle-scm");
+    if (hle == nullptr || scm == nullptr) {
+      out.push_back(skipped(name, "required points not in this tier"));
+    } else {
+      const bool ok = scm->metrics.throughput_ops_per_sec >=
+                      hle->metrics.throughput_ops_per_sec;
+      std::snprintf(buf, sizeof buf, "HLE-SCM %.3g ops/s vs HLE %.3g ops/s",
+                    scm->metrics.throughput_ops_per_sec,
+                    hle->metrics.throughput_ops_per_sec);
+      out.push_back({name, ok, false, buf});
+    }
+  }
+
+  // (2) Same on the contended TTAS point (gains appear under contention).
+  {
+    const char* name = "scm-beats-hle-on-contended-ttas";
+    const auto* hle = point("rb-s64-u20-t8-ttas-hle");
+    const auto* scm = point("rb-s64-u20-t8-ttas-hle-scm");
+    if (hle == nullptr || scm == nullptr) {
+      out.push_back(skipped(name, "required points not in this tier"));
+    } else {
+      const bool ok = scm->metrics.throughput_ops_per_sec >=
+                      hle->metrics.throughput_ops_per_sec;
+      std::snprintf(buf, sizeof buf, "HLE-SCM %.3g ops/s vs HLE %.3g ops/s",
+                    scm->metrics.throughput_ops_per_sec,
+                    hle->metrics.throughput_ops_per_sec);
+      out.push_back({name, ok, false, buf});
+    }
+  }
+
+  // (3) Adjusted ticket/CLH locks commit speculatively when solo (Ch. 6:
+  // the release-store adjustment restores XRELEASE elision).
+  for (const auto& [id, name] :
+       {std::pair{"rb-s64-u20-t1-ticket-adj-hle",
+                  "adjusted-ticket-elides-solo"},
+        std::pair{"rb-s64-u20-t1-clh-adj-hle", "adjusted-clh-elides-solo"}}) {
+    const auto* p = point(id);
+    if (p == nullptr) {
+      out.push_back(skipped(name, "required point not in this tier"));
+    } else {
+      const bool ok = p->metrics.spec_fraction >= 0.9;
+      std::snprintf(buf, sizeof buf, "spec fraction %.4f (want >= 0.9)",
+                    p->metrics.spec_fraction);
+      out.push_back({name, ok, false, buf});
+    }
+  }
+
+  // (4) The unadjusted ticket lock never elides: its release store does not
+  // restore the lock word, so every speculative attempt aborts.
+  {
+    const char* name = "unadjusted-ticket-serializes";
+    const auto* p = point("rb-s64-u20-t1-ticket-hle");
+    if (p == nullptr) {
+      out.push_back(skipped(name, "required point not in this tier"));
+    } else {
+      const bool ok = p->metrics.nonspec_fraction >= 0.99;
+      std::snprintf(buf, sizeof buf, "nonspec fraction %.4f (want >= 0.99)",
+                    p->metrics.nonspec_fraction);
+      out.push_back({name, ok, false, buf});
+    }
+  }
+
+  // (5) The standard scheme never speculates.
+  {
+    const char* name = "standard-is-nonspeculative";
+    const auto* p = point("rb-s64-u20-t8-ttas-standard");
+    if (p == nullptr) {
+      out.push_back(skipped(name, "required point not in this tier"));
+    } else {
+      const bool ok = p->metrics.spec_fraction == 0.0;
+      std::snprintf(buf, sizeof buf, "spec fraction %.4f (want 0)",
+                    p->metrics.spec_fraction);
+      out.push_back({name, ok, false, buf});
+    }
+  }
+
+  // (6) HLE over MCS on a contended small tree exhibits the avalanche
+  // (Fig 3.3); requires telemetry.
+  {
+    const char* name = "hle-mcs-avalanche-detected";
+    const auto* p = point("rb-s64-u20-t8-mcs-hle");
+    if (p == nullptr) {
+      out.push_back(skipped(name, "required point not in this tier"));
+    } else if (!result.telemetry_compiled) {
+      out.push_back(skipped(name, "telemetry compiled out"));
+    } else {
+      const bool ok = p->metrics.avalanche_episodes >= 1;
+      std::snprintf(buf, sizeof buf, "%llu avalanche episodes (want >= 1)",
+                    static_cast<unsigned long long>(
+                        p->metrics.avalanche_episodes));
+      out.push_back({name, ok, false, buf});
+    }
+  }
+
+  return out;
+}
+
+}  // namespace elision::harness

@@ -1,0 +1,160 @@
+// Benchmark-suite orchestration: a curated, tiered set of (scheme x lock x
+// workload) points drawn from the figure/table/ablation benches, run through
+// the shared RB-tree workload, with
+//
+//   - canonical machine-readable results (BENCH_results.json) carrying
+//     per-point throughput, spec/nonspec fractions, attempts-per-op, the
+//     abort-cause matrix and avalanche episode counts, plus run metadata
+//     (seeds, duration scale, machine config, telemetry availability);
+//   - regression gating against a committed baseline with per-metric
+//     relative tolerances; and
+//   - the paper's qualitative invariants (Ch. 5/6) checked on every run,
+//     e.g. SCM >= plain HLE on the contended MCS point, adjusted ticket/CLH
+//     locks committing speculatively when solo.
+//
+// tools/bench_suite is the CLI front-end; scripts/check.sh runs the smoke
+// tier as a pre-merge gate. See docs/benchmarks.md for the schema and the
+// baseline-update workflow.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/rb_workload.hpp"
+#include "support/json.hpp"
+#include "tsx/abort.hpp"
+
+namespace elision::harness {
+
+inline constexpr int kSuiteSchemaVersion = 1;
+
+enum class SuiteTier { kSmoke, kFull };
+
+const char* suite_tier_name(SuiteTier t);
+std::optional<SuiteTier> suite_tier_from_name(const std::string& name);
+
+struct SuitePoint {
+  std::string id;      // stable key used for baseline matching
+  SuiteTier tier;      // smoke points are a subset of the full tier
+  std::string figure;  // paper figure/table the point reproduces
+  RbPoint point;
+};
+
+// The curated list, smoke points first. Ids are unique.
+const std::vector<SuitePoint>& suite_points();
+// Points belonging to `tier` (kFull returns everything).
+std::vector<SuitePoint> suite_points_for(SuiteTier tier);
+
+// Derived, comparable metrics of one completed point. This is the unit the
+// baseline stores and the gate compares.
+struct PointMetrics {
+  double throughput_ops_per_sec = 0.0;
+  double spec_fraction = 0.0;
+  double nonspec_fraction = 0.0;
+  double attempts_per_op = 0.0;
+  std::uint64_t ops = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t elapsed_cycles = 0;
+  std::uint64_t tx_begins = 0;
+  std::uint64_t tx_commits = 0;
+  std::uint64_t tx_aborts = 0;
+  // Indexed by tsx::AbortCause.
+  std::vector<std::uint64_t> aborts_by_cause;
+  std::uint64_t avalanche_episodes = 0;
+  std::uint64_t avalanche_victims = 0;
+
+  static PointMetrics derive(const RunStats& stats);
+};
+
+struct PointRecord {
+  SuitePoint def;
+  PointMetrics metrics;
+};
+
+struct SuiteResult {
+  SuiteTier tier = SuiteTier::kSmoke;
+  double duration_scale = 1.0;
+  bool telemetry_compiled = false;
+  // Machine config shared by all points (seeds vary per point).
+  unsigned n_cores = 0;
+  unsigned smt_per_core = 0;
+  double ghz = 0.0;
+  std::vector<PointRecord> points;
+
+  const PointRecord* find(const std::string& id) const;
+};
+
+struct SuiteRunOptions {
+  // Multiplies every reported throughput: the planted-regression self-check
+  // hook (scripts/check.sh runs the gate with 0.5 and expects it to fail).
+  double plant_throughput_factor = 1.0;
+  // Progress callback, called after each point completes. May be null.
+  std::function<void(const SuitePoint&, const PointMetrics&)> on_point;
+};
+
+SuiteResult run_suite(SuiteTier tier, const SuiteRunOptions& opts = {});
+
+// ---- canonical JSON results ----
+
+// Writes the BENCH_results.json document (schema_version 1).
+void write_results_json(const SuiteResult& result, std::FILE* out);
+
+// Parses a document produced by write_results_json (e.g. the committed
+// baseline). Nullopt on schema mismatch or malformed input.
+std::optional<SuiteResult> parse_results_json(const support::json::Value& doc);
+std::optional<SuiteResult> load_results_file(const std::string& path);
+
+// ---- regression gate ----
+
+struct GateTolerance {
+  // Throughput regression: current < baseline * (1 - throughput_rel).
+  double throughput_rel = 0.10;
+  // Attempts-per-op regression: current > baseline * (1 + attempts_rel).
+  double attempts_rel = 0.15;
+  // Non-speculative-fraction regression: current > baseline + fraction_abs.
+  double fraction_abs = 0.08;
+};
+
+struct GateIssue {
+  std::string point_id;
+  std::string metric;
+  double baseline = 0.0;
+  double current = 0.0;
+  std::string detail;
+};
+
+struct GateReport {
+  std::vector<GateIssue> regressions;   // gate fails if non-empty
+  std::vector<GateIssue> improvements;  // beyond tolerance: refresh baseline
+  std::vector<std::string> notes;       // metadata drift, new points, ...
+  bool ok() const { return regressions.empty(); }
+};
+
+// Compares every current point against the baseline point with the same id.
+// A baseline point of the current tier that is missing from `current` is a
+// regression (coverage loss); points new in `current` are notes.
+GateReport compare_to_baseline(const SuiteResult& current,
+                               const SuiteResult& baseline,
+                               const GateTolerance& tol = {});
+
+void print_gate_report(const GateReport& report, std::FILE* out);
+
+// ---- paper-qualitative invariants ----
+
+struct InvariantResult {
+  std::string name;
+  bool ok = false;
+  bool skipped = false;  // required point not in this tier / no telemetry
+  std::string detail;
+};
+
+// Checks the qualitative expectations of Ch. 5/6 on a completed run. A
+// violated invariant means behaviour diverged from the paper, independent
+// of any baseline.
+std::vector<InvariantResult> check_invariants(const SuiteResult& result);
+
+}  // namespace elision::harness

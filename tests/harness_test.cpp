@@ -135,5 +135,32 @@ TEST(Runner, EnvScaleDefaultsToOne) {
   EXPECT_GT(env_duration_scale(), 0.0);
 }
 
+// Regression: env_duration_scale used atof, so malformed or zero
+// ELISION_BENCH_SCALE silently became 1.0 with no hint ("2,5", "1.5x" and
+// "nan" all parsed as valid-ish). It must accept exactly positive finite
+// numbers (with trailing whitespace) and fall back to 1.0 otherwise.
+TEST(Runner, EnvScaleParsesStrictly) {
+  const char* kVar = "ELISION_BENCH_SCALE";
+  struct Case {
+    const char* value;
+    double expect;
+  };
+  const Case cases[] = {
+      {"2.5", 2.5},      {"0.25", 0.25},   {"1e1", 10.0},
+      {" 3 ", 3.0},      // strtod skips leading, we skip trailing space
+      {"0", 1.0},        // zero would hang benches forever
+      {"-2", 1.0},       {"abc", 1.0},     {"1.5x", 1.0},  // trailing garbage
+      {"2,5", 1.0},      {"inf", 1.0},     {"nan", 1.0},
+      {"", 1.0},
+  };
+  for (const auto& c : cases) {
+    ASSERT_EQ(setenv(kVar, c.value, 1), 0);
+    EXPECT_DOUBLE_EQ(env_duration_scale(), c.expect)
+        << "ELISION_BENCH_SCALE=\"" << c.value << "\"";
+  }
+  ASSERT_EQ(unsetenv(kVar), 0);
+  EXPECT_DOUBLE_EQ(env_duration_scale(), 1.0);
+}
+
 }  // namespace
 }  // namespace elision::harness

@@ -11,6 +11,7 @@
 #include "harness/runner.hpp"
 #include "locks/schemes.hpp"
 #include "locks/ttas_lock.hpp"
+#include "support/json.hpp"
 #include "tsx/shared.hpp"
 
 namespace elision::harness {
@@ -39,6 +40,32 @@ TEST(Histogram, BucketLabelsAndRanges) {
   EXPECT_EQ(Histogram::bucket_label(4), "8-15");
   EXPECT_EQ(Histogram::bucket_lo(5), 16u);
   EXPECT_EQ(Histogram::bucket_hi(5), 31u);
+}
+
+// Regression: bucket 64 (values with the top bit set) used to compute its
+// range with `1 << 64` — UB caught under UBSan. It must saturate instead.
+TEST(Histogram, MaxValuedSampleLandsInSaturatedTopBucket) {
+  Histogram h;
+  h.add(UINT64_MAX);
+  h.add(std::uint64_t{1} << 63);
+  ASSERT_EQ(h.buckets().size(), 65u);
+  EXPECT_EQ(h.buckets()[64], 2u);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+  EXPECT_EQ(Histogram::bucket_lo(64), std::uint64_t{1} << 63);
+  EXPECT_EQ(Histogram::bucket_hi(64), UINT64_MAX);
+  EXPECT_EQ(Histogram::bucket_label(64),
+            "9223372036854775808-18446744073709551615");
+  // Exporting a histogram containing the top bucket must not trip UBSan.
+  char* buf = nullptr;
+  std::size_t len = 0;
+  std::FILE* f = open_memstream(&buf, &len);
+  MetricsRegistry reg;
+  reg.series("S", "L").attempts_hist.add(UINT64_MAX);
+  reg.export_json(f);
+  std::fclose(f);
+  const std::string out(buf, len);
+  std::free(buf);
+  EXPECT_NE(out.find("18446744073709551615"), std::string::npos);
 }
 
 TEST(Histogram, MergeAddsBucketwise) {
@@ -96,6 +123,36 @@ TEST(MetricsRegistry, AbsorbAggregatesRunStats) {
   EXPECT_EQ(m.avalanche_victims, 6u);
   EXPECT_EQ(m.avalanche_max_victims, 3);
   EXPECT_EQ(m.avalanche_cycles, 1000u);
+}
+
+// Regression: absorb used to keep whatever ghz the previous run had (and
+// the default 3.4 before that), so series from non-default MachineConfig
+// runs reported wrong throughput. It must propagate the first run's ghz and
+// reject mixing machines within one series.
+TEST(MetricsRegistry, AbsorbPropagatesGhzFromRun) {
+  RunStats run;
+  run.ops = 1000;
+  run.elapsed_cycles = 2'000'000'000;  // 1 virtual second at 2 GHz
+  run.ghz = 2.0;
+  MetricsRegistry reg;
+  reg.record("HLE", "MCS", run);
+  const auto& m = reg.entries()[0].metrics;
+  EXPECT_DOUBLE_EQ(m.ghz, 2.0);
+  EXPECT_NEAR(m.seconds(), 1.0, 1e-9);
+  EXPECT_NEAR(m.throughput(), 1000.0, 1e-6);
+}
+
+TEST(MetricsRegistry, AbsorbRejectsMixedGhzWithinASeries) {
+  RunStats a;
+  a.ops = 10;
+  a.elapsed_cycles = 100;
+  a.ghz = 3.4;
+  RunStats b = a;
+  b.ghz = 2.0;
+  MetricsRegistry reg;
+  reg.record("HLE", "MCS", a);
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(reg.record("HLE", "MCS", b), "different MachineConfig");
 }
 
 std::string export_to_string(const MetricsRegistry& reg, bool csv) {
@@ -169,6 +226,68 @@ TEST(MetricsExport, SixSchemeSweepHasMatrixAndHistogramPerScheme) {
   EXPECT_NE(csv.find("aborts_conflict"), std::string::npos);
   // Header line + one row per scheme.
   EXPECT_EQ(count_occurrences(csv, "\n"), 7u);
+}
+
+// Satellite acceptance: the JSON export parses as a real JSON document —
+// scheme/lock names escaped, histogram and avalanche fields intact, series
+// in insertion order — and the CSV export keeps the same series order.
+TEST(MetricsExport, JsonRoundTripsThroughParser) {
+  MetricsRegistry reg;
+  RunStats run;
+  run.ops = 50;
+  run.spec_ops = 40;
+  run.nonspec_ops = 10;
+  run.attempts = 60;
+  run.elapsed_cycles = 34000;
+  run.tx.begins = 55;
+  run.tx.commits = 40;
+  run.tx.record_abort(tsx::AbortCause::kConflict);
+  run.attempts_hist.add(1);
+  run.attempts_hist.add(6);
+  run.rejoin_hist.add(1200);
+  tsx::AvalancheEpisode ep;
+  ep.start = 10;
+  ep.end = 100;
+  ep.victims = {1, 2};
+  run.episodes.push_back(ep);
+  // Names that would corrupt unescaped JSON output.
+  reg.record("HLE \"quoted\\scheme\"", "lock\n\ttab", run);
+  reg.record("Standard", "TTAS", run);
+
+  const std::string text = export_to_string(reg, /*csv=*/false);
+  const auto doc = support::json::parse(text);
+  ASSERT_TRUE(doc.has_value()) << text;
+
+  const auto* series = doc->find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->items().size(), 2u);
+  // Insertion order preserved, names round-tripped through escaping.
+  const auto& first = series->items()[0];
+  EXPECT_EQ(first.find("scheme")->as_string(), "HLE \"quoted\\scheme\"");
+  EXPECT_EQ(first.find("lock")->as_string(), "lock\n\ttab");
+  EXPECT_EQ(series->items()[1].find("scheme")->as_string(), "Standard");
+
+  EXPECT_EQ(first.find("ops")->as_u64(), 50u);
+  const auto* causes = first.find("aborts_by_cause");
+  ASSERT_NE(causes, nullptr);
+  EXPECT_EQ(causes->find("conflict")->as_u64(), 1u);
+  const auto* hist = first.find("attempts_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->find("samples")->as_u64(), 2u);
+  EXPECT_EQ(hist->find("buckets")->find("4-7")->as_u64(), 1u);
+  const auto* rejoin = first.find("rejoin_cycles_hist");
+  ASSERT_NE(rejoin, nullptr);
+  EXPECT_EQ(rejoin->find("max")->as_u64(), 1200u);
+  const auto* avalanche = first.find("avalanche");
+  ASSERT_NE(avalanche, nullptr);
+  EXPECT_EQ(avalanche->find("episodes")->as_u64(), 1u);
+  EXPECT_EQ(avalanche->find("victims")->as_u64(), 2u);
+
+  // CSV: header plus rows in the same order.
+  const std::string csv = export_to_string(reg, /*csv=*/true);
+  const auto first_row = csv.find('\n') + 1;
+  EXPECT_EQ(csv.find("Standard"), csv.rfind("Standard"));
+  EXPECT_GT(csv.find("Standard"), first_row);
 }
 
 }  // namespace

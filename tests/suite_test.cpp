@@ -1,0 +1,272 @@
+// Bench-suite tests: curated point list, canonical JSON round-trip, the
+// regression gate (including a planted regression and coverage loss), the
+// paper-qualitative invariant checks, and the seed-merge regression test
+// for run_rb_point's timeline aggregation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "harness/rb_workload.hpp"
+#include "harness/suite.hpp"
+#include "support/json.hpp"
+
+namespace elision::harness {
+namespace {
+
+TEST(SuitePoints, SmokeIsNonTrivialSubsetOfFull) {
+  const auto smoke = suite_points_for(SuiteTier::kSmoke);
+  const auto full = suite_points_for(SuiteTier::kFull);
+  EXPECT_GE(smoke.size(), 8u);
+  EXPECT_GT(full.size(), smoke.size());
+  std::set<std::string> full_ids;
+  for (const auto& p : full) full_ids.insert(p.id);
+  // Ids are unique and every smoke point is in the full tier.
+  EXPECT_EQ(full_ids.size(), full.size());
+  for (const auto& p : smoke) {
+    EXPECT_EQ(p.tier, SuiteTier::kSmoke) << p.id;
+    EXPECT_TRUE(full_ids.count(p.id)) << p.id;
+  }
+}
+
+// Regression (bench_common.hpp run_rb_point): per-slot timeline data was
+// silently dropped when seeds > 1, so Fig 3.3-style benches averaged only
+// zeros. The timelines of all seed runs must merge slot-wise.
+TEST(RbWorkload, TimelineMergedAcrossSeeds) {
+  RbPoint p;
+  p.size = 64;
+  p.threads = 4;
+  p.duration_sec = 0.0004;
+  p.seeds = 2;
+  p.scheme = locks::Scheme::kHle;
+  p.timeline_slot_cycles = 340000;  // ~4 slots per seed run
+  const RunStats merged = run_rb_point(p);
+  ASSERT_GT(merged.ops, 0u);
+  ASSERT_FALSE(merged.timeline.empty());
+  std::uint64_t timeline_ops = 0;
+  std::uint64_t timeline_nonspec = 0;
+  for (const auto& slot : merged.timeline) {
+    timeline_ops += slot.ops;
+    timeline_nonspec += slot.nonspec_ops;
+  }
+  // Every completed op of every seed lands in some slot.
+  EXPECT_EQ(timeline_ops, merged.ops);
+  EXPECT_EQ(timeline_nonspec, merged.nonspec_ops);
+
+  // And the merge really covers both seeds: a single-seed run has
+  // strictly fewer ops.
+  RbPoint single = p;
+  single.seeds = 1;
+  const RunStats one = run_rb_point(single);
+  EXPECT_GT(merged.ops, one.ops);
+}
+
+TEST(RbWorkload, AccumulateChecksGhzAndMergesCounters) {
+  RunStats a;
+  a.ops = 10;
+  a.elapsed_cycles = 1000;
+  a.ghz = 2.0;
+  a.timeline.resize(2);
+  a.timeline[1].ops = 4;
+  RunStats total;
+  total.accumulate(a);
+  EXPECT_DOUBLE_EQ(total.ghz, 2.0);  // taken from the first run, not 3.4
+  total.accumulate(a);
+  EXPECT_EQ(total.ops, 20u);
+  ASSERT_EQ(total.timeline.size(), 2u);
+  EXPECT_EQ(total.timeline[1].ops, 8u);
+
+  RunStats other_machine;
+  other_machine.ops = 1;
+  other_machine.elapsed_cycles = 10;
+  other_machine.ghz = 3.4;
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(total.accumulate(other_machine), "different MachineConfig");
+}
+
+SuiteResult tiny_result() {
+  SuiteResult r;
+  r.tier = SuiteTier::kSmoke;
+  r.duration_scale = 1.0;
+  r.telemetry_compiled = true;
+  r.n_cores = 4;
+  r.smt_per_core = 2;
+  r.ghz = 3.4;
+  int i = 0;
+  for (const auto& sp : suite_points_for(SuiteTier::kSmoke)) {
+    PointRecord rec;
+    rec.def = sp;
+    rec.metrics.throughput_ops_per_sec = 1e7 + 1e6 * i;
+    rec.metrics.spec_fraction = 0.9;
+    rec.metrics.nonspec_fraction = 0.1;
+    rec.metrics.attempts_per_op = 1.25;
+    rec.metrics.ops = 1000 + static_cast<std::uint64_t>(i);
+    rec.metrics.attempts = 1250;
+    rec.metrics.elapsed_cycles = 123456;
+    rec.metrics.tx_begins = 1200;
+    rec.metrics.tx_commits = 900;
+    rec.metrics.tx_aborts = 300;
+    rec.metrics.aborts_by_cause.assign(
+        static_cast<std::size_t>(tsx::AbortCause::kCauseCount), 0);
+    rec.metrics.aborts_by_cause[static_cast<std::size_t>(
+        tsx::AbortCause::kConflict)] = 7;
+    rec.metrics.avalanche_episodes = 2;
+    rec.metrics.avalanche_victims = 9;
+    r.points.push_back(std::move(rec));
+    ++i;
+  }
+  return r;
+}
+
+std::string to_json_string(const SuiteResult& r) {
+  char* buf = nullptr;
+  std::size_t len = 0;
+  std::FILE* f = open_memstream(&buf, &len);
+  write_results_json(r, f);
+  std::fclose(f);
+  std::string out(buf, len);
+  std::free(buf);
+  return out;
+}
+
+TEST(SuiteJson, ResultsRoundTrip) {
+  const SuiteResult orig = tiny_result();
+  const std::string text = to_json_string(orig);
+
+  const auto doc = support::json::parse(text);
+  ASSERT_TRUE(doc.has_value()) << text;
+  const auto parsed = parse_results_json(*doc);
+  ASSERT_TRUE(parsed.has_value());
+
+  EXPECT_EQ(parsed->tier, orig.tier);
+  EXPECT_DOUBLE_EQ(parsed->duration_scale, orig.duration_scale);
+  EXPECT_EQ(parsed->telemetry_compiled, orig.telemetry_compiled);
+  EXPECT_EQ(parsed->n_cores, orig.n_cores);
+  EXPECT_DOUBLE_EQ(parsed->ghz, orig.ghz);
+  ASSERT_EQ(parsed->points.size(), orig.points.size());
+  for (std::size_t i = 0; i < orig.points.size(); ++i) {
+    const auto& a = orig.points[i];
+    const auto& b = parsed->points[i];
+    EXPECT_EQ(b.def.id, a.def.id);  // insertion order preserved
+    EXPECT_EQ(b.def.tier, a.def.tier);
+    EXPECT_NEAR(b.metrics.throughput_ops_per_sec,
+                a.metrics.throughput_ops_per_sec, 1.0);
+    EXPECT_NEAR(b.metrics.nonspec_fraction, a.metrics.nonspec_fraction, 1e-6);
+    EXPECT_EQ(b.metrics.ops, a.metrics.ops);
+    EXPECT_EQ(b.metrics.aborts_by_cause[static_cast<std::size_t>(
+                  tsx::AbortCause::kConflict)],
+              7u);
+    EXPECT_EQ(b.metrics.avalanche_episodes, 2u);
+  }
+}
+
+TEST(SuiteJson, RejectsWrongSchemaVersion) {
+  const auto doc =
+      support::json::parse("{\"schema_version\":999,\"points\":[]}");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_FALSE(parse_results_json(*doc).has_value());
+}
+
+TEST(SuiteGate, PassesOnIdenticalResults) {
+  const SuiteResult base = tiny_result();
+  const GateReport report = compare_to_baseline(base, base);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.improvements.empty());
+}
+
+TEST(SuiteGate, DetectsPlantedThroughputRegression) {
+  const SuiteResult base = tiny_result();
+  SuiteResult cur = base;
+  cur.points[0].metrics.throughput_ops_per_sec *= 0.5;  // planted: -50%
+  const GateReport report = compare_to_baseline(cur, base);
+  ASSERT_FALSE(report.ok());
+  ASSERT_EQ(report.regressions.size(), 1u);
+  EXPECT_EQ(report.regressions[0].point_id, base.points[0].def.id);
+  EXPECT_EQ(report.regressions[0].metric, "throughput_ops_per_sec");
+}
+
+TEST(SuiteGate, DetectsAttemptsAndFallbackRegressions) {
+  const SuiteResult base = tiny_result();
+  SuiteResult cur = base;
+  cur.points[1].metrics.attempts_per_op *= 1.5;
+  cur.points[2].metrics.nonspec_fraction += 0.2;
+  const GateReport report = compare_to_baseline(cur, base);
+  ASSERT_EQ(report.regressions.size(), 2u);
+  EXPECT_EQ(report.regressions[0].metric, "attempts_per_op");
+  EXPECT_EQ(report.regressions[1].metric, "nonspec_fraction");
+}
+
+TEST(SuiteGate, WithinToleranceIsNotARegression) {
+  const SuiteResult base = tiny_result();
+  SuiteResult cur = base;
+  cur.points[0].metrics.throughput_ops_per_sec *= 0.95;  // within 10%
+  cur.points[1].metrics.attempts_per_op *= 1.10;         // within 15%
+  EXPECT_TRUE(compare_to_baseline(cur, base).ok());
+}
+
+TEST(SuiteGate, MissingBaselinePointIsCoverageLoss) {
+  const SuiteResult base = tiny_result();
+  SuiteResult cur = base;
+  cur.points.pop_back();
+  const GateReport report = compare_to_baseline(cur, base);
+  ASSERT_EQ(report.regressions.size(), 1u);
+  EXPECT_EQ(report.regressions[0].metric, "coverage");
+}
+
+TEST(SuiteGate, BigImprovementSuggestsBaselineRefresh) {
+  const SuiteResult base = tiny_result();
+  SuiteResult cur = base;
+  cur.points[0].metrics.throughput_ops_per_sec *= 2.0;
+  const GateReport report = compare_to_baseline(cur, base);
+  EXPECT_TRUE(report.ok());
+  ASSERT_EQ(report.improvements.size(), 1u);
+  EXPECT_EQ(report.improvements[0].metric, "throughput_ops_per_sec");
+}
+
+TEST(SuiteInvariants, ViolationIsReportedOnDoctoredResults) {
+  SuiteResult r = tiny_result();
+  // Make HLE-SCM slower than HLE on the contended MCS point.
+  auto* hle = const_cast<PointRecord*>(r.find("rb-s64-u20-t8-mcs-hle"));
+  auto* scm = const_cast<PointRecord*>(r.find("rb-s64-u20-t8-mcs-hle-scm"));
+  ASSERT_NE(hle, nullptr);
+  ASSERT_NE(scm, nullptr);
+  hle->metrics.throughput_ops_per_sec = 2e7;
+  scm->metrics.throughput_ops_per_sec = 1e7;
+  bool found = false;
+  for (const auto& inv : check_invariants(r)) {
+    if (inv.name == "scm-beats-hle-on-contended-mcs") {
+      EXPECT_FALSE(inv.skipped);
+      EXPECT_FALSE(inv.ok);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SuiteInvariants, MissingPointsAreSkippedNotFailed) {
+  SuiteResult empty;
+  for (const auto& inv : check_invariants(empty)) {
+    EXPECT_TRUE(inv.skipped) << inv.name;
+    EXPECT_TRUE(inv.ok) << inv.name;
+  }
+}
+
+// End-to-end smoke on one real point: running the same suite point twice is
+// bit-identical (the gate depends on this determinism).
+TEST(SuiteRun, PointIsDeterministic) {
+  const auto points = suite_points_for(SuiteTier::kSmoke);
+  ASSERT_FALSE(points.empty());
+  RbPoint p = points[1].point;  // ttas-hle
+  p.duration_sec = 0.0005;
+  const PointMetrics a = PointMetrics::derive(run_rb_point(p));
+  const PointMetrics b = PointMetrics::derive(run_rb_point(p));
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_DOUBLE_EQ(a.throughput_ops_per_sec, b.throughput_ops_per_sec);
+  EXPECT_EQ(a.aborts_by_cause, b.aborts_by_cause);
+}
+
+}  // namespace
+}  // namespace elision::harness

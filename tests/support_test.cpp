@@ -2,11 +2,13 @@
 
 #include <cstdint>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "support/align.hpp"
 #include "support/flat_map.hpp"
 #include "support/function_ref.hpp"
+#include "support/json.hpp"
 #include "support/rng.hpp"
 
 namespace elision::support {
@@ -208,6 +210,56 @@ TEST(Align, CacheAlignedHasFullLine) {
   static_assert(alignof(CacheAligned<int>) == kCacheLineBytes);
   CacheAligned<int> a[2];
   EXPECT_NE(line_of(&a[0].value), line_of(&a[1].value));
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+TEST(Json, ParsesNestedDocumentPreservingOrder) {
+  const auto doc = json::parse(
+      "{\"b\": 1, \"a\": [true, null, -2.5e2, \"s\"], \"c\": {\"x\": 7}}");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  ASSERT_EQ(doc->members().size(), 3u);
+  EXPECT_EQ(doc->members()[0].key, "b");  // insertion order, not sorted
+  EXPECT_EQ(doc->members()[1].key, "a");
+  const json::Value* arr = doc->find("a");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->items().size(), 4u);
+  EXPECT_TRUE(arr->items()[0].as_bool());
+  EXPECT_TRUE(arr->items()[1].is_null());
+  EXPECT_DOUBLE_EQ(arr->items()[2].as_double(), -250.0);
+  EXPECT_EQ(arr->items()[3].as_string(), "s");
+  EXPECT_EQ(doc->find("c")->find("x")->as_u64(), 7u);
+  EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(Json, ParsesStringEscapes) {
+  const auto doc = json::parse(R"({"s": "a\"b\\c\n\tAé"})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("s")->as_string(), "a\"b\\c\n\tA\xC3\xA9");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_FALSE(json::parse("").has_value());
+  EXPECT_FALSE(json::parse("{").has_value());
+  EXPECT_FALSE(json::parse("{\"a\":}").has_value());
+  EXPECT_FALSE(json::parse("[1,]").has_value());
+  EXPECT_FALSE(json::parse("{} trailing").has_value());
+  EXPECT_FALSE(json::parse("\"unterminated").has_value());
+  EXPECT_FALSE(json::parse("truex").has_value());
+  EXPECT_FALSE(json::parse("1.2.3").has_value());
+}
+
+TEST(Json, EscapeRoundTripsThroughParser) {
+  const std::string nasty = "a\"b\\c\nd\te\x01f";
+  std::string text = "\"";
+  text += json::escape(nasty);
+  text += '"';
+  const auto doc = json::parse(text);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->as_string(), nasty);
 }
 
 }  // namespace

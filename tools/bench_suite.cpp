@@ -1,0 +1,190 @@
+// bench_suite — run the curated benchmark suite (src/harness/suite.hpp),
+// emit canonical machine-readable results, and optionally gate against a
+// committed baseline.
+//
+//   bench_suite [--tier smoke|full] [--out FILE] [--baseline FILE] [--gate]
+//               [--list] [--quiet] [--plant-regression FACTOR]
+//               [--tol-throughput REL] [--tol-attempts REL]
+//               [--tol-fraction ABS] [--no-invariants]
+//
+// Exit status: 0 on success; 1 if the gate found a regression or a
+// paper-qualitative invariant is violated; 2 on usage/IO errors.
+//
+// --plant-regression multiplies every reported throughput before gating;
+// scripts/check.sh uses 0.5 as a self-check that the gate actually fires.
+// See docs/benchmarks.md for the schema and the baseline-update workflow.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/report.hpp"
+#include "harness/suite.hpp"
+
+namespace {
+
+using namespace elision;
+
+struct Options {
+  harness::SuiteTier tier = harness::SuiteTier::kSmoke;
+  std::string out_file = "BENCH_results.json";
+  std::string baseline_file;
+  bool gate = false;
+  bool list = false;
+  bool quiet = false;
+  bool invariants = true;
+  double plant_factor = 1.0;
+  harness::GateTolerance tol;
+};
+
+[[noreturn]] void usage(const char* why) {
+  std::fprintf(stderr, "error: %s\n\n", why);
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  bench_suite [--tier smoke|full] [--out FILE] [--baseline FILE]\n"
+      "              [--gate] [--list] [--quiet]\n"
+      "              [--plant-regression FACTOR]\n"
+      "              [--tol-throughput REL] [--tol-attempts REL]\n"
+      "              [--tol-fraction ABS] [--no-invariants]\n");
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + a).c_str());
+      return argv[++i];
+    };
+    if (a == "--tier") {
+      const auto t = harness::suite_tier_from_name(next());
+      if (!t) usage("--tier must be smoke or full");
+      o.tier = *t;
+    } else if (a == "--out") {
+      o.out_file = next();
+    } else if (a == "--baseline") {
+      o.baseline_file = next();
+    } else if (a == "--gate") {
+      o.gate = true;
+    } else if (a == "--list") {
+      o.list = true;
+    } else if (a == "--quiet") {
+      o.quiet = true;
+    } else if (a == "--no-invariants") {
+      o.invariants = false;
+    } else if (a == "--plant-regression") {
+      o.plant_factor = std::atof(next().c_str());
+      if (o.plant_factor <= 0) usage("--plant-regression must be > 0");
+    } else if (a == "--tol-throughput") {
+      o.tol.throughput_rel = std::atof(next().c_str());
+    } else if (a == "--tol-attempts") {
+      o.tol.attempts_rel = std::atof(next().c_str());
+    } else if (a == "--tol-fraction") {
+      o.tol.fraction_abs = std::atof(next().c_str());
+    } else {
+      usage(("unknown argument " + a).c_str());
+    }
+  }
+  if (o.gate && o.baseline_file.empty()) {
+    usage("--gate requires --baseline FILE");
+  }
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+
+  if (o.list) {
+    harness::Table table({"id", "tier", "figure", "lock", "scheme", "size",
+                          "upd%", "thr", "seeds"});
+    for (const auto& sp : harness::suite_points_for(o.tier)) {
+      table.add_row({sp.id, harness::suite_tier_name(sp.tier), sp.figure,
+                     harness::lock_sel_name(sp.point.lock),
+                     sp.point.scheme.name(), harness::fmt_int(sp.point.size),
+                     std::to_string(sp.point.update_pct),
+                     std::to_string(sp.point.threads),
+                     std::to_string(sp.point.seeds)});
+    }
+    table.print();
+    return 0;
+  }
+
+  harness::Table progress({"id", "Mops/s", "att/op", "nonspec", "episodes"});
+  harness::SuiteRunOptions run_opts;
+  run_opts.plant_throughput_factor = o.plant_factor;
+  if (!o.quiet) {
+    run_opts.on_point = [&](const harness::SuitePoint& sp,
+                            const harness::PointMetrics& m) {
+      std::fprintf(stderr, "ran %s\n", sp.id.c_str());
+      progress.add_row(
+          {sp.id, harness::fmt(m.throughput_ops_per_sec / 1e6, 2),
+           harness::fmt(m.attempts_per_op, 2),
+           harness::fmt(m.nonspec_fraction, 3),
+           harness::fmt_int(m.avalanche_episodes)});
+    };
+  }
+
+  const harness::SuiteResult result = harness::run_suite(o.tier, run_opts);
+  if (!o.quiet) progress.print();
+  if (o.plant_factor != 1.0) {
+    std::fprintf(stderr,
+                 "bench_suite: throughputs scaled by %.3f "
+                 "(--plant-regression self-check mode)\n",
+                 o.plant_factor);
+  }
+
+  std::FILE* f = std::fopen(o.out_file.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_suite: cannot open %s\n", o.out_file.c_str());
+    return 2;
+  }
+  harness::write_results_json(result, f);
+  std::fclose(f);
+  if (!o.quiet) {
+    std::printf("results: %zu points -> %s\n", result.points.size(),
+                o.out_file.c_str());
+  }
+
+  int rc = 0;
+
+  if (o.invariants) {
+    for (const auto& inv : harness::check_invariants(result)) {
+      if (inv.skipped) {
+        if (!o.quiet) {
+          std::printf("invariant %-34s SKIP (%s)\n", inv.name.c_str(),
+                      inv.detail.c_str());
+        }
+        continue;
+      }
+      if (inv.ok) {
+        if (!o.quiet) {
+          std::printf("invariant %-34s ok   (%s)\n", inv.name.c_str(),
+                      inv.detail.c_str());
+        }
+      } else {
+        std::fprintf(stderr, "invariant %-34s FAIL (%s)\n", inv.name.c_str(),
+                     inv.detail.c_str());
+        rc = 1;
+      }
+    }
+  }
+
+  if (o.gate) {
+    const auto baseline = harness::load_results_file(o.baseline_file);
+    if (!baseline) {
+      std::fprintf(stderr, "bench_suite: cannot parse baseline %s\n",
+                   o.baseline_file.c_str());
+      return 2;
+    }
+    const auto report =
+        harness::compare_to_baseline(result, *baseline, o.tol);
+    harness::print_gate_report(report, report.ok() ? stdout : stderr);
+    if (!report.ok()) rc = 1;
+  }
+
+  return rc;
+}
