@@ -7,6 +7,7 @@
 #include "ds/rbtree.hpp"
 #include "locks/region.hpp"
 #include "locks/ttas_lock.hpp"
+#include "tsx/line_table.hpp"
 #include "tsx/shared.hpp"
 
 namespace {
@@ -112,6 +113,52 @@ void BM_RbTreeLookup(benchmark::State& state) {
   });
 }
 BENCHMARK(BM_RbTreeLookup);
+
+// LineTable primitives in isolation (every simulated access pays at least
+// one of these). Repeated same-line access through the per-context cache —
+// the dominant pattern, since consecutive accesses usually touch the line
+// they just touched.
+void BM_LineTableRecordCachedHit(benchmark::State& state) {
+  tsx::LineTable table;
+  tsx::LineTable::Cache cache;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.record(0x1234, cache));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LineTableRecordCachedHit);
+
+// Cycling over a working set defeats the one-entry cache and measures the
+// open-addressing probe itself, at footprints spanning "fits easily" to
+// "just grew".
+void BM_LineTableRecordProbe(benchmark::State& state) {
+  const auto lines = static_cast<std::size_t>(state.range(0));
+  tsx::LineTable table;
+  std::uint64_t line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.record(line * 64));
+    line = (line + 1) % lines;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LineTableRecordProbe)->Arg(16)->Arg(512)->Arg(8192);
+
+// clear() is a generation bump: the refill after it must pay no per-slot
+// scrubbing cost (this is what made replacing unordered_map worthwhile —
+// the engine clears conflict state constantly).
+void BM_LineTableClearRefill(benchmark::State& state) {
+  const auto lines = static_cast<std::size_t>(state.range(0));
+  tsx::LineTable table;
+  for (auto _ : state) {
+    table.clear();
+    for (std::size_t i = 0; i < lines; ++i) {
+      benchmark::DoNotOptimize(table.record(i * 64));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lines));
+}
+BENCHMARK(BM_LineTableClearRefill)->Arg(64)->Arg(1024);
 
 void BM_FiberSwitch(benchmark::State& state) {
   // Two threads ping-ponging via strict earliest-first scheduling.

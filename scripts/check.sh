@@ -5,8 +5,13 @@
 # detect the HLE avalanche and export metrics; stress_cli must hold all
 # invariants over a perturbed sweep and find the planted RacyLock bug).
 # Finally runs the bench-suite smoke tier gated against the committed
-# baseline (bench/baseline.json), including a self-check that a planted
-# 50% throughput regression is actually caught.
+# baseline (bench/baseline.json), re-runs it with --jobs 2 to prove
+# parallel execution reproduces the sequential results bit-for-bit (modulo
+# host wall-time fields), and self-checks that a planted 50% throughput
+# regression and a planted 5x simulator slowdown are actually caught.
+# The ASan+UBSan ctest pass includes line_table_test's randomized
+# differential fuzz of the open-addressing LineTable against a
+# std::unordered_map reference.
 # Uses its own build trees (build-check*/) so it never dirties build/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -62,10 +67,13 @@ EOF
 # Bench-suite smoke: run the curated smoke tier, emit canonical results,
 # check the paper-qualitative invariants, and gate against the committed
 # baseline (see docs/benchmarks.md for tolerances and the update workflow).
+# The committed baseline's sim_ops_per_sec came from a different machine, so
+# the simulator-speed gate here only catches order-of-magnitude slowdowns
+# (--tol-simops 0.9); the tight same-machine check comes further down.
 bench_json=$(mktemp)
 trap 'rm -f "$metrics" "$bench_json"' EXIT
 "$BUILD"/tools/bench_suite --tier smoke --out "$bench_json" \
-    --baseline bench/baseline.json --gate --quiet || {
+    --baseline bench/baseline.json --gate --tol-simops 0.9 --quiet || {
   echo "check: bench_suite smoke gate failed (perf regression or paper" \
        "invariant violation)" >&2; exit 1; }
 python3 - "$bench_json" <<'EOF'
@@ -73,17 +81,43 @@ import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["schema_version"] == 1 and doc["tier"] == "smoke", doc.keys()
 assert doc["points"], "no points in BENCH_results.json"
+assert doc["run"]["host"]["cores"] >= 1 and doc["run"]["host"]["jobs"] == 1
+assert doc["run"]["host"]["total_wall_ms"] > 0
 for p in doc["points"]:
     m = p["metrics"]
     for key in ("throughput_ops_per_sec", "spec_fraction",
                 "nonspec_fraction", "attempts_per_op", "aborts_by_cause",
-                "avalanche_episodes"):
+                "avalanche_episodes", "sim_ops_per_sec", "wall_ms"):
         assert key in m, f"{p['id']} missing {key}"
+    assert m["sim_ops_per_sec"] > 0, f"{p['id']} has no simulator speed"
 print(f"bench suite: {len(doc['points'])} smoke points, schema valid")
 EOF
 
-# Gate self-check: a planted 50% throughput regression must be detected
-# (proof the gate is not vacuous).
+# Parallel execution must reproduce the sequential run exactly: every
+# simulated metric is deterministic per seed, so fanning the points out to
+# worker subprocesses (--jobs) may only change the host wall-time fields
+# (wall_ms, sim_ops_per_sec, run.host).
+bench_par_json=$(mktemp)
+trap 'rm -f "$metrics" "$bench_json" "$bench_par_json"' EXIT
+"$BUILD"/tools/bench_suite --tier smoke --jobs 2 --out "$bench_par_json" \
+    --quiet || {
+  echo "check: bench_suite --jobs 2 run failed" >&2; exit 1; }
+python3 - "$bench_json" "$bench_par_json" <<'EOF'
+import json, sys
+seq, par = (json.load(open(p)) for p in sys.argv[1:3])
+assert par["run"]["host"]["jobs"] == 2, par["run"]["host"]
+for doc in (seq, par):
+    del doc["run"]["host"]
+    for p in doc["points"]:
+        del p["metrics"]["sim_ops_per_sec"], p["metrics"]["wall_ms"]
+assert seq == par, "parallel run diverged from sequential run"
+print("bench suite: --jobs 2 reproduces the sequential results exactly")
+EOF
+
+# Gate self-checks: a planted 50% throughput regression and a planted 5x
+# simulator slowdown must both be detected (proof neither gate is vacuous).
+# The slowdown check gates against the fresh same-machine results from
+# above, where a tight sim_ops_per_sec tolerance is meaningful.
 if "$BUILD"/tools/bench_suite --tier smoke --plant-regression 0.5 \
     --out /dev/null --baseline bench/baseline.json --gate --quiet \
     >/dev/null 2>&1; then
@@ -91,5 +125,13 @@ if "$BUILD"/tools/bench_suite --tier smoke --plant-regression 0.5 \
   exit 1
 fi
 echo "bench suite: planted-regression self-check caught the regression"
+
+if "$BUILD"/tools/bench_suite --tier smoke --plant-slowdown 0.2 \
+    --out /dev/null --baseline "$bench_json" --gate --tol-simops 0.5 \
+    --quiet >/dev/null 2>&1; then
+  echo "check: bench gate missed a planted 5x simulator slowdown" >&2
+  exit 1
+fi
+echo "bench suite: planted-slowdown self-check caught the slowdown"
 
 echo "check: OK"

@@ -1,0 +1,29 @@
+// A fixed-work engine/scheduler microbenchmark registered as a suite point.
+//
+// Unlike the RB-tree points (fixed *virtual* duration, so their host wall
+// time floats with simulator speed but their simulated metrics do not), this
+// point performs a fixed number of RTM transactions over a small shared
+// array. Its simulated metrics are deterministic per seed, and its host wall
+// time divided into the fixed operation count — the suite's sim_ops_per_sec
+// metric — measures how fast the simulator itself executes. Gating that
+// metric against bench/baseline.json catches host-side performance
+// regressions of the engine hot path that no virtual-time metric can see.
+#pragma once
+
+#include <cstdint>
+
+#include "harness/runner.hpp"
+
+namespace elision::harness {
+
+struct MicroPoint {
+  int threads = 8;
+  std::uint64_t ops_per_thread = 25000;
+  std::size_t array_words = 1024;  // shared array the transactions touch
+  std::uint64_t seed = 42;
+};
+
+// Runs the fixed-work microbenchmark once; fully deterministic per seed.
+RunStats run_micro_point(const MicroPoint& p);
+
+}  // namespace elision::harness

@@ -2,13 +2,24 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstring>
+#include <thread>
 
+#include "harness/micro_point.hpp"
 #include "sim/machine_config.hpp"
 #include "tsx/telemetry.hpp"
 
 namespace elision::harness {
+
+const char* point_kind_name(PointKind k) {
+  switch (k) {
+    case PointKind::kRb: return "rb";
+    case PointKind::kMicro: return "micro";
+  }
+  return "?";
+}
 
 const char* suite_tier_name(SuiteTier t) {
   switch (t) {
@@ -97,6 +108,23 @@ std::vector<SuitePoint> build_points() {
       make_point(S, "ch6", 64, 20, 1, LockSel::kClhAdj, ElisionPolicy::hle()));
   v.push_back(
       make_point(S, "ch6", 64, 20, 1, LockSel::kTicket, ElisionPolicy::hle()));
+  // Simulator-speed canary: fixed-work RTM microbenchmark whose
+  // sim_ops_per_sec (simulated ops per host second) gates host-side engine
+  // performance. Its simulated metrics are deterministic like every other
+  // point's.
+  {
+    SuitePoint sp;
+    sp.tier = S;
+    sp.figure = "sim-speed";
+    sp.kind = PointKind::kMicro;
+    sp.id = "micro-engine-rtm-t8";
+    sp.point.threads = 8;
+    sp.point.size = 1024;  // array words
+    sp.point.update_pct = 0;
+    sp.point.seeds = 1;
+    sp.point.duration_sec = 0.0;  // fixed work, not fixed virtual time
+    v.push_back(sp);
+  }
 
   // --- full tier: wider scheme / size / mix / lock coverage ---
   v.push_back(make_point(F, "fig5.2", 64, 20, 8, LockSel::kTtas,
@@ -179,7 +207,36 @@ const PointRecord* SuiteResult::find(const std::string& id) const {
   return nullptr;
 }
 
+namespace {
+
+// Dispatches to the point's workload and fills the host-speed metrics.
+PointMetrics run_point_metrics(const SuitePoint& sp) {
+  const auto t0 = std::chrono::steady_clock::now();
+  RunStats stats;
+  if (sp.kind == PointKind::kMicro) {
+    MicroPoint mp;
+    mp.threads = sp.point.threads;
+    mp.array_words = sp.point.size;
+    mp.seed = sp.point.seed;
+    stats = run_micro_point(mp);
+  } else {
+    stats = run_rb_point(sp.point);
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  PointMetrics m = PointMetrics::derive(stats);
+  m.wall_ms = wall_ms;
+  m.sim_ops_per_sec =
+      wall_ms > 0 ? static_cast<double>(m.ops) / (wall_ms / 1e3) : 0.0;
+  return m;
+}
+
+}  // namespace
+
 SuiteResult run_suite(SuiteTier tier, const SuiteRunOptions& opts) {
+  const auto t0 = std::chrono::steady_clock::now();
   SuiteResult result;
   result.tier = tier;
   result.duration_scale = env_duration_scale();
@@ -188,14 +245,23 @@ SuiteResult run_suite(SuiteTier tier, const SuiteRunOptions& opts) {
   result.n_cores = machine.n_cores;
   result.smt_per_core = machine.smt_per_core;
   result.ghz = machine.ghz;
+  result.host_cores = std::thread::hardware_concurrency();
+  result.jobs = 1;
   for (const auto& sp : suite_points_for(tier)) {
-    const RunStats stats = run_rb_point(sp.point);
-    PointMetrics m = PointMetrics::derive(stats);
+    PointMetrics m = run_point_metrics(sp);
     m.throughput_ops_per_sec *= opts.plant_throughput_factor;
+    m.sim_ops_per_sec *= opts.plant_simops_factor;
     if (opts.on_point) opts.on_point(sp, m);
     result.points.push_back({sp, m});
   }
+  result.total_wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
   return result;
+}
+
+PointRecord run_suite_point(const SuitePoint& sp) {
+  return {sp, run_point_metrics(sp)};
 }
 
 // ---- canonical JSON results ----
@@ -207,12 +273,12 @@ void write_point_json(const PointRecord& r, std::FILE* out) {
   const auto& m = r.metrics;
   std::fprintf(
       out,
-      "    {\"id\":\"%s\",\"tier\":\"%s\",\"figure\":\"%s\","
+      "    {\"id\":\"%s\",\"tier\":\"%s\",\"figure\":\"%s\",\"kind\":\"%s\","
       "\"lock\":\"%s\",\"scheme\":\"%s\",\"size\":%zu,\"update_pct\":%d,"
       "\"threads\":%d,\"seeds\":%d,\"duration_sec\":%g,\"seed\":%llu,"
       "\"telemetry\":%s,\n",
       support::json::escape(d.id).c_str(), suite_tier_name(d.tier),
-      support::json::escape(d.figure).c_str(),
+      support::json::escape(d.figure).c_str(), point_kind_name(d.kind),
       lock_sel_name(d.point.lock),
       support::json::escape(d.point.scheme.name()).c_str(), d.point.size,
       d.point.update_pct, d.point.threads, d.point.seeds,
@@ -240,9 +306,11 @@ void write_point_json(const PointRecord& r, std::FILE* out) {
                  static_cast<unsigned long long>(m.aborts_by_cause[c]));
   }
   std::fprintf(out,
-               "},\"avalanche_episodes\":%llu,\"avalanche_victims\":%llu}}",
+               "},\"avalanche_episodes\":%llu,\"avalanche_victims\":%llu,"
+               "\"sim_ops_per_sec\":%.3f,\"wall_ms\":%.3f}}",
                static_cast<unsigned long long>(m.avalanche_episodes),
-               static_cast<unsigned long long>(m.avalanche_victims));
+               static_cast<unsigned long long>(m.avalanche_victims),
+               m.sim_ops_per_sec, m.wall_ms);
 }
 
 }  // namespace
@@ -253,11 +321,14 @@ void write_results_json(const SuiteResult& result, std::FILE* out) {
                "  \"tier\":\"%s\",\n  \"run\":{\"duration_scale\":%g,"
                "\"telemetry_compiled\":%s,"
                "\"machine\":{\"n_cores\":%u,\"smt_per_core\":%u,"
-               "\"ghz\":%g}},\n  \"points\":[\n",
+               "\"ghz\":%g},"
+               "\"host\":{\"cores\":%u,\"jobs\":%d,"
+               "\"total_wall_ms\":%.3f}},\n  \"points\":[\n",
                kSuiteSchemaVersion, suite_tier_name(result.tier),
                result.duration_scale,
                result.telemetry_compiled ? "true" : "false", result.n_cores,
-               result.smt_per_core, result.ghz);
+               result.smt_per_core, result.ghz, result.host_cores,
+               result.jobs, result.total_wall_ms);
   for (std::size_t i = 0; i < result.points.size(); ++i) {
     write_point_json(result.points[i], out);
     std::fprintf(out, "%s\n", i + 1 < result.points.size() ? "," : "");
@@ -308,6 +379,17 @@ std::optional<SuiteResult> parse_results_json(
       }
       if (const Value* v = machine->find("ghz")) out.ghz = v->as_double();
     }
+    if (const Value* host = run->find("host")) {
+      if (const Value* v = host->find("cores")) {
+        out.host_cores = static_cast<unsigned>(v->as_u64());
+      }
+      if (const Value* v = host->find("jobs")) {
+        out.jobs = static_cast<int>(v->as_u64());
+      }
+      if (const Value* v = host->find("total_wall_ms")) {
+        out.total_wall_ms = v->as_double();
+      }
+    }
   }
   const Value* points = doc.find("points");
   if (points == nullptr || !points->is_array()) return std::nullopt;
@@ -326,6 +408,10 @@ std::optional<SuiteResult> parse_results_json(
       }
     }
     if (const Value* fig = p.find("figure")) rec.def.figure = fig->as_string();
+    if (const Value* v = p.find("kind")) {
+      rec.def.kind = v->as_string() == "micro" ? PointKind::kMicro
+                                               : PointKind::kRb;
+    }
     if (const Value* v = p.find("lock")) {
       rec.def.point.lock = lock_from_name(v->as_string());
     }
@@ -377,6 +463,8 @@ std::optional<SuiteResult> parse_results_json(
     if (const Value* v = metrics->find("avalanche_victims")) {
       m.avalanche_victims = v->as_u64();
     }
+    m.sim_ops_per_sec = num("sim_ops_per_sec");
+    m.wall_ms = num("wall_ms");
     out.points.push_back(std::move(rec));
   }
   return out;
@@ -449,6 +537,22 @@ GateReport compare_to_baseline(const SuiteResult& current,
             {cur.def.id, "attempts_per_op", bm.attempts_per_op,
              cm.attempts_per_op,
              "attempts/op improved beyond tolerance; refresh the baseline"});
+      }
+    }
+
+    // Host simulator speed. Only meaningful when both sides report it (old
+    // baselines carry 0) and the tolerance is enabled; wall_ms itself is
+    // never gated, only the ratio metric.
+    if (bm.sim_ops_per_sec > 0 && cm.sim_ops_per_sec > 0 &&
+        tol.simops_rel < 1.0) {
+      const double floor = bm.sim_ops_per_sec * (1 - tol.simops_rel);
+      if (cm.sim_ops_per_sec < floor) {
+        report.regressions.push_back(
+            {cur.def.id, "sim_ops_per_sec", bm.sim_ops_per_sec,
+             cm.sim_ops_per_sec,
+             "simulator executes this point more than " +
+                 std::to_string(static_cast<int>(tol.simops_rel * 100)) +
+                 "% slower than the baseline host run"});
       }
     }
 

@@ -37,11 +37,19 @@ enum class SuiteTier { kSmoke, kFull };
 const char* suite_tier_name(SuiteTier t);
 std::optional<SuiteTier> suite_tier_from_name(const std::string& name);
 
+// What workload a suite point runs: the RB-tree benchmark (fixed virtual
+// duration) or the fixed-work engine microbenchmark (harness/micro_point.hpp)
+// whose sim_ops_per_sec tracks simulator speed itself.
+enum class PointKind { kRb, kMicro };
+
+const char* point_kind_name(PointKind k);
+
 struct SuitePoint {
   std::string id;      // stable key used for baseline matching
   SuiteTier tier;      // smoke points are a subset of the full tier
   std::string figure;  // paper figure/table the point reproduces
-  RbPoint point;
+  PointKind kind = PointKind::kRb;
+  RbPoint point;       // for kMicro only threads/size/seed are meaningful
 };
 
 // The curated list, smoke points first. Ids are unique.
@@ -66,6 +74,11 @@ struct PointMetrics {
   std::vector<std::uint64_t> aborts_by_cause;
   std::uint64_t avalanche_episodes = 0;
   std::uint64_t avalanche_victims = 0;
+  // Host-side speed: simulated ops completed per host wall second and the
+  // point's host wall time. These are the only non-deterministic fields of a
+  // point (everything above is virtual-time data, identical per seed).
+  double sim_ops_per_sec = 0.0;
+  double wall_ms = 0.0;
 
   static PointMetrics derive(const RunStats& stats);
 };
@@ -83,6 +96,11 @@ struct SuiteResult {
   unsigned n_cores = 0;
   unsigned smt_per_core = 0;
   double ghz = 0.0;
+  // Host-run metadata: physical core count of the machine that produced the
+  // results, the --jobs level used, and the suite's total wall time.
+  unsigned host_cores = 0;
+  int jobs = 1;
+  double total_wall_ms = 0.0;
   std::vector<PointRecord> points;
 
   const PointRecord* find(const std::string& id) const;
@@ -92,11 +110,18 @@ struct SuiteRunOptions {
   // Multiplies every reported throughput: the planted-regression self-check
   // hook (scripts/check.sh runs the gate with 0.5 and expects it to fail).
   double plant_throughput_factor = 1.0;
+  // Same for sim_ops_per_sec: the planted-slowdown self-check proving the
+  // simulator-speed gate fires.
+  double plant_simops_factor = 1.0;
   // Progress callback, called after each point completes. May be null.
   std::function<void(const SuitePoint&, const PointMetrics&)> on_point;
 };
 
 SuiteResult run_suite(SuiteTier tier, const SuiteRunOptions& opts = {});
+
+// Runs a single point (used by bench_suite --point, the per-point child of
+// parallel suite execution), measuring wall_ms / sim_ops_per_sec.
+PointRecord run_suite_point(const SuitePoint& sp);
 
 // ---- canonical JSON results ----
 
@@ -117,6 +142,11 @@ struct GateTolerance {
   double attempts_rel = 0.15;
   // Non-speculative-fraction regression: current > baseline + fraction_abs.
   double fraction_abs = 0.08;
+  // Simulator-speed regression: current sim_ops_per_sec <
+  // baseline * (1 - simops_rel). Host speed varies across machines far more
+  // than virtual-time metrics do, hence the generous default; gate a
+  // same-machine baseline with a tight value (scripts/check.sh does).
+  double simops_rel = 0.75;
 };
 
 struct GateIssue {

@@ -34,9 +34,12 @@ template <typename AuxLock, int K = 8>
 class AuxLockBank {
  public:
   static constexpr int kGroups = K;
-  AuxLock& group_for(support::LineId conflict_line) {
-    // Mix the line id so adjacent lines spread over groups.
-    std::uint64_t x = conflict_line;
+  // `line_key` must be a run-stable identifier of the conflict line —
+  // Engine::line_seq(), not the raw LineId (an address, so hashing it
+  // would pick different groups every run and break reproducibility).
+  AuxLock& group_for(std::uint64_t line_key) {
+    // Mix the key so adjacent lines spread over groups.
+    std::uint64_t x = line_key;
     x ^= x >> 17;
     x *= 0xED5AD4BBULL;
     x ^= x >> 11;
@@ -79,7 +82,7 @@ RegionResult grouped_scm_region(tsx::Ctx& ctx, MainLock& main, AuxBank& bank,
     if (aux == nullptr) {
       eng.note_event(ctx, tsx::EventKind::kAuxEnter,
                      ctx.last_conflict_line());
-      aux = &bank.group_for(ctx.last_conflict_line());
+      aux = &bank.group_for(eng.line_seq(ctx.last_conflict_line()));
       aux->lock(ctx);
     } else {
       ++retries;

@@ -54,6 +54,18 @@ struct MachineConfig {
 
   std::size_t fiber_stack_bytes = 256 * 1024;
 
+  // Capacity hints for per-thread transactional state. Each TxContext
+  // pre-reserves its read/write line vectors and write buffer from these on
+  // creation, so the steady state of a retry loop performs no allocations.
+  // They are hints, not caps: the vectors still grow past them if a
+  // transaction really reads more lines (bounded by TsxConfig::l3_lines).
+  std::size_t tx_read_set_hint = 2048;
+  // A write set is bounded by the L1 (64 sets x 8 ways) plus the one
+  // overflowing line that triggers the capacity abort.
+  std::size_t tx_write_set_hint = 64 * 8 + 1;
+  // Distinct words buffered per transaction (sizes the WordMap).
+  std::size_t tx_write_buffer_hint = 192;
+
   // Safety valve: abort the simulation after this many context switches
   // (0 = unlimited). Used by tests to detect livelock/deadlock.
   std::uint64_t max_switches = 0;

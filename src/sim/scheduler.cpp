@@ -10,6 +10,7 @@ SimThread::SimThread(Scheduler& sched, int tid, std::uint64_t seed,
                      std::size_t stack_bytes)
     : sched_(sched),
       tid_(tid),
+      core_(static_cast<unsigned>(tid) % sched.config().n_cores),
       sched_perturb_enabled_(sched.config().perturb.probability > 0),
       rng_(seed),
       perturb_rng_(sched.config().perturb.seed * 0xA0761D6478BD642FULL +
@@ -30,18 +31,6 @@ void SimThread::entry(void* self) {
   t->sched_.finish_from(*t);  // never returns
 }
 
-void SimThread::advance(std::uint64_t cycles) {
-  const double mult = sched_.smt_multiplier(*this);
-  vclock_ += static_cast<std::uint64_t>(static_cast<double>(cycles) * mult);
-}
-
-void SimThread::maybe_yield() {
-  const std::uint64_t min_clock = sched_.min_runnable_clock();
-  if (vclock_ > min_clock + sched_.config().yield_slack_cycles) {
-    sched_.yield_from(*this);
-  }
-}
-
 void SimThread::yield() { sched_.yield_from(*this); }
 
 void SimThread::maybe_perturb() {
@@ -54,12 +43,10 @@ void SimThread::maybe_perturb() {
   advance(1 + perturb_rng_.next_below(p.max_delay_cycles));
 }
 
-bool SimThread::stop_requested() const {
-  return vclock_ >= sched_.deadline();
-}
-
 Scheduler::Scheduler(MachineConfig config) : config_(config) {
   ELISION_CHECK(config_.n_cores >= 1);
+  core_active_.assign(config_.n_cores, 0);
+  core_penalty_.assign(config_.n_cores, 1.0);
 }
 
 Scheduler::~Scheduler() {
@@ -79,36 +66,25 @@ SimThread& Scheduler::spawn(std::function<void(SimThread&)> body) {
   threads_.push_back(std::make_unique<SimThread>(
       *this, tid, config_.seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL * (tid + 1),
       std::move(body), config_.fiber_stack_bytes));
-  return *threads_.back();
-}
-
-double Scheduler::smt_multiplier(const SimThread& t) const {
-  if (config_.smt_per_core <= 1) return 1.0;
-  const unsigned core = static_cast<unsigned>(t.tid()) % config_.n_cores;
-  for (const auto& other : threads_) {
-    if (other.get() == &t || other->finished()) continue;
-    if (static_cast<unsigned>(other->tid()) % config_.n_cores == core) {
-      return config_.smt_slowdown;
-    }
-  }
-  return 1.0;
+  clocks_.push_back(0);
+  ++runnable_;
+  SimThread& t = *threads_.back();
+  ++core_active_[t.core_];
+  update_core_penalty(t.core_);
+  return t;
 }
 
 SimThread* Scheduler::pick_next() const {
-  SimThread* best = nullptr;
-  for (const auto& t : threads_) {
-    if (t->finished()) continue;
-    if (best == nullptr || t->vclock_ < best->vclock_) best = t.get();
+  if (runnable_ == 0) return nullptr;
+  std::uint64_t best = clocks_[0];
+  std::size_t best_i = 0;
+  for (std::size_t i = 1; i < clocks_.size(); ++i) {
+    if (clocks_[i] < best) {
+      best = clocks_[i];
+      best_i = i;
+    }
   }
-  return best;
-}
-
-std::uint64_t Scheduler::min_runnable_clock() const {
-  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
-  for (const auto& t : threads_) {
-    if (!t->finished() && t->vclock_ < best) best = t->vclock_;
-  }
-  return best;
+  return threads_[best_i].get();
 }
 
 std::uint64_t Scheduler::elapsed_cycles() const {
@@ -134,6 +110,10 @@ void Scheduler::yield_from(SimThread& t) {
 
 void Scheduler::finish_from(SimThread& t) {
   t.finished_ = true;
+  clocks_[t.tid_] = kFinishedClock;
+  --runnable_;
+  --core_active_[t.core_];
+  update_core_penalty(t.core_);
   ++switches_;
   SimThread* next = pick_next();
   current_ = next;

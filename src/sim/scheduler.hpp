@@ -7,6 +7,14 @@
 // faithfully modeling true concurrency: clocks advance independently, so
 // non-conflicting work overlaps in virtual time.
 //
+// Hot-path layout: the tick path (advance + maybe_yield) runs once per
+// simulated memory access, tens of millions of times per benchmark point, so
+// its state is kept flat. Runnable clocks live in a dense per-tid array
+// (finished threads hold a max-uint64 sentinel) so the min/argmin scan is a
+// contiguous sweep instead of a pointer chase, and the hyperthreading
+// multiplier is a per-core value maintained at spawn/finish instead of an
+// O(threads) sibling scan per advance.
+//
 // Usage:
 //   Scheduler sched(config);
 //   sched.spawn([&](SimThread& t) { ... t.advance(c); t.maybe_yield(); ... });
@@ -15,6 +23,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -46,10 +55,11 @@ class SimThread {
 
   // Advances this thread's virtual clock by `cycles` scaled by the
   // hyperthreading model (a live sibling slows both siblings down).
+  // Defined below Scheduler (touches its flat clock array).
   void advance(std::uint64_t cycles);
 
   // Yields if this thread has run ahead of the earliest runnable thread by
-  // more than the configured slack.
+  // more than the configured slack. Defined below Scheduler.
   void maybe_yield();
 
   // Unconditionally yields to the scheduler.
@@ -83,6 +93,7 @@ class SimThread {
 
   Scheduler& sched_;
   const int tid_;
+  const unsigned core_;  // tid % n_cores, fixed at spawn
   std::uint64_t vclock_ = 0;
   bool finished_ = false;
   const bool sched_perturb_enabled_;
@@ -135,26 +146,104 @@ class Scheduler {
   // The thread currently executing, or nullptr when the host context runs.
   SimThread* current() { return current_; }
 
-  // Smallest clock among runnable threads (max uint64 if none).
-  std::uint64_t min_runnable_clock() const;
+  // Smallest clock among runnable threads (max uint64 if none). Finished
+  // threads hold the sentinel in clocks_, so a plain sweep suffices.
+  std::uint64_t min_runnable_clock() const {
+    std::uint64_t best = kFinishedClock;
+    for (std::uint64_t c : clocks_) {
+      if (c < best) best = c;
+    }
+    return best;
+  }
 
   // --- internal, used by SimThread ---
   void yield_from(SimThread& t);
   [[noreturn]] void finish_from(SimThread& t);
-  double smt_multiplier(const SimThread& t) const;
+  // Per-access cost multiplier of a *live* thread under the hyperthreading
+  // model: smt_slowdown while another live thread shares t's core, else 1.0.
+  double smt_multiplier(const SimThread& t) const {
+    return core_penalty_[t.core_];
+  }
 
  private:
+  friend class SimThread;
+
+  static constexpr std::uint64_t kFinishedClock =
+      std::numeric_limits<std::uint64_t>::max();
+
   SimThread* pick_next() const;  // earliest-clock runnable thread
+  // Counted switch directly to a known next thread (the fused tick path has
+  // already computed the argmin; skips the second scan of yield_from).
+  void switch_counted(SimThread& t, SimThread& next) {
+    // Counted unconditionally (mirrors yield_from) so that max_switches also
+    // catches a thread yielding forever without advancing its clock.
+    ++switches_;
+    ELISION_CHECK_MSG(
+        config_.max_switches == 0 || switches_ < config_.max_switches,
+        "simulation exceeded max_switches (livelock?)");
+    current_ = &next;
+    Fiber::switch_to(t.fiber_, next.fiber_);
+  }
   void switch_from_host();
+  // Recomputes core_penalty_[core] from core_active_[core] (spawn/finish).
+  void update_core_penalty(unsigned core) {
+    core_penalty_[core] =
+        (config_.smt_per_core > 1 && core_active_[core] >= 2)
+            ? config_.smt_slowdown
+            : 1.0;
+  }
 
   MachineConfig config_;
   std::vector<std::unique_ptr<SimThread>> threads_;
+  // clocks_[tid] mirrors threads_[tid]->vclock_ while the thread is runnable
+  // and holds kFinishedClock once it finishes: the dense array the tick path
+  // scans for min/argmin without touching the SimThread objects.
+  std::vector<std::uint64_t> clocks_;
+  // Live threads per core / resulting advance() multiplier, maintained at
+  // spawn and finish so the per-tick cost is one array load.
+  std::vector<unsigned> core_active_;
+  std::vector<double> core_penalty_;
   Fiber host_;
   SimThread* current_ = nullptr;
   std::uint64_t deadline_ = UINT64_MAX;
   std::uint64_t switches_ = 0;
   std::uint64_t perturb_points_ = 0;
+  std::size_t runnable_ = 0;
   bool running_ = false;
 };
+
+// --- SimThread tick-path inlines (need the Scheduler definition) ---
+
+inline void SimThread::advance(std::uint64_t cycles) {
+  // The multiplier is exactly 1.0 with no live sibling, and the
+  // double round-trip is exact for per-access cycle counts, so this is
+  // bit-identical to the unscaled addition in that case.
+  vclock_ += static_cast<std::uint64_t>(static_cast<double>(cycles) *
+                                        sched_.core_penalty_[core_]);
+  sched_.clocks_[tid_] = vclock_;
+}
+
+inline void SimThread::maybe_yield() {
+  // One fused sweep finds both the minimum runnable clock (the yield
+  // condition) and its first holder (the thread to resume; first index wins
+  // ties, which preserves the lowest-tid tie-break of pick_next()).
+  const std::vector<std::uint64_t>& clocks = sched_.clocks_;
+  std::uint64_t best = clocks[0];
+  std::size_t best_i = 0;
+  for (std::size_t i = 1; i < clocks.size(); ++i) {
+    if (clocks[i] < best) {
+      best = clocks[i];
+      best_i = i;
+    }
+  }
+  if (vclock_ > best + sched_.config_.yield_slack_cycles) {
+    // best < vclock_ and clocks[tid_] == vclock_, so best_i != tid_.
+    sched_.switch_counted(*this, *sched_.threads_[best_i]);
+  }
+}
+
+inline bool SimThread::stop_requested() const {
+  return vclock_ >= sched_.deadline_;
+}
 
 }  // namespace elision::sim

@@ -1,38 +1,52 @@
 // A tiny open-addressing hash map from uintptr_t keys to 8-byte values,
 // used for transactional write buffers (hot path: one probe on average).
-// Key 0 is reserved as the empty marker (no simulated object lives at
-// address 0).
+// Key 0 is reserved (no simulated object lives at address 0).
+//
+// Like tsx::LineTable, slot lifetime is managed with generation stamps:
+// clear() is an O(1) generation bump instead of an O(capacity) wipe, which
+// matters because every commit and every abort clears the write buffer.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "support/check.hpp"
+#include "support/hash.hpp"
 
 namespace elision::support {
 
 class WordMap {
  public:
   explicit WordMap(std::size_t initial_pow2 = 6)
-      : mask_((1u << initial_pow2) - 1), slots_(mask_ + 1) {}
+      : mask_((std::size_t{1} << initial_pow2) - 1), slots_(mask_ + 1) {}
 
   void clear() {
-    if (size_ == 0) return;
-    for (auto& s : slots_) s.key = 0;
+    ++gen_;
     size_ = 0;
+    live_.clear();
   }
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+
+  // Grows (never shrinks) so that `keys` entries fit without triggering a
+  // rehash. Called once per context from the MachineConfig capacity hints
+  // so retry loops never re-grow the buffer.
+  void reserve(std::size_t keys) {
+    while ((keys + 1) * 4 >= slots_.size() * 3) grow();
+    live_.reserve(keys);
+  }
 
   // Inserts or overwrites.
   void put(std::uintptr_t key, std::uint64_t value) {
     ELISION_DCHECK(key != 0);
     if ((size_ + 1) * 4 >= slots_.size() * 3) grow();
     Slot& s = probe(key);
-    if (s.key == 0) {
+    if (s.gen != gen_) {
       s.key = key;
+      s.gen = gen_;
       ++size_;
+      live_.push_back(static_cast<std::uint32_t>(&s - slots_.data()));
     }
     s.value = value;
   }
@@ -40,48 +54,55 @@ class WordMap {
   // Returns nullptr if absent.
   const std::uint64_t* find(std::uintptr_t key) const {
     const Slot& s = const_cast<WordMap*>(this)->probe(key);
-    return s.key == key ? &s.value : nullptr;
+    return s.gen == gen_ ? &s.value : nullptr;
   }
 
+  // Visits live entries in insertion order: O(size), not O(capacity), so a
+  // generously reserved but lightly filled buffer iterates cheaply (this
+  // runs once per transaction commit).
   template <typename F>
   void for_each(F&& f) const {
-    for (const auto& s : slots_) {
-      if (s.key != 0) f(s.key, s.value);
+    for (const std::uint32_t i : live_) {
+      const Slot& s = slots_[i];
+      f(s.key, s.value);
     }
   }
 
  private:
   struct Slot {
     std::uintptr_t key = 0;
+    std::uint64_t gen = 0;  // live iff == WordMap::gen_ (which starts at 1)
     std::uint64_t value = 0;
   };
 
   Slot& probe(std::uintptr_t key) {
-    std::size_t i = hash(key) & mask_;
-    while (slots_[i].key != 0 && slots_[i].key != key) i = (i + 1) & mask_;
+    std::size_t i = static_cast<std::size_t>(mix64(key)) & mask_;
+    while (slots_[i].gen == gen_ && slots_[i].key != key) i = (i + 1) & mask_;
     return slots_[i];
-  }
-
-  static std::size_t hash(std::uintptr_t key) {
-    std::uint64_t x = key;
-    x ^= x >> 33;
-    x *= 0xFF51AFD7ED558CCDULL;
-    x ^= x >> 33;
-    return static_cast<std::size_t>(x);
   }
 
   void grow() {
     std::vector<Slot> old = std::move(slots_);
     mask_ = mask_ * 2 + 1;
     slots_.assign(mask_ + 1, Slot{});
-    size_ = 0;
-    for (const auto& s : old) {
-      if (s.key != 0) put(s.key, s.value);
+    // Reinsert in insertion order and rebuild the live list to match (slot
+    // indices change with the capacity).
+    std::vector<std::uint32_t> old_live = std::move(live_);
+    live_.clear();
+    for (const std::uint32_t i : old_live) {
+      const Slot& s = old[i];
+      Slot& dst = probe(s.key);
+      dst.key = s.key;
+      dst.gen = gen_;
+      dst.value = s.value;
+      live_.push_back(static_cast<std::uint32_t>(&dst - slots_.data()));
     }
   }
 
   std::size_t mask_;
   std::vector<Slot> slots_;
+  std::vector<std::uint32_t> live_;  // slot indices of live entries, in order
+  std::uint64_t gen_ = 1;
   std::size_t size_ = 0;
 };
 

@@ -1,0 +1,22 @@
+// Shared integer hash for the open-addressing tables on the simulator's hot
+// paths (tsx::LineTable, support::WordMap). Line ids and word addresses are
+// clustered and strided (they are real addresses), so slots must come from a
+// full-avalanche mix, not a modulo.
+#pragma once
+
+#include <cstdint>
+
+namespace elision::support {
+
+// The 64-bit finalizer of MurmurHash3 / SplitMix64: every input bit affects
+// every output bit, so strided keys spread evenly over a power-of-two table.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace elision::support

@@ -13,7 +13,15 @@ Engine::Engine(sim::Scheduler& sched, TsxConfig config)
 TxContext& Engine::context(sim::SimThread& t) {
   const auto id = static_cast<std::size_t>(t.tid());
   if (id >= contexts_.size()) contexts_.resize(id + 1);
-  if (!contexts_[id]) contexts_[id] = std::make_unique<TxContext>(*this, t);
+  if (!contexts_[id]) {
+    contexts_[id] = std::make_unique<TxContext>(*this, t);
+    // Pre-size the per-transaction state once so steady-state retry loops
+    // never allocate (see MachineConfig's capacity hints).
+    const sim::MachineConfig& m = sched_.config();
+    contexts_[id]->read_lines_.reserve(m.tx_read_set_hint);
+    contexts_[id]->write_lines_.reserve(m.tx_write_set_hint);
+    contexts_[id]->wbuf_.reserve(m.tx_write_buffer_hint);
+  }
   return *contexts_[id];
 }
 
@@ -29,8 +37,7 @@ TxStats Engine::total_stats() const {
 // Cost accounting / sharing model
 // ---------------------------------------------------------------------------
 
-void Engine::charge_read(Ctx& ctx, LineId line) {
-  LineRecord& rec = table_.record(line);
+void Engine::charge_read(Ctx& ctx, LineRecord& rec) {
   const std::uint64_t b = ctx.bit();
   std::uint64_t cost;
   if (rec.copies & b) {
@@ -45,8 +52,7 @@ void Engine::charge_read(Ctx& ctx, LineId line) {
   ctx.thread().tick(cost + cost_.access_compute);
 }
 
-void Engine::charge_write(Ctx& ctx, LineId line, bool is_rmw) {
-  LineRecord& rec = table_.record(line);
+void Engine::charge_write(Ctx& ctx, LineRecord& rec, bool is_rmw) {
   const std::uint64_t b = ctx.bit();
   std::uint64_t cost;
   if (rec.copies == b && rec.dirty_owner == ctx.id()) {
@@ -78,12 +84,19 @@ void Engine::spurious_check(Ctx& ctx, double p) {
   }
 }
 
+// Resolves a captured set entry to its record: one indexed load in the
+// common case, a regular probe when the table grew since capture.
+LineRecord* Engine::ref_find(const LineTable::Ref& ref) {
+  if (LineRecord* rec = table_.at(ref.slot, ref.line)) return rec;
+  return table_.find(ref.line);
+}
+
 void Engine::release_ownership(Ctx& ctx) {
-  for (const LineId line : ctx.read_lines_) {
-    if (LineRecord* rec = table_.find(line)) rec->readers &= ~ctx.bit();
+  for (const LineTable::Ref& ref : ctx.read_lines_) {
+    if (LineRecord* rec = ref_find(ref)) rec->readers &= ~ctx.bit();
   }
-  for (const LineId line : ctx.write_lines_) {
-    LineRecord* rec = table_.find(line);
+  for (const LineTable::Ref& ref : ctx.write_lines_) {
+    LineRecord* rec = ref_find(ref);
     if (rec != nullptr && rec->writer == ctx.id()) rec->writer = kNoThread;
   }
   ctx.read_lines_.clear();
@@ -95,8 +108,8 @@ void Engine::rollback_and_throw(Ctx& ctx, AbortCause cause,
                                 std::uint8_t code) {
   // Speculatively written lines are discarded from the owner's cache, as a
   // hardware abort invalidates them.
-  for (const LineId line : ctx.write_lines_) {
-    if (LineRecord* rec = table_.find(line)) {
+  for (const LineTable::Ref& ref : ctx.write_lines_) {
+    if (LineRecord* rec = ref_find(ref)) {
       rec->copies &= ~ctx.bit();
       if (rec->dirty_owner == ctx.id()) rec->dirty_owner = kNoThread;
     }
@@ -161,8 +174,8 @@ void Engine::abort_remote(int victim_id, AbortCause cause,
   // requesting access proceeds; the victim observes the abort at its next
   // engine interaction (hardware would interrupt it at instruction
   // granularity — the difference is at most one non-memory instruction).
-  for (const LineId wline : victim.write_lines_) {
-    if (LineRecord* rec = table_.find(wline)) {
+  for (const LineTable::Ref& ref : victim.write_lines_) {
+    if (LineRecord* rec = ref_find(ref)) {
       rec->copies &= ~victim.bit();
       if (rec->dirty_owner == victim.id()) rec->dirty_owner = kNoThread;
     }
@@ -193,8 +206,7 @@ void Engine::abort_readers(LineRecord& rec, LineId line, int except_id,
     mask &= mask - 1;
     TxContext& victim = *contexts_[r];
     if (config_.hardware_extension && victim.elided_ &&
-        line_of(reinterpret_cast<void*>(victim.elided_addr_)) == line &&
-        !victim.lock_line_data_accessed_) {
+        victim.elided_line_ == line && !victim.lock_line_data_accessed_) {
       // Chapter 7: a conflict on the elided lock's line is a synchronization
       // signal, not a data conflict — the speculator survives and will
       // suspend if it needs to grow its footprint while the lock is held.
@@ -265,33 +277,37 @@ std::uint64_t Engine::tx_load(Ctx& ctx, const void* addr) {
     return ctx.elided_illusion_;
   }
   const LineId line = line_of(addr);
-  LineRecord& rec = table_.record(line);  // stable reference (unordered_map)
-  const bool in_rset = (rec.readers & ctx.bit()) != 0;
-  const bool in_wset = rec.writer == ctx.id();
-  const bool in_footprint = in_rset || in_wset || (rec.copies & ctx.bit());
+  // The reference stays valid through this access: nothing below inserts
+  // another line into the table before the final charge_read — except the
+  // hwext wait, which yields and re-fetches (other threads may have grown
+  // the table meanwhile).
+  LineRecord* rec = &table_.record(line, ctx.line_cache_);
+  const bool in_rset = (rec->readers & ctx.bit()) != 0;
+  const bool in_wset = rec->writer == ctx.id();
+  const bool in_footprint = in_rset || in_wset || (rec->copies & ctx.bit());
   if (config_.hardware_extension && ctx.elided_ && !in_footprint) {
-    hwext_wait_for_new_line(ctx, rec);
+    hwext_wait_for_new_line(ctx, *rec);
+    rec = &table_.record(line, ctx.line_cache_);
   }
-  if (rec.writer != kNoThread && rec.writer != ctx.id()) {
+  if (rec->writer != kNoThread && rec->writer != ctx.id()) {
     // Our read request hits another transaction's write set. Under
     // requestor-wins the owner aborts and we read pre-transactional
     // memory; under oldest-wins we defer to an older owner.
-    if (requester_must_yield(ctx, *contexts_[rec.writer])) {
+    if (requester_must_yield(ctx, *contexts_[rec->writer])) {
       abort_self(ctx, AbortCause::kConflict);
     }
-    abort_remote(rec.writer, AbortCause::kConflict, line, ctx.id());
+    abort_remote(rec->writer, AbortCause::kConflict, line, ctx.id());
   }
   if (!in_rset) {
-    rec.readers |= ctx.bit();
-    ctx.read_lines_.push_back(line);
+    rec->readers |= ctx.bit();
+    ctx.read_lines_.push_back({line, ctx.line_cache_.slot});
     read_set_admit(ctx, line);  // may abort self
   }
-  if (ctx.elided_ && line == line_of(reinterpret_cast<void*>(ctx.elided_addr_)) &&
-      key != ctx.elided_addr_) {
+  if (ctx.elided_ && line == ctx.elided_line_ && key != ctx.elided_addr_) {
     ctx.lock_line_data_accessed_ = true;
   }
   const std::uint64_t value = read_word(addr);
-  charge_read(ctx, line);
+  charge_read(ctx, *rec);
   return value;
 }
 
@@ -300,24 +316,25 @@ void Engine::tx_store(Ctx& ctx, void* addr, std::uint64_t value) {
   spurious_check(ctx, config_.spurious_per_access);
   const auto key = reinterpret_cast<std::uintptr_t>(addr);
   const LineId line = line_of(addr);
-  LineRecord& rec = table_.record(line);
-  const bool in_wset = rec.writer == ctx.id();
+  LineRecord* rec = &table_.record(line, ctx.line_cache_);
+  const bool in_wset = rec->writer == ctx.id();
   if (!in_wset) {
-    const bool in_rset = (rec.readers & ctx.bit()) != 0;
-    const bool in_footprint = in_rset || (rec.copies & ctx.bit());
+    const bool in_rset = (rec->readers & ctx.bit()) != 0;
+    const bool in_footprint = in_rset || (rec->copies & ctx.bit());
     if (config_.hardware_extension && ctx.elided_ && !in_footprint) {
-      hwext_wait_for_new_line(ctx, rec);
+      hwext_wait_for_new_line(ctx, *rec);
+      rec = &table_.record(line, ctx.line_cache_);
     }
-    if (rec.writer != kNoThread && rec.writer != ctx.id()) {
-      if (requester_must_yield(ctx, *contexts_[rec.writer])) {
+    if (rec->writer != kNoThread && rec->writer != ctx.id()) {
+      if (requester_must_yield(ctx, *contexts_[rec->writer])) {
         abort_self(ctx, AbortCause::kConflict);
       }
-      abort_remote(rec.writer, AbortCause::kConflict, line,
+      abort_remote(rec->writer, AbortCause::kConflict, line,
                    ctx.id());  // write-write
     }
     if (config_.conflict_policy == ConflictPolicy::kOldestWins) {
       // Defer to the oldest conflicting reader, if any is older than us.
-      std::uint64_t mask = rec.readers & ~ctx.bit();
+      std::uint64_t mask = rec->readers & ~ctx.bit();
       while (mask != 0) {
         const int r = __builtin_ctzll(mask);
         mask &= mask - 1;
@@ -328,9 +345,9 @@ void Engine::tx_store(Ctx& ctx, void* addr, std::uint64_t value) {
     }
     // Our write request (RFO) invalidates the line everywhere; transactions
     // holding it in their read set abort.
-    abort_readers(rec, line, ctx.id(), ctx.id());
-    rec.writer = ctx.id();
-    ctx.write_lines_.push_back(line);
+    abort_readers(*rec, line, ctx.id(), ctx.id());
+    rec->writer = ctx.id();
+    ctx.write_lines_.push_back({line, ctx.line_cache_.slot});
     write_set_admit(ctx, line);  // may abort self (capacity)
   }
   if (ctx.elided_ && key == ctx.elided_addr_) {
@@ -339,7 +356,7 @@ void Engine::tx_store(Ctx& ctx, void* addr, std::uint64_t value) {
     ctx.lock_line_data_accessed_ = true;
   }
   ctx.wbuf_.put(key, value);
-  charge_write(ctx, line, /*is_rmw=*/false);
+  charge_write(ctx, *rec, /*is_rmw=*/false);
 }
 
 // ---------------------------------------------------------------------------
@@ -348,21 +365,21 @@ void Engine::tx_store(Ctx& ctx, void* addr, std::uint64_t value) {
 
 std::uint64_t Engine::direct_load(Ctx& ctx, const void* addr) {
   const LineId line = line_of(addr);
-  LineRecord& rec = table_.record(line);
+  LineRecord& rec = table_.record(line, ctx.line_cache_);
   if (rec.writer != kNoThread) {
     // A plain read request for a line in a transaction's write set aborts
     // that transaction; the read sees pre-transactional memory.
     abort_remote(rec.writer, AbortCause::kConflict, line, ctx.id());
   }
   const std::uint64_t value = read_word(addr);
-  charge_read(ctx, line);
+  charge_read(ctx, rec);
   return value;
 }
 
 template <typename F>
 std::uint64_t Engine::direct_update(Ctx& ctx, void* addr, bool is_rmw, F&& f) {
   const LineId line = line_of(addr);
-  LineRecord& rec = table_.record(line);
+  LineRecord& rec = table_.record(line, ctx.line_cache_);
   if (rec.writer != kNoThread) {
     abort_remote(rec.writer, AbortCause::kConflict, line, ctx.id());
   }
@@ -373,7 +390,7 @@ std::uint64_t Engine::direct_update(Ctx& ctx, void* addr, bool is_rmw, F&& f) {
   abort_readers(rec, line, /*except_id=*/-1, ctx.id());
   const std::uint64_t old = read_word(addr);
   write_word(addr, f(old));
-  charge_write(ctx, line, is_rmw);
+  charge_write(ctx, rec, is_rmw);
   return old;
 }
 
@@ -525,7 +542,7 @@ void Engine::elide_begin(Ctx& ctx, void* addr, std::uint64_t illusion_value) {
   const auto key = reinterpret_cast<std::uintptr_t>(addr);
   ELISION_CHECK_MSG(!ctx.elided_, "one elided lock per transaction supported");
   const LineId line = line_of(addr);
-  LineRecord& rec = table_.record(line);
+  LineRecord& rec = table_.record(line, ctx.line_cache_);
   if (rec.writer != kNoThread && rec.writer != ctx.id()) {
     if (requester_must_yield(ctx, *contexts_[rec.writer])) {
       abort_self(ctx, AbortCause::kConflict);
@@ -534,15 +551,16 @@ void Engine::elide_begin(Ctx& ctx, void* addr, std::uint64_t illusion_value) {
   }
   if ((rec.readers & ctx.bit()) == 0) {
     rec.readers |= ctx.bit();
-    ctx.read_lines_.push_back(line);
+    ctx.read_lines_.push_back({line, ctx.line_cache_.slot});
     read_set_admit(ctx, line);
   }
   ctx.elided_ = true;
   ctx.elided_addr_ = key;
+  ctx.elided_line_ = line;  // cached so the access paths never recompute it
   ctx.elided_original_ = read_word(addr);
   ctx.elided_illusion_ = illusion_value;
   ctx.lock_line_data_accessed_ = false;
-  charge_read(ctx, line);
+  charge_read(ctx, rec);
 }
 
 std::uint64_t Engine::xacquire_exchange(Ctx& ctx, void* addr,

@@ -81,6 +81,13 @@ class Engine {
   // Aggregate of all threads' TxStats.
   TxStats total_stats() const;
 
+  // Stable first-touch sequence number of a simulated line (0 if the line
+  // was never accessed). Unlike the raw LineId — an address, different every
+  // run — this is a deterministic function of the simulation, so schemes
+  // that hash a conflict line (grouped-SCM's group selection) reproduce
+  // bit-identically across processes. See LineTable::seq_of.
+  std::uint64_t line_seq(support::LineId line) { return table_.seq_of(line); }
+
   // Optional event tracing (nullptr disables; no cost when off).
   // Deprecated in favour of the Telemetry sink below; kept for existing
   // tests and tools.
@@ -131,6 +138,9 @@ class Engine {
   void abort_remote(int victim_id, AbortCause cause, support::LineId line,
                     int requester_id);
   bool requester_must_yield(Ctx& requester, const TxContext& owner) const;
+  // Resolves a read/write-set entry captured by the access paths; an indexed
+  // load normally, a probe if the table grew since capture.
+  LineRecord* ref_find(const LineTable::Ref& ref);
   void abort_readers(LineRecord& rec, support::LineId line, int except_id,
                      int requester_id);
   void release_ownership(Ctx& ctx);
@@ -150,8 +160,10 @@ class Engine {
   void hwext_wait_for_new_line(Ctx& ctx, const LineRecord& rec);
 
   // --- cost accounting (also maintains the MESI-like sharing model) ---
-  void charge_read(Ctx& ctx, support::LineId line);
-  void charge_write(Ctx& ctx, support::LineId line, bool is_rmw);
+  // The caller passes the line's record so the hot path probes the table
+  // once per access, not twice.
+  void charge_read(Ctx& ctx, LineRecord& rec);
+  void charge_write(Ctx& ctx, LineRecord& rec, bool is_rmw);
 
   static std::uint64_t read_word(const void* addr) {
     return *static_cast<const std::uint64_t*>(addr);

@@ -4,12 +4,26 @@
 // semantics.
 //
 // The simulator runs on one host thread, so the records are plain data.
+//
+// This table sits on the hottest path in the whole simulator: every
+// simulated load/store does at least one lookup. It is therefore an
+// open-addressing, power-of-two flat table rather than a node-based map:
+//
+//   - zero allocations in steady state (one contiguous slot array that only
+//     ever doubles);
+//   - tombstone-free lifetime management via generation stamps: a slot is
+//     live iff its stamp equals the table's current generation, so clear()
+//     is an O(1) generation bump and probe chains never contain dead slots
+//     (records are never individually erased, only bulk-invalidated);
+//   - a caller-owned one-entry cache (LineTable::Cache) that lets the
+//     common "same line as the previous access" case skip probing entirely.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "support/align.hpp"
+#include "support/hash.hpp"
 
 namespace elision::tsx {
 
@@ -27,19 +41,142 @@ struct LineRecord {
 
 class LineTable {
  public:
-  LineRecord& record(support::LineId line) { return map_[line]; }
+  // A memoized (line -> slot) mapping owned by the caller (one per
+  // TxContext). Validated against the slot's key and generation on every
+  // use, so growth and clear() invalidate it for free.
+  struct Cache {
+    support::LineId line = 0;
+    std::size_t slot = 0;
+  };
+
+  // A (line, slot-index) pair captured when a line enters a read/write set.
+  // Release paths hand it to at() to skip re-probing; at() re-validates, so
+  // a stale index (after grow()) degrades to a find(), never to corruption.
+  struct Ref {
+    support::LineId line = 0;
+    std::size_t slot = 0;
+  };
+
+  explicit LineTable(std::size_t initial_pow2 = 12)
+      : mask_((std::size_t{1} << initial_pow2) - 1), slots_(mask_ + 1) {}
+
+  // Returns (creating if absent) the record of `line`. References stay
+  // valid until the next record() call that inserts a new line.
+  LineRecord& record(support::LineId line) {
+    Slot& s = probe(line);
+    if (s.gen != gen_) return insert(s, line).rec;
+    return s.rec;
+  }
+
+  // Hot-path variant: consults `cache` before probing and refreshes it.
+  LineRecord& record(support::LineId line, Cache& cache) {
+    if (cache.line == line) {
+      Slot& c = slots_[cache.slot & mask_];
+      if (c.gen == gen_ && c.line == line) return c.rec;
+    }
+    Slot& s = probe(line);
+    Slot& live = s.gen == gen_ ? s : insert(s, line);
+    cache = {line, static_cast<std::size_t>(&live - slots_.data())};
+    return live.rec;
+  }
 
   // Lookup without creating a record (used on read-mostly fast paths).
   LineRecord* find(support::LineId line) {
-    auto it = map_.find(line);
-    return it == map_.end() ? nullptr : &it->second;
+    Slot& s = probe(line);
+    return s.gen == gen_ ? &s.rec : nullptr;
   }
 
-  void clear() { map_.clear(); }
-  std::size_t size() const { return map_.size(); }
+  // Direct slot access by a previously captured index. Returns the record
+  // iff the slot still holds `line` live — sound across grow() and clear()
+  // because a live slot matching on both line and generation can only be
+  // that line's unique record; the caller falls back to find() on a miss.
+  LineRecord* at(std::size_t idx, support::LineId line) {
+    Slot& s = slots_[idx & mask_];
+    return (s.gen == gen_ && s.line == line) ? &s.rec : nullptr;
+  }
+
+  // O(1): bumps the generation, logically emptying every slot. No caller
+  // iterates dead records, so the stale payloads are simply overwritten on
+  // the next insertion of their slot.
+  void clear() {
+    ++gen_;
+    size_ = 0;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return slots_.size(); }
+  std::uint64_t generation() const { return gen_; }
+
+  // First-touch sequence number of `line` (1-based; 0 if absent). Line ids
+  // are real addresses >> 6, so their *values* vary run to run with the
+  // heap layout; first-touch order does not, because the simulation is
+  // deterministic. Consumers that need a stable function of a line (e.g.
+  // grouped-SCM's conflict-group hash) use this instead of the raw id, so
+  // results reproduce across processes — which parallel bench-suite
+  // execution relies on.
+  std::uint64_t seq_of(support::LineId line) {
+    Slot& s = probe(line);
+    return s.gen == gen_ ? s.seq : 0;
+  }
 
  private:
-  std::unordered_map<support::LineId, LineRecord> map_;
+  struct Slot {
+    support::LineId line = 0;
+    std::uint64_t gen = 0;  // live iff == LineTable::gen_ (which starts at 1)
+    std::uint64_t seq = 0;  // first-touch order, assigned at insertion
+    LineRecord rec;
+  };
+
+  // First slot that holds `line` or is free (dead or never used). Probe
+  // chains contain no dead slots between a key's home position and its
+  // slot: slots only transition free -> live within a generation, and
+  // clear() frees all of them at once.
+  Slot& probe(support::LineId line) {
+    std::size_t i = support::mix64(line) & mask_;
+    while (slots_[i].gen == gen_ && slots_[i].line != line) {
+      i = (i + 1) & mask_;
+    }
+    return slots_[i];
+  }
+
+  Slot& insert(Slot& free_slot, support::LineId line) {
+    if ((size_ + 1) * 4 >= slots_.size() * 3) {
+      grow();
+      Slot& s = probe(line);
+      s.line = line;
+      s.gen = gen_;
+      s.seq = next_seq_++;
+      s.rec = LineRecord{};
+      ++size_;
+      return s;
+    }
+    free_slot.line = line;
+    free_slot.gen = gen_;
+    free_slot.seq = next_seq_++;
+    free_slot.rec = LineRecord{};
+    ++size_;
+    return free_slot;
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    mask_ = mask_ * 2 + 1;
+    slots_.assign(mask_ + 1, Slot{});
+    for (auto& s : old) {
+      if (s.gen != gen_) continue;
+      Slot& dst = probe(s.line);  // all slots in the new array are free
+      dst.line = s.line;
+      dst.gen = gen_;
+      dst.seq = s.seq;
+      dst.rec = s.rec;
+    }
+  }
+
+  std::size_t mask_;
+  std::vector<Slot> slots_;
+  std::uint64_t gen_ = 1;
+  std::uint64_t next_seq_ = 1;  // 0 is reserved for "absent"
+  std::size_t size_ = 0;
 };
 
 }  // namespace elision::tsx

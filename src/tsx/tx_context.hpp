@@ -7,8 +7,11 @@
 
 #include "sim/scheduler.hpp"
 #include "support/align.hpp"
+#include "support/check.hpp"
 #include "support/flat_map.hpp"
 #include "tsx/abort.hpp"
+#include "tsx/config.hpp"
+#include "tsx/line_table.hpp"
 #include "tsx/stats.hpp"
 
 namespace elision::tsx {
@@ -36,12 +39,24 @@ enum class ElisionMode : std::uint8_t {
 class TxContext {
  public:
   TxContext(Engine& engine, sim::SimThread& thread)
-      : engine_(&engine), thread_(&thread), id_(thread.tid()) {}
+      : engine_(&engine), thread_(&thread), id_(thread.tid()) {
+    // bit() shifts 1ULL by id_; an id at or past the mask width would be
+    // undefined behaviour and silently corrupt conflict detection for some
+    // other thread. Mirrors the lock slot-array bounds checks.
+    ELISION_CHECK_MSG(id_ >= 0 && id_ < kMaxThreads,
+                      "thread id out of range for the 64-bit reader mask "
+                      "(tsx::kMaxThreads)");
+  }
 
   Engine& engine() { return *engine_; }
   sim::SimThread& thread() { return *thread_; }
   int id() const { return id_; }
-  std::uint64_t bit() const { return 1ULL << id_; }
+  std::uint64_t bit() const {
+    static_assert(kMaxThreads <= 64,
+                  "TxContext::bit() packs thread ids into a 64-bit mask; "
+                  "tsx::kMaxThreads must not exceed 64");
+    return 1ULL << id_;
+  }
 
   bool in_tx() const { return state_ != TxState::kInactive; }
 
@@ -80,21 +95,28 @@ class TxContext {
   support::LineId pending_conflict_line_ = 0;
   int pending_conflict_thread_ = -1;
 
-  // Read set: lines whose reader bit this tx holds in the line table.
-  std::vector<support::LineId> read_lines_;
+  // Read set: lines whose reader bit this tx holds in the line table, each
+  // with the table slot it was found in (so commit/abort release without
+  // re-probing).
+  std::vector<LineTable::Ref> read_lines_;
   // Write set: lines whose writer slot this tx holds.
-  std::vector<support::LineId> write_lines_;
+  std::vector<LineTable::Ref> write_lines_;
   // Write-set L1 occupancy per cache set (capacity model).
   std::array<std::uint8_t, 64> l1_set_occupancy_{};
 
   // Buffered transactional writes (word granularity; published at commit).
   support::WordMap wbuf_;
 
+  // Memoized (line -> slot) hint for the engine's LineTable lookups: the
+  // common "same line as the previous access" case skips probing entirely.
+  LineTable::Cache line_cache_;
+
   // HLE elision of a single lock word.
   bool elided_ = false;
   bool elided_is_tx_root_ = false;     // tx was begun by the XACQUIRE itself
   bool lock_line_data_accessed_ = false;  // Ch.7: lock line touched as data
   std::uintptr_t elided_addr_ = 0;
+  support::LineId elided_line_ = 0;    // line_of(elided_addr_), cached once
   std::uint64_t elided_original_ = 0;  // value XRELEASE must restore
   std::uint64_t elided_illusion_ = 0;  // value this thread sees (the lock "held")
 

@@ -1,0 +1,220 @@
+// Differential test of the open-addressing LineTable against a
+// std::unordered_map reference model: randomized op mixes (record, cached
+// record, find, captured-Ref at(), clear) over collision-heavy key
+// distributions, starting from a deliberately tiny table so growth happens
+// many times mid-stream. scripts/check.sh runs this under ASan+UBSan, where
+// a probe off the slot array, a stale reference across grow(), or a
+// generation-stamp mixup becomes a hard failure instead of silent
+// corruption.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "tsx/line_table.hpp"
+
+namespace elision::tsx {
+namespace {
+
+using support::LineId;
+
+bool same_record(const LineRecord& a, const LineRecord& b) {
+  return a.readers == b.readers && a.writer == b.writer &&
+         a.copies == b.copies && a.dirty_owner == b.dirty_owner;
+}
+
+void mutate(LineRecord& rec, std::mt19937_64& rng) {
+  switch (rng() % 4) {
+    case 0:
+      rec.readers |= std::uint64_t{1} << (rng() % 64);
+      break;
+    case 1:
+      rec.writer = static_cast<int>(rng() % 64);
+      break;
+    case 2:
+      rec.copies ^= std::uint64_t{1} << (rng() % 64);
+      break;
+    default:
+      rec.dirty_owner = static_cast<int>(rng() % 64) - 1;
+      break;
+  }
+}
+
+// One key distribution the fuzzer draws from. Dense and strided keys hammer
+// probe chains; full-width keys exercise the hash mixing; huge strides model
+// real line ids (addresses >> 6 of far-apart allocations).
+struct KeyGen {
+  const char* name;
+  LineId (*next)(std::mt19937_64& rng);
+};
+
+const KeyGen kKeyGens[] = {
+    {"dense", [](std::mt19937_64& rng) { return LineId{rng() % 97}; }},
+    {"strided",
+     [](std::mt19937_64& rng) { return LineId{(rng() % 512) * 4096}; }},
+    {"wide", [](std::mt19937_64& rng) { return LineId{rng()}; }},
+    {"mixed",
+     [](std::mt19937_64& rng) {
+       return (rng() & 1) ? LineId{rng() % 64}
+                          : LineId{0xfeed0000u + (rng() % 1024) * 64};
+     }},
+};
+
+void run_differential(std::uint64_t seed, const KeyGen& gen) {
+  SCOPED_TRACE(gen.name);
+  SCOPED_TRACE(seed);
+  std::mt19937_64 rng(seed);
+
+  // initial_pow2 = 2: four slots, so the load-factor doubling triggers
+  // almost immediately and then repeatedly.
+  LineTable table(2);
+  std::unordered_map<LineId, LineRecord> model;
+  LineTable::Cache cache;
+  std::vector<LineTable::Ref> captured;
+
+  for (int op = 0; op < 20000; ++op) {
+    const unsigned dice = static_cast<unsigned>(rng() % 100);
+    const LineId line = gen.next(rng);
+    if (dice < 35) {
+      // Plain record(): creates if absent, then mutate both copies.
+      LineRecord& rec = table.record(line);
+      LineRecord& ref = model[line];
+      ASSERT_TRUE(same_record(rec, ref)) << "record() pre-state, op " << op;
+      mutate(rec, rng);
+      ref = rec;
+    } else if (dice < 65) {
+      // Cached record(): must agree with the model regardless of whether
+      // the memoized slot hit, missed, or went stale via grow()/clear().
+      LineRecord& rec = table.record(line, cache);
+      LineRecord& ref = model[line];
+      ASSERT_TRUE(same_record(rec, ref)) << "cached record(), op " << op;
+      mutate(rec, rng);
+      ref = rec;
+      captured.push_back({line, cache.slot});
+    } else if (dice < 85) {
+      // find(): never creates; presence and payload must match the model.
+      LineRecord* rec = table.find(line);
+      const auto it = model.find(line);
+      ASSERT_EQ(rec != nullptr, it != model.end()) << "find(), op " << op;
+      if (rec != nullptr) {
+        ASSERT_TRUE(same_record(*rec, it->second)) << "find() payload";
+      }
+    } else if (dice < 98) {
+      // at() with a previously captured Ref: allowed to miss (stale after
+      // grow()/clear()), never allowed to return the wrong record.
+      if (!captured.empty()) {
+        const LineTable::Ref r = captured[rng() % captured.size()];
+        LineRecord* rec = table.at(r.slot, r.line);
+        const auto it = model.find(r.line);
+        if (it == model.end()) {
+          ASSERT_EQ(rec, nullptr) << "at() resurrected a cleared line";
+        } else if (rec != nullptr) {
+          ASSERT_TRUE(same_record(*rec, it->second)) << "at() payload";
+        } else {
+          // Stale index: the documented degradation is a find() fallback.
+          LineRecord* found = table.find(r.line);
+          ASSERT_NE(found, nullptr);
+          ASSERT_TRUE(same_record(*found, it->second));
+        }
+      }
+    } else {
+      table.clear();
+      model.clear();
+    }
+    ASSERT_EQ(table.size(), model.size()) << "size drift, op " << op;
+  }
+
+  // Final sweep: every modeled line is present with the right payload.
+  for (const auto& [line, ref] : model) {
+    LineRecord* rec = table.find(line);
+    ASSERT_NE(rec, nullptr) << "line " << line << " lost";
+    ASSERT_TRUE(same_record(*rec, ref)) << "line " << line;
+  }
+}
+
+TEST(LineTableDifferential, MatchesUnorderedMapReference) {
+  for (const KeyGen& gen : kKeyGens) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      run_differential(seed * 0x9e3779b97f4a7c15ull, gen);
+    }
+  }
+}
+
+TEST(LineTable, ClearIsGenerationBump) {
+  LineTable t(2);
+  const std::uint64_t gen0 = t.generation();
+  t.record(7).writer = 3;
+  t.record(8).readers = 1;
+  EXPECT_EQ(t.size(), 2u);
+  t.clear();
+  EXPECT_EQ(t.generation(), gen0 + 1);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.find(7), nullptr);
+  EXPECT_EQ(t.find(8), nullptr);
+  // Re-inserting a cleared line yields a fresh record, not the stale payload.
+  EXPECT_EQ(t.record(7).writer, kNoThread);
+}
+
+TEST(LineTable, GrowthPreservesRecordsAndIsAllocationStable) {
+  LineTable t(2);
+  for (LineId line = 0; line < 500; ++line) {
+    t.record(line).writer = static_cast<int>(line % 61);
+  }
+  EXPECT_GE(t.capacity(), 500u * 4 / 3);
+  for (LineId line = 0; line < 500; ++line) {
+    LineRecord* rec = t.find(line);
+    ASSERT_NE(rec, nullptr) << line;
+    EXPECT_EQ(rec->writer, static_cast<int>(line % 61));
+  }
+  // Steady state: re-touching every existing line neither grows nor moves
+  // the table.
+  const std::size_t cap = t.capacity();
+  for (LineId line = 0; line < 500; ++line) t.record(line);
+  EXPECT_EQ(t.capacity(), cap);
+  EXPECT_EQ(t.size(), 500u);
+}
+
+// seq_of is the run-stable line identifier grouped-SCM hashes (see
+// Engine::line_seq): first-touch order, 1-based, 0 for absent lines,
+// unchanged by growth, monotone across clear().
+TEST(LineTable, SeqNumbersFollowFirstTouchOrder) {
+  LineTable t(2);
+  EXPECT_EQ(t.seq_of(500), 0u);  // never touched
+  t.record(500);
+  t.record(100);
+  t.record(900);
+  EXPECT_EQ(t.seq_of(500), 1u);
+  EXPECT_EQ(t.seq_of(100), 2u);
+  EXPECT_EQ(t.seq_of(900), 3u);
+  t.record(500);  // re-touching does not renumber
+  EXPECT_EQ(t.seq_of(500), 1u);
+  // Growth moves slots but keeps seq.
+  for (LineId line = 1000; line < 1300; ++line) t.record(line);
+  EXPECT_EQ(t.seq_of(100), 2u);
+  EXPECT_EQ(t.seq_of(1000), 4u);
+  // clear() retires the numbers; re-inserted lines get fresh ones.
+  t.clear();
+  EXPECT_EQ(t.seq_of(500), 0u);
+  t.record(500);
+  EXPECT_GT(t.seq_of(500), 300u);
+}
+
+TEST(LineTable, CacheSurvivesClearAndGrow) {
+  LineTable t(2);
+  LineTable::Cache cache;
+  LineRecord& a = t.record(42, cache);
+  a.writer = 5;
+  // Hit: same line through the cache returns the same record.
+  EXPECT_EQ(&t.record(42, cache), &a);
+  // Growth invalidates the memoized slot; the cached path must re-probe.
+  for (LineId line = 100; line < 200; ++line) t.record(line);
+  EXPECT_EQ(t.record(42, cache).writer, 5);
+  // clear() invalidates it via the generation stamp.
+  t.clear();
+  EXPECT_EQ(t.record(42, cache).writer, kNoThread);
+}
+
+}  // namespace
+}  // namespace elision::tsx

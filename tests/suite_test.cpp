@@ -9,6 +9,7 @@
 #include <set>
 #include <string>
 
+#include "harness/micro_point.hpp"
 #include "harness/rb_workload.hpp"
 #include "harness/suite.hpp"
 #include "support/json.hpp"
@@ -29,6 +30,43 @@ TEST(SuitePoints, SmokeIsNonTrivialSubsetOfFull) {
     EXPECT_EQ(p.tier, SuiteTier::kSmoke) << p.id;
     EXPECT_TRUE(full_ids.count(p.id)) << p.id;
   }
+}
+
+TEST(SuitePoints, MicroEnginePointIsRegisteredInSmoke) {
+  const auto smoke = suite_points_for(SuiteTier::kSmoke);
+  const SuitePoint* micro = nullptr;
+  for (const auto& sp : smoke) {
+    if (sp.kind == PointKind::kMicro) {
+      EXPECT_EQ(micro, nullptr) << "more than one micro point in smoke";
+      micro = &sp;
+    }
+  }
+  ASSERT_NE(micro, nullptr);
+  EXPECT_EQ(micro->id, "micro-engine-rtm-t8");
+  EXPECT_STREQ(point_kind_name(micro->kind), "micro");
+}
+
+// The micro point is the simulator-speed canary: its simulated metrics must
+// be bit-identical run to run (and, by the address-alignment contract in
+// micro_point.cpp, process to process) or sim_ops_per_sec would conflate
+// workload drift with host speed.
+TEST(MicroPointRun, SimulatedMetricsAreDeterministic) {
+  MicroPoint p;
+  p.ops_per_thread = 2000;
+  const RunStats a = run_micro_point(p);
+  const RunStats b = run_micro_point(p);
+  EXPECT_GT(a.ops, 0u);
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.spec_ops, b.spec_ops);
+  EXPECT_EQ(a.nonspec_ops, b.nonspec_ops);
+  EXPECT_EQ(a.elapsed_cycles, b.elapsed_cycles);
+  EXPECT_EQ(a.tx.commits, b.tx.commits);
+  EXPECT_EQ(a.tx.aborts, b.tx.aborts);
+  // Every op completed one way or the other.
+  EXPECT_EQ(a.spec_ops + a.nonspec_ops, a.ops);
+  // The shared hot line keeps conflict detection exercised.
+  EXPECT_GT(a.tx.aborts, 0u);
 }
 
 // Regression (bench_common.hpp run_rb_point): per-slot timeline data was
@@ -162,6 +200,30 @@ TEST(SuiteJson, ResultsRoundTrip) {
   }
 }
 
+TEST(SuiteJson, HostMetadataAndSimSpeedRoundTrip) {
+  SuiteResult orig = tiny_result();
+  orig.host_cores = 16;
+  orig.jobs = 4;
+  orig.total_wall_ms = 1234.5;
+  orig.points[0].metrics.sim_ops_per_sec = 5.5e6;
+  orig.points[0].metrics.wall_ms = 42.125;
+
+  const auto doc = support::json::parse(to_json_string(orig));
+  ASSERT_TRUE(doc.has_value());
+  const auto parsed = parse_results_json(*doc);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->host_cores, 16u);
+  EXPECT_EQ(parsed->jobs, 4);
+  EXPECT_NEAR(parsed->total_wall_ms, 1234.5, 1e-3);
+  EXPECT_NEAR(parsed->points[0].metrics.sim_ops_per_sec, 5.5e6, 1.0);
+  EXPECT_NEAR(parsed->points[0].metrics.wall_ms, 42.125, 1e-3);
+  // Point kinds survive the round trip.
+  for (std::size_t i = 0; i < orig.points.size(); ++i) {
+    EXPECT_EQ(parsed->points[i].def.kind, orig.points[i].def.kind)
+        << orig.points[i].def.id;
+  }
+}
+
 TEST(SuiteJson, RejectsWrongSchemaVersion) {
   const auto doc =
       support::json::parse("{\"schema_version\":999,\"points\":[]}");
@@ -196,6 +258,34 @@ TEST(SuiteGate, DetectsAttemptsAndFallbackRegressions) {
   ASSERT_EQ(report.regressions.size(), 2u);
   EXPECT_EQ(report.regressions[0].metric, "attempts_per_op");
   EXPECT_EQ(report.regressions[1].metric, "nonspec_fraction");
+}
+
+TEST(SuiteGate, DetectsPlantedSimulatorSlowdown) {
+  SuiteResult base = tiny_result();
+  for (auto& p : base.points) p.metrics.sim_ops_per_sec = 1e6;
+  SuiteResult cur = base;
+  cur.points[0].metrics.sim_ops_per_sec *= 0.2;  // past the default 75% slack
+  const GateReport report = compare_to_baseline(cur, base);
+  ASSERT_EQ(report.regressions.size(), 1u);
+  EXPECT_EQ(report.regressions[0].point_id, base.points[0].def.id);
+  EXPECT_EQ(report.regressions[0].metric, "sim_ops_per_sec");
+}
+
+TEST(SuiteGate, SimSpeedSkippedWithoutBaselineDataOrWhenDisabled) {
+  // Baselines that predate sim_ops_per_sec carry 0: never a regression.
+  const SuiteResult base = tiny_result();
+  SuiteResult cur = base;
+  cur.points[0].metrics.sim_ops_per_sec = 1e6;
+  EXPECT_TRUE(compare_to_baseline(cur, base).ok());
+
+  // simops_rel >= 1.0 disables the check even with data on both sides.
+  SuiteResult base2 = base;
+  for (auto& p : base2.points) p.metrics.sim_ops_per_sec = 1e6;
+  SuiteResult cur2 = base2;
+  cur2.points[0].metrics.sim_ops_per_sec = 1.0;  // 6 orders slower
+  GateTolerance tol;
+  tol.simops_rel = 1.0;
+  EXPECT_TRUE(compare_to_baseline(cur2, base2, tol).ok());
 }
 
 TEST(SuiteGate, WithinToleranceIsNotARegression) {

@@ -2,21 +2,41 @@
 // emit canonical machine-readable results, and optionally gate against a
 // committed baseline.
 //
-//   bench_suite [--tier smoke|full] [--out FILE] [--baseline FILE] [--gate]
-//               [--list] [--quiet] [--plant-regression FACTOR]
+//   bench_suite [--tier smoke|full] [--jobs N] [--out FILE]
+//               [--baseline FILE] [--gate] [--list] [--quiet]
+//               [--plant-regression FACTOR] [--plant-slowdown FACTOR]
 //               [--tol-throughput REL] [--tol-attempts REL]
-//               [--tol-fraction ABS] [--no-invariants]
+//               [--tol-fraction ABS] [--tol-simops REL] [--no-invariants]
+//
+// --jobs N fans the suite's points out to N isolated worker subprocesses
+// (self-invocations with --point ID), then merges the per-point fragments
+// into one canonical document. Every simulated metric is deterministic per
+// seed, so the merged output is identical to a sequential run except for
+// the host wall-time fields (wall_ms, sim_ops_per_sec, run.host).
 //
 // Exit status: 0 on success; 1 if the gate found a regression or a
-// paper-qualitative invariant is violated; 2 on usage/IO errors.
+// paper-qualitative invariant is violated; 2 on usage/IO/subprocess errors.
 //
-// --plant-regression multiplies every reported throughput before gating;
-// scripts/check.sh uses 0.5 as a self-check that the gate actually fires.
+// --plant-regression multiplies every reported throughput before gating and
+// --plant-slowdown every sim_ops_per_sec; scripts/check.sh uses them as
+// self-checks that the gate actually fires.
 // See docs/benchmarks.md for the schema and the baseline-update workflow.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ELISION_SUITE_HAS_SUBPROCESS 1
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define ELISION_SUITE_HAS_SUBPROCESS 0
+#endif
+
+#include <chrono>
+#include <thread>
 
 #include "harness/report.hpp"
 #include "harness/suite.hpp"
@@ -29,11 +49,14 @@ struct Options {
   harness::SuiteTier tier = harness::SuiteTier::kSmoke;
   std::string out_file = "BENCH_results.json";
   std::string baseline_file;
+  std::string point_id;  // non-empty: child mode, run one point
+  int jobs = 1;
   bool gate = false;
   bool list = false;
   bool quiet = false;
   bool invariants = true;
   double plant_factor = 1.0;
+  double plant_simops = 1.0;
   harness::GateTolerance tol;
 };
 
@@ -42,11 +65,12 @@ struct Options {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  bench_suite [--tier smoke|full] [--out FILE] [--baseline FILE]\n"
-      "              [--gate] [--list] [--quiet]\n"
-      "              [--plant-regression FACTOR]\n"
+      "  bench_suite [--tier smoke|full] [--jobs N] [--out FILE]\n"
+      "              [--baseline FILE] [--gate] [--list] [--quiet]\n"
+      "              [--plant-regression FACTOR] [--plant-slowdown FACTOR]\n"
       "              [--tol-throughput REL] [--tol-attempts REL]\n"
-      "              [--tol-fraction ABS] [--no-invariants]\n");
+      "              [--tol-fraction ABS] [--tol-simops REL]\n"
+      "              [--no-invariants] [--point ID]\n");
   std::exit(2);
 }
 
@@ -66,6 +90,11 @@ Options parse(int argc, char** argv) {
       o.out_file = next();
     } else if (a == "--baseline") {
       o.baseline_file = next();
+    } else if (a == "--point") {
+      o.point_id = next();
+    } else if (a == "--jobs") {
+      o.jobs = std::atoi(next().c_str());
+      if (o.jobs < 1) usage("--jobs must be >= 1");
     } else if (a == "--gate") {
       o.gate = true;
     } else if (a == "--list") {
@@ -77,12 +106,17 @@ Options parse(int argc, char** argv) {
     } else if (a == "--plant-regression") {
       o.plant_factor = std::atof(next().c_str());
       if (o.plant_factor <= 0) usage("--plant-regression must be > 0");
+    } else if (a == "--plant-slowdown") {
+      o.plant_simops = std::atof(next().c_str());
+      if (o.plant_simops <= 0) usage("--plant-slowdown must be > 0");
     } else if (a == "--tol-throughput") {
       o.tol.throughput_rel = std::atof(next().c_str());
     } else if (a == "--tol-attempts") {
       o.tol.attempts_rel = std::atof(next().c_str());
     } else if (a == "--tol-fraction") {
       o.tol.fraction_abs = std::atof(next().c_str());
+    } else if (a == "--tol-simops") {
+      o.tol.simops_rel = std::atof(next().c_str());
     } else {
       usage(("unknown argument " + a).c_str());
     }
@@ -93,19 +127,162 @@ Options parse(int argc, char** argv) {
   return o;
 }
 
+// Metadata shared by every results document this process emits.
+void fill_run_metadata(harness::SuiteResult& r, harness::SuiteTier tier,
+                       int jobs) {
+  r.tier = tier;
+  r.duration_scale = harness::env_duration_scale();
+  r.telemetry_compiled = tsx::kTelemetryCompiled;
+  const sim::MachineConfig machine;
+  r.n_cores = machine.n_cores;
+  r.smt_per_core = machine.smt_per_core;
+  r.ghz = machine.ghz;
+  r.host_cores = std::thread::hardware_concurrency();
+  r.jobs = jobs;
+}
+
+// --point ID: run exactly one registered point and write a single-point
+// results document. This is the worker half of --jobs; it applies no plant
+// factors and checks no invariants (both are whole-suite concerns the
+// parent handles on the merged result).
+int run_child(const Options& o) {
+  for (const auto& sp : harness::suite_points()) {
+    if (sp.id != o.point_id) continue;
+    harness::SuiteResult r;
+    fill_run_metadata(r, o.tier, /*jobs=*/1);
+    const auto t0 = std::chrono::steady_clock::now();
+    r.points.push_back(harness::run_suite_point(sp));
+    r.total_wall_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    std::FILE* f = std::fopen(o.out_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_suite: cannot open %s\n",
+                   o.out_file.c_str());
+      return 2;
+    }
+    harness::write_results_json(r, f);
+    std::fclose(f);
+    return 0;
+  }
+  std::fprintf(stderr, "bench_suite: unknown point id %s\n",
+               o.point_id.c_str());
+  return 2;
+}
+
+#if ELISION_SUITE_HAS_SUBPROCESS
+
+std::string self_exe_path(const char* argv0) {
+#if defined(__linux__)
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+#endif
+  return argv0;
+}
+
+// Fans the tier's points out to up to `jobs` concurrent self-invocations
+// (one point per child) and merges the fragments in registry order, so the
+// merged document is independent of completion order. Returns 0 on success.
+int run_parallel(const Options& o, const char* argv0,
+                 harness::SuiteResult& out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<harness::SuitePoint> pts =
+      harness::suite_points_for(o.tier);
+  const std::string exe = self_exe_path(argv0);
+
+  struct Child {
+    pid_t pid = -1;
+    std::size_t point = 0;
+    bool failed = false;
+  };
+  std::vector<std::string> frags(pts.size());
+  std::vector<Child> running;
+  std::size_t next = 0;
+  bool any_failed = false;
+
+  auto reap_one = [&]() {
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, 0);
+    for (auto it = running.begin(); it != running.end(); ++it) {
+      if (it->pid != pid) continue;
+      const bool ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+      if (!ok) {
+        std::fprintf(stderr, "bench_suite: worker for %s failed (status %d)\n",
+                     pts[it->point].id.c_str(),
+                     WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+        any_failed = true;
+      }
+      running.erase(it);
+      return;
+    }
+  };
+
+  const int jobs = std::min<int>(o.jobs, static_cast<int>(pts.size()));
+  while (next < pts.size() || !running.empty()) {
+    while (next < pts.size() && static_cast<int>(running.size()) < jobs) {
+      frags[next] = o.out_file + ".point" + std::to_string(next) + ".tmp";
+      const pid_t pid = ::fork();
+      if (pid < 0) {
+        std::fprintf(stderr, "bench_suite: fork failed\n");
+        return 2;
+      }
+      if (pid == 0) {
+        ::execl(exe.c_str(), exe.c_str(), "--point", pts[next].id.c_str(),
+                "--tier", harness::suite_tier_name(o.tier), "--out",
+                frags[next].c_str(), "--quiet", static_cast<char*>(nullptr));
+        std::fprintf(stderr, "bench_suite: exec %s failed\n", exe.c_str());
+        std::_Exit(2);
+      }
+      running.push_back({pid, next, false});
+      ++next;
+    }
+    if (!running.empty()) reap_one();
+  }
+  if (any_failed) return 2;
+
+  fill_run_metadata(out, o.tier, o.jobs);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const auto frag = harness::load_results_file(frags[i]);
+    if (!frag || frag->points.size() != 1 ||
+        frag->points[0].def.id != pts[i].id) {
+      std::fprintf(stderr, "bench_suite: bad fragment %s\n",
+                   frags[i].c_str());
+      return 2;
+    }
+    // Keep the registry's point definition (the fragment's survives a JSON
+    // round-trip, but the registry is the source of truth) and the child's
+    // measured metrics.
+    out.points.push_back({pts[i], frag->points[0].metrics});
+    std::remove(frags[i].c_str());
+  }
+  out.total_wall_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  return 0;
+}
+
+#endif  // ELISION_SUITE_HAS_SUBPROCESS
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Options o = parse(argc, argv);
+  Options o = parse(argc, argv);
 
   if (o.list) {
-    harness::Table table({"id", "tier", "figure", "lock", "scheme", "size",
-                          "upd%", "thr", "seeds"});
+    harness::Table table({"id", "tier", "figure", "kind", "lock", "scheme",
+                          "size", "upd%", "thr", "seeds"});
     for (const auto& sp : harness::suite_points_for(o.tier)) {
+      const bool rb = sp.kind == harness::PointKind::kRb;
       table.add_row({sp.id, harness::suite_tier_name(sp.tier), sp.figure,
-                     harness::lock_sel_name(sp.point.lock),
-                     sp.point.scheme.name(), harness::fmt_int(sp.point.size),
-                     std::to_string(sp.point.update_pct),
+                     harness::point_kind_name(sp.kind),
+                     rb ? harness::lock_sel_name(sp.point.lock) : "-",
+                     rb ? sp.point.scheme.name() : "-",
+                     harness::fmt_int(sp.point.size),
+                     rb ? std::to_string(sp.point.update_pct) : "-",
                      std::to_string(sp.point.threads),
                      std::to_string(sp.point.seeds)});
     }
@@ -113,28 +290,59 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  harness::Table progress({"id", "Mops/s", "att/op", "nonspec", "episodes"});
-  harness::SuiteRunOptions run_opts;
-  run_opts.plant_throughput_factor = o.plant_factor;
-  if (!o.quiet) {
-    run_opts.on_point = [&](const harness::SuitePoint& sp,
-                            const harness::PointMetrics& m) {
-      std::fprintf(stderr, "ran %s\n", sp.id.c_str());
-      progress.add_row(
-          {sp.id, harness::fmt(m.throughput_ops_per_sec / 1e6, 2),
-           harness::fmt(m.attempts_per_op, 2),
-           harness::fmt(m.nonspec_fraction, 3),
-           harness::fmt_int(m.avalanche_episodes)});
-    };
-  }
+  if (!o.point_id.empty()) return run_child(o);
 
-  const harness::SuiteResult result = harness::run_suite(o.tier, run_opts);
+#if !ELISION_SUITE_HAS_SUBPROCESS
+  if (o.jobs > 1) {
+    std::fprintf(stderr,
+                 "bench_suite: --jobs needs fork/exec; running sequentially\n");
+    o.jobs = 1;
+  }
+#endif
+
+  harness::Table progress({"id", "Mops/s", "att/op", "nonspec", "episodes"});
+  auto progress_row = [&](const harness::SuitePoint& sp,
+                          const harness::PointMetrics& m) {
+    std::fprintf(stderr, "ran %s\n", sp.id.c_str());
+    progress.add_row(
+        {sp.id, harness::fmt(m.throughput_ops_per_sec / 1e6, 2),
+         harness::fmt(m.attempts_per_op, 2),
+         harness::fmt(m.nonspec_fraction, 3),
+         harness::fmt_int(m.avalanche_episodes)});
+  };
+
+  harness::SuiteResult result;
+  if (o.jobs > 1) {
+#if ELISION_SUITE_HAS_SUBPROCESS
+    const int rc = run_parallel(o, argv[0], result);
+    if (rc != 0) return rc;
+    // Plant factors are applied on the merged result so sequential and
+    // parallel runs transform identical inputs identically.
+    for (auto& p : result.points) {
+      p.metrics.throughput_ops_per_sec *= o.plant_factor;
+      p.metrics.sim_ops_per_sec *= o.plant_simops;
+      if (!o.quiet) progress_row(p.def, p.metrics);
+    }
+#endif
+  } else {
+    harness::SuiteRunOptions run_opts;
+    run_opts.plant_throughput_factor = o.plant_factor;
+    run_opts.plant_simops_factor = o.plant_simops;
+    if (!o.quiet) run_opts.on_point = progress_row;
+    result = harness::run_suite(o.tier, run_opts);
+  }
   if (!o.quiet) progress.print();
   if (o.plant_factor != 1.0) {
     std::fprintf(stderr,
                  "bench_suite: throughputs scaled by %.3f "
                  "(--plant-regression self-check mode)\n",
                  o.plant_factor);
+  }
+  if (o.plant_simops != 1.0) {
+    std::fprintf(stderr,
+                 "bench_suite: sim_ops_per_sec scaled by %.3f "
+                 "(--plant-slowdown self-check mode)\n",
+                 o.plant_simops);
   }
 
   std::FILE* f = std::fopen(o.out_file.c_str(), "w");
@@ -145,8 +353,9 @@ int main(int argc, char** argv) {
   harness::write_results_json(result, f);
   std::fclose(f);
   if (!o.quiet) {
-    std::printf("results: %zu points -> %s\n", result.points.size(),
-                o.out_file.c_str());
+    std::printf("results: %zu points -> %s (jobs %d, %.0f ms)\n",
+                result.points.size(), o.out_file.c_str(), result.jobs,
+                result.total_wall_ms);
   }
 
   int rc = 0;
