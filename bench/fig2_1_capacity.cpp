@@ -31,7 +31,7 @@ const SizePoint kSizes[] = {
 };
 
 double failure_fraction(bool write, std::size_t bytes, std::size_t trials,
-                        std::vector<tsx::Shared<std::uint64_t>>& arena) {
+                        tsx::SharedArray<std::uint64_t>& arena) {
   const std::size_t lines = bytes / support::kCacheLineBytes;
   sim::MachineConfig mcfg;
   mcfg.n_cores = 1;
@@ -72,7 +72,7 @@ int main() {
                   "failures toward L3 (8M).");
   const double scale = harness::env_duration_scale();
   // 8 MB = 131072 lines; 8 shared words per line.
-  std::vector<tsx::Shared<std::uint64_t>> arena(8388608 / 8);
+  tsx::SharedArray<std::uint64_t> arena(8388608 / 8);
 
   harness::Table table(
       {"set-size", "read-failure-frac", "write-failure-frac"});

@@ -5,10 +5,14 @@
 # detect the HLE avalanche and export metrics; stress_cli must hold all
 # invariants over a perturbed sweep and find the planted RacyLock bug).
 # Finally runs the bench-suite smoke tier gated against the committed
-# baseline (bench/baseline.json), re-runs it with --jobs 2 to prove
-# parallel execution reproduces the sequential results bit-for-bit (modulo
-# host wall-time fields), and self-checks that a planted 50% throughput
-# regression and a planted 5x simulator slowdown are actually caught.
+# baseline (bench/baseline.json), re-runs it with --jobs 2 (fork mode) and
+# with --jobs 2 --jobs-mode threads --host-threads 2 (in-process pool) to
+# prove parallel execution reproduces the sequential results bit-for-bit
+# (modulo host wall-time fields), and self-checks that a planted 50%
+# throughput regression and a planted 5x simulator slowdown are actually
+# caught. A ThreadSanitizer build of the parallel paths (parallel_test plus
+# a threaded stress smoke) guards the in-process fan-out itself, with the
+# engine's fiber switches annotated via the TSan fiber API.
 # The ASan+UBSan ctest pass includes line_table_test's randomized
 # differential fuzz of the open-addressing LineTable against a
 # std::unordered_map reference.
@@ -31,6 +35,22 @@ SAN_BUILD=build-check-san
 cmake -B "$SAN_BUILD" -S . -DELISION_WERROR=ON -DELISION_SANITIZE=ON
 cmake --build "$SAN_BUILD" -j
 ctest --test-dir "$SAN_BUILD" --output-on-failure -j
+
+# ThreadSanitizer over the in-process parallel paths: the pool itself, the
+# per-run simulations fanned out across host threads (fiber switches are
+# annotated through the TSan fiber API), and a threaded stress smoke. Only
+# the two parallel-facing targets are built — everything else is identical
+# single-threaded code already covered above.
+TSAN_BUILD=build-check-tsan
+cmake -B "$TSAN_BUILD" -S . -DELISION_WERROR=ON -DELISION_TSAN=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$TSAN_BUILD" -j --target parallel_test stress_cli
+"$TSAN_BUILD"/tests/parallel_test || {
+  echo "check: parallel_test failed under ThreadSanitizer" >&2; exit 1; }
+"$TSAN_BUILD"/tools/stress_cli --schemes HLE --locks TTAS --seeds 2 \
+    --host-threads 4 --quiet || {
+  echo "check: threaded stress smoke failed under ThreadSanitizer" >&2
+  exit 1; }
 
 # Telemetry smoke: HLE over MCS must show at least one avalanche episode,
 # and the six-scheme sweep must export a parseable metrics file.
@@ -58,11 +78,50 @@ EOF
 # Stress smoke: a small perturbed sweep over every scheme x lock must hold
 # every invariant, and the self-test must *find* the planted RacyLock bug
 # (proof the checkers are not vacuous). Fixed seeds: fully reproducible.
-"$BUILD"/tools/stress_cli --schemes all --locks all --seeds 3 --quiet || {
+# The sweep fans out across 4 host threads (the simulated results are
+# byte-identical to --host-threads 1; see the identity check below).
+"$BUILD"/tools/stress_cli --schemes all --locks all --seeds 3 \
+    --host-threads 4 --quiet || {
   echo "check: stress sweep found an invariant violation" >&2; exit 1; }
 "$BUILD"/tools/stress_cli --selftest --seeds 5 || {
   echo "check: stress self-test missed the planted RacyLock bug" >&2
   exit 1; }
+
+# Host-thread fan-out must not change a single byte of stress output:
+# compare the full stdout of a threaded sweep against a sequential one.
+stress_seq=$("$BUILD"/tools/stress_cli --schemes HLE,HLE-SCM,opt-SLR \
+    --locks all --seeds 2 --quiet)
+stress_par=$("$BUILD"/tools/stress_cli --schemes HLE,HLE-SCM,opt-SLR \
+    --locks all --seeds 2 --quiet --host-threads 2)
+[ "$stress_seq" = "$stress_par" ] || {
+  echo "check: stress --host-threads 2 diverged from --host-threads 1" >&2
+  exit 1; }
+echo "stress: --host-threads 2 reproduces the sequential sweep exactly"
+
+# On multi-core hosts the fan-out must actually buy wall time: demand at
+# least 1.5x at --host-threads 4 (the target on an idle 4+-core machine is
+# 2x; 1.5x keeps a loaded CI box from flaking). Meaningless on fewer than
+# 4 cores, so skipped there.
+if [ "$(nproc 2>/dev/null || echo 1)" -ge 4 ]; then
+  python3 - "$BUILD" <<'EOF'
+import subprocess, sys, time
+build = sys.argv[1]
+def run(ht):
+    t0 = time.monotonic()
+    subprocess.run([f"{build}/tools/stress_cli", "--schemes", "all",
+                    "--locks", "all", "--seeds", "2", "--quiet",
+                    "--host-threads", str(ht)],
+                   check=True, stdout=subprocess.DEVNULL)
+    return time.monotonic() - t0
+serial, par = run(1), run(4)
+speedup = serial / par if par > 0 else 0.0
+print(f"stress: --host-threads 4 speedup {speedup:.2f}x"
+      f" ({serial:.1f}s -> {par:.1f}s)")
+assert speedup >= 1.5, "threaded stress smoke speedup below 1.5x"
+EOF
+else
+  echo "stress: skipping --host-threads speedup check (host has <4 cores)"
+fi
 
 # Bench-suite smoke: run the curated smoke tier, emit canonical results,
 # check the paper-qualitative invariants, and gate against the committed
@@ -81,8 +140,10 @@ import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["schema_version"] == 1 and doc["tier"] == "smoke", doc.keys()
 assert doc["points"], "no points in BENCH_results.json"
-assert doc["run"]["host"]["cores"] >= 1 and doc["run"]["host"]["jobs"] == 1
-assert doc["run"]["host"]["total_wall_ms"] > 0
+host = doc["run"]["host"]
+assert host["cores"] >= 1 and host["jobs"] == 1, host
+assert host["jobs_mode"] == "fork" and host["host_threads"] == 1, host
+assert host["total_wall_ms"] > 0
 for p in doc["points"]:
     m = p["metrics"]
     for key in ("throughput_ops_per_sec", "spec_fraction",
@@ -94,24 +155,36 @@ print(f"bench suite: {len(doc['points'])} smoke points, schema valid")
 EOF
 
 # Parallel execution must reproduce the sequential run exactly: every
-# simulated metric is deterministic per seed, so fanning the points out to
-# worker subprocesses (--jobs) may only change the host wall-time fields
-# (wall_ms, sim_ops_per_sec, run.host).
+# simulated metric is deterministic per seed, so fanning the points out —
+# to worker subprocesses (--jobs-mode fork) or onto an in-process pool
+# (--jobs-mode threads), with or without per-point multi-seed fan-out
+# (--host-threads) — may only change the host wall-time fields (wall_ms,
+# sim_ops_per_sec, run.host).
 bench_par_json=$(mktemp)
-trap 'rm -f "$metrics" "$bench_json" "$bench_par_json"' EXIT
+bench_thr_json=$(mktemp)
+trap 'rm -f "$metrics" "$bench_json" "$bench_par_json" "$bench_thr_json"' EXIT
 "$BUILD"/tools/bench_suite --tier smoke --jobs 2 --out "$bench_par_json" \
     --quiet || {
   echo "check: bench_suite --jobs 2 run failed" >&2; exit 1; }
-python3 - "$bench_json" "$bench_par_json" <<'EOF'
+"$BUILD"/tools/bench_suite --tier smoke --jobs 2 --jobs-mode threads \
+    --host-threads 2 --out "$bench_thr_json" --quiet || {
+  echo "check: bench_suite --jobs-mode threads run failed" >&2; exit 1; }
+python3 - "$bench_json" "$bench_par_json" "$bench_thr_json" <<'EOF'
 import json, sys
-seq, par = (json.load(open(p)) for p in sys.argv[1:3])
+seq, par, thr = (json.load(open(p)) for p in sys.argv[1:4])
 assert par["run"]["host"]["jobs"] == 2, par["run"]["host"]
-for doc in (seq, par):
+assert par["run"]["host"]["jobs_mode"] == "fork", par["run"]["host"]
+assert thr["run"]["host"]["jobs"] == 2, thr["run"]["host"]
+assert thr["run"]["host"]["jobs_mode"] == "threads", thr["run"]["host"]
+assert thr["run"]["host"]["host_threads"] == 2, thr["run"]["host"]
+for doc in (seq, par, thr):
     del doc["run"]["host"]
     for p in doc["points"]:
         del p["metrics"]["sim_ops_per_sec"], p["metrics"]["wall_ms"]
-assert seq == par, "parallel run diverged from sequential run"
-print("bench suite: --jobs 2 reproduces the sequential results exactly")
+assert seq == par, "fork-parallel run diverged from sequential run"
+assert seq == thr, "in-process threaded run diverged from sequential run"
+print("bench suite: --jobs 2 (fork and threads) reproduces the sequential"
+      " results exactly")
 EOF
 
 # Gate self-checks: a planted 50% throughput regression and a planted 5x

@@ -35,6 +35,12 @@ struct RbPoint {
   std::uint64_t timeline_slot_cycles = 0;
   std::uint64_t seed = 42;
 
+  // Host threads the multi-seed fan-out may use (support/parallel.hpp).
+  // Each seed is an independent simulation; results are merged in seed
+  // order, so any value produces byte-identical RunStats to host_threads=1
+  // — only host wall time changes. Never affects a point with seeds <= 1.
+  int host_threads = 1;
+
   // Out-param: fraction of TTAS lock arrivals that found the lock held
   // (the boxed series of Fig 3.1). Only filled for LockSel::kTtas.
   double* arrival_held_frac = nullptr;

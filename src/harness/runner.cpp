@@ -4,8 +4,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 #include "support/check.hpp"
+#include "support/parallel.hpp"
 
 namespace elision::harness {
 
@@ -19,17 +21,42 @@ double env_duration_scale() {
     ++end;
   }
   if (end == s || *end != '\0' || !std::isfinite(v) || v <= 0.0) {
-    static bool warned = false;
-    if (!warned) {
-      warned = true;
+    // once_flag, not a bare bool: concurrent simulations (support/parallel)
+    // may hit this path from several host threads at once.
+    static std::once_flag warned;
+    std::call_once(warned, [s] {
       std::fprintf(stderr,
                    "harness: ignoring ELISION_BENCH_SCALE=\"%s\" (want a "
                    "positive finite number); using 1.0\n",
                    s);
-    }
+    });
     return 1.0;
   }
   return v;
+}
+
+int env_host_threads() {
+  const char* s = std::getenv("ELISION_HOST_THREADS");
+  if (s == nullptr || *s == '\0') return 1;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  while (end != nullptr && *end != '\0' &&
+         std::isspace(static_cast<unsigned char>(*end))) {
+    ++end;
+  }
+  if (end == s || *end != '\0' || v < 0) {
+    static std::once_flag warned;
+    std::call_once(warned, [s] {
+      std::fprintf(stderr,
+                   "harness: ignoring ELISION_HOST_THREADS=\"%s\" (want a "
+                   "non-negative integer, 0 = all hardware threads); "
+                   "using 1\n",
+                   s);
+    });
+    return 1;
+  }
+  if (v == 0) return support::host_hardware_threads();
+  return static_cast<int>(v);
 }
 
 void RunStats::accumulate(const RunStats& o) {

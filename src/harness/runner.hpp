@@ -125,4 +125,10 @@ RunStats run_workload(const BenchConfig& cfg, const OpFn& op,
 // Reads ELISION_BENCH_SCALE (default 1.0) so users can lengthen runs.
 double env_duration_scale();
 
+// Reads ELISION_HOST_THREADS (default 1): how many *host* threads
+// independent simulations may fan out across (support/parallel.hpp).
+// 0 means "all hardware threads". Distinct from any simulated thread
+// count — host threads never change simulated results, only wall time.
+int env_host_threads();
+
 }  // namespace elision::harness

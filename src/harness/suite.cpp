@@ -247,7 +247,9 @@ SuiteResult run_suite(SuiteTier tier, const SuiteRunOptions& opts) {
   result.ghz = machine.ghz;
   result.host_cores = std::thread::hardware_concurrency();
   result.jobs = 1;
-  for (const auto& sp : suite_points_for(tier)) {
+  result.host_threads = opts.host_threads > 0 ? opts.host_threads : 1;
+  for (auto sp : suite_points_for(tier)) {
+    sp.point.host_threads = result.host_threads;
     PointMetrics m = run_point_metrics(sp);
     m.throughput_ops_per_sec *= opts.plant_throughput_factor;
     m.sim_ops_per_sec *= opts.plant_simops_factor;
@@ -260,8 +262,11 @@ SuiteResult run_suite(SuiteTier tier, const SuiteRunOptions& opts) {
   return result;
 }
 
-PointRecord run_suite_point(const SuitePoint& sp) {
-  return {sp, run_point_metrics(sp)};
+PointRecord run_suite_point(const SuitePoint& sp, int host_threads) {
+  SuitePoint p = sp;
+  p.point.host_threads = host_threads > 0 ? host_threads : 1;
+  PointRecord rec{sp, run_point_metrics(p)};
+  return rec;
 }
 
 // ---- canonical JSON results ----
@@ -323,12 +328,15 @@ void write_results_json(const SuiteResult& result, std::FILE* out) {
                "\"machine\":{\"n_cores\":%u,\"smt_per_core\":%u,"
                "\"ghz\":%g},"
                "\"host\":{\"cores\":%u,\"jobs\":%d,"
+               "\"jobs_mode\":\"%s\",\"host_threads\":%d,"
                "\"total_wall_ms\":%.3f}},\n  \"points\":[\n",
                kSuiteSchemaVersion, suite_tier_name(result.tier),
                result.duration_scale,
                result.telemetry_compiled ? "true" : "false", result.n_cores,
                result.smt_per_core, result.ghz, result.host_cores,
-               result.jobs, result.total_wall_ms);
+               result.jobs,
+               support::json::escape(result.jobs_mode).c_str(),
+               result.host_threads, result.total_wall_ms);
   for (std::size_t i = 0; i < result.points.size(); ++i) {
     write_point_json(result.points[i], out);
     std::fprintf(out, "%s\n", i + 1 < result.points.size() ? "," : "");
@@ -385,6 +393,12 @@ std::optional<SuiteResult> parse_results_json(
       }
       if (const Value* v = host->find("jobs")) {
         out.jobs = static_cast<int>(v->as_u64());
+      }
+      if (const Value* v = host->find("jobs_mode")) {
+        out.jobs_mode = v->as_string();
+      }
+      if (const Value* v = host->find("host_threads")) {
+        out.host_threads = static_cast<int>(v->as_u64());
       }
       if (const Value* v = host->find("total_wall_ms")) {
         out.total_wall_ms = v->as_double();

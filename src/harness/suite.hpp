@@ -97,9 +97,14 @@ struct SuiteResult {
   unsigned smt_per_core = 0;
   double ghz = 0.0;
   // Host-run metadata: physical core count of the machine that produced the
-  // results, the --jobs level used, and the suite's total wall time.
+  // results, the --jobs level used, how those jobs were executed ("fork" =
+  // one child process per point, "threads" = in-process pool), the per-point
+  // multi-seed fan-out width, and the suite's total wall time. Like every
+  // host field, none of this affects the simulated metrics.
   unsigned host_cores = 0;
   int jobs = 1;
+  std::string jobs_mode = "fork";
+  int host_threads = 1;
   double total_wall_ms = 0.0;
   std::vector<PointRecord> points;
 
@@ -113,6 +118,10 @@ struct SuiteRunOptions {
   // Same for sim_ops_per_sec: the planted-slowdown self-check proving the
   // simulator-speed gate fires.
   double plant_simops_factor = 1.0;
+  // Host threads each point's multi-seed fan-out may use
+  // (RbPoint::host_threads; support/parallel.hpp). Simulated metrics are
+  // byte-identical at any value — only wall_ms / sim_ops_per_sec change.
+  int host_threads = 1;
   // Progress callback, called after each point completes. May be null.
   std::function<void(const SuitePoint&, const PointMetrics&)> on_point;
 };
@@ -120,8 +129,10 @@ struct SuiteRunOptions {
 SuiteResult run_suite(SuiteTier tier, const SuiteRunOptions& opts = {});
 
 // Runs a single point (used by bench_suite --point, the per-point child of
-// parallel suite execution), measuring wall_ms / sim_ops_per_sec.
-PointRecord run_suite_point(const SuitePoint& sp);
+// parallel suite execution, and by the in-process --jobs-mode threads
+// runner), measuring wall_ms / sim_ops_per_sec. `host_threads` seeds the
+// point's multi-seed fan-out width.
+PointRecord run_suite_point(const SuitePoint& sp, int host_threads = 1);
 
 // ---- canonical JSON results ----
 

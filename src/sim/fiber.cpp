@@ -33,6 +33,30 @@ void __sanitizer_finish_switch_fiber(void* fake_stack_save,
 }
 #endif
 
+// ThreadSanitizer keeps a per-thread shadow stack and synchronization clock;
+// like ASan it must be told when execution moves to another stack, or its
+// reports attribute events to the wrong context. The fiber API (create /
+// switch / destroy) ships in libtsan (GCC 10+/Clang 9+).
+#if defined(__SANITIZE_THREAD__)
+#define ELISION_FIBER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ELISION_FIBER_TSAN 1
+#endif
+#endif
+#ifndef ELISION_FIBER_TSAN
+#define ELISION_FIBER_TSAN 0
+#endif
+
+#if ELISION_FIBER_TSAN
+extern "C" {
+void* __tsan_get_current_fiber();
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
 namespace elision::sim {
 namespace {
 
@@ -84,12 +108,15 @@ extern "C" void elision_fiber_switch(void** save_sp, void* next_sp);
 extern "C" void elision_fiber_trampoline();
 
 #if ELISION_FIBER_ASAN
-// The fiber that initiated the in-flight switch. The simulator is
-// single-OS-threaded, so a plain static suffices. Lets the resumed side
-// learn the *host* fiber's stack bounds (unknown at construction — it owns
-// no stack) from __sanitizer_finish_switch_fiber's out-parameters the first
+// The fiber that initiated the in-flight switch. One simulation runs all of
+// its fiber switches on a single host thread, but *independent* simulations
+// may run concurrently on pool threads (support/parallel.hpp), so this
+// bookkeeping must be thread_local — a plain static would let one host
+// thread's in-flight switch clobber another's. Lets the resumed side learn
+// the *host* fiber's stack bounds (unknown at construction — it owns no
+// stack) from __sanitizer_finish_switch_fiber's out-parameters the first
 // time the host switches away.
-Fiber* g_switching_from = nullptr;
+thread_local Fiber* g_switching_from = nullptr;
 
 void finish_switch_fiber(void* fake_stack_save) {
   const void* prev_bottom = nullptr;
@@ -128,6 +155,19 @@ Fiber::Fiber(Entry entry, void* arg, std::size_t stack_bytes) {
   sp_ = static_cast<void*>(slots - 7);
   asan_stack_bottom_ = stack_.get();
   asan_stack_size_ = stack_bytes;
+#if ELISION_FIBER_TSAN
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
+}
+
+Fiber::~Fiber() {
+#if ELISION_FIBER_TSAN
+  // Only contexts created for an owned stack; the host fiber's tsan_fiber_
+  // is the OS thread's own context and must outlive us.
+  if (stack_ != nullptr && tsan_fiber_ != nullptr) {
+    __tsan_destroy_fiber(tsan_fiber_);
+  }
+#endif
 }
 
 void Fiber::switch_to(Fiber& from, Fiber& to) {
@@ -139,6 +179,16 @@ void Fiber::switch_to(Fiber& from, Fiber& to) {
   g_switching_from = &from;
   __sanitizer_start_switch_fiber(&from.asan_fake_stack_, to.asan_stack_bottom_,
                                  to.asan_stack_size_);
+#endif
+#if ELISION_FIBER_TSAN
+  // The host fiber owns no stack and borrows its OS thread's TSan context,
+  // learned the first time it switches away. A host fiber never migrates
+  // between OS threads (one simulation runs entirely on one pool thread),
+  // so the borrowed context stays valid for the Scheduler's lifetime.
+  if (from.tsan_fiber_ == nullptr) {
+    from.tsan_fiber_ = __tsan_get_current_fiber();
+  }
+  __tsan_switch_to_fiber(to.tsan_fiber_, 0);
 #endif
   elision_fiber_switch(&from.sp_, next);
 #if ELISION_FIBER_ASAN

@@ -32,6 +32,9 @@ class Fiber {
   // when first switched to.
   Fiber(Entry entry, void* arg, std::size_t stack_bytes);
 
+  // Releases sanitizer bookkeeping for owned stacks (TSan fiber contexts).
+  ~Fiber();
+
   Fiber(const Fiber&) = delete;
   Fiber& operator=(const Fiber&) = delete;
 
@@ -65,6 +68,10 @@ class Fiber {
   const void* asan_stack_bottom_ = nullptr;
   std::size_t asan_stack_size_ = 0;
   void* asan_fake_stack_ = nullptr;
+  // TSan fiber context (unused outside TSan builds). Owned (created in the
+  // stackful constructor, destroyed in ~Fiber) iff stack_ is set; the host
+  // fiber borrows its thread's context at its first switch away instead.
+  void* tsan_fiber_ = nullptr;
 };
 
 }  // namespace elision::sim

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "locks/schemes.hpp"
 #include "sim/machine_config.hpp"
@@ -100,6 +101,19 @@ StampResult run_vacation(const StampConfig& cfg, bool high_contention);
 // Runs an app by name: genome, intruder, kmeans_high, kmeans_low, ssca2,
 // vacation_high, vacation_low.
 StampResult run_app(const std::string& name, const StampConfig& cfg);
+
+// One (app, configuration) cell of a STAMP sweep.
+struct StampJob {
+  std::string app;
+  StampConfig cfg;
+};
+
+// Runs every job — each an independent simulation — fanning them out over
+// up to `host_threads` host threads (support/parallel.hpp), and returns the
+// results in job order, so output is byte-identical to running the jobs
+// sequentially (host_threads <= 1 does exactly that, inline).
+std::vector<StampResult> run_apps(const std::vector<StampJob>& jobs,
+                                  int host_threads);
 
 inline constexpr const char* kAppNames[] = {
     "genome",     "intruder",      "kmeans_high", "kmeans_low",

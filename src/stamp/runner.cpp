@@ -1,6 +1,7 @@
 #include "stamp/common.hpp"
 
 #include "support/check.hpp"
+#include "support/parallel.hpp"
 
 namespace elision::stamp {
 
@@ -19,6 +20,19 @@ StampResult run_app(const std::string& name, const StampConfig& cfg) {
   if (name == "labyrinth") return run_labyrinth(cfg);
   ELISION_CHECK_MSG(false, "unknown STAMP app");
   return {};
+}
+
+std::vector<StampResult> run_apps(const std::vector<StampJob>& jobs,
+                                  int host_threads) {
+  // Each job builds its own Scheduler+Engine, so the runs are independent;
+  // every result lands in its job's slot and the vector comes back in job
+  // order regardless of completion order.
+  std::vector<StampResult> results(jobs.size());
+  support::parallel_for_each(
+      jobs.size(),
+      [&](std::size_t j) { results[j] = run_app(jobs[j].app, jobs[j].cfg); },
+      host_threads);
+  return results;
 }
 
 }  // namespace elision::stamp

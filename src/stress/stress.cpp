@@ -12,6 +12,7 @@
 #include "stress/invariants.hpp"
 #include "stress/racy_lock.hpp"
 #include "support/check.hpp"
+#include "support/parallel.hpp"
 
 namespace elision::stress {
 
@@ -281,7 +282,13 @@ SweepStats sweep(
     const std::vector<LockKind>& locks, const std::vector<Workload>& workloads,
     std::uint64_t first_seed, int n_seeds,
     const std::function<void(const StressCase&, const RunOutcome&)>& on_run) {
-  SweepStats stats;
+  // Flatten the seed x scheme x lock x workload grid into a job vector in
+  // the order the nested loops have always visited it; every cell is an
+  // independent Scheduler+Engine simulation, so the runs fan out across
+  // host threads while each outcome lands in its own grid slot.
+  std::vector<StressCase> grid;
+  grid.reserve(static_cast<std::size_t>(n_seeds) * schemes.size() *
+               locks.size() * workloads.size());
   for (int i = 0; i < n_seeds; ++i) {
     for (const locks::Scheme scheme : schemes) {
       for (const LockKind lock : locks) {
@@ -291,26 +298,42 @@ SweepStats sweep(
           c.lock = lock;
           c.workload = workload;
           c.perturb_seed = first_seed + static_cast<std::uint64_t>(i);
-          const RunOutcome out = run_case(o, c);
-          ++stats.runs;
-          stats.total_ops += out.ops;
-          if (!out.ok()) {
-            FailureReport f;
-            f.c = c;
-            if (o.minimize) {
-              const Minimized m = minimize_case(o, c);
-              f.outcome = m.outcome;
-              f.minimized_points = m.points;
-            } else {
-              f.outcome = out;
-              f.minimized_points = c.perturb_points;
-            }
-            stats.failures.push_back(std::move(f));
-          }
-          if (on_run) on_run(c, out);
+          grid.push_back(c);
         }
       }
     }
+  }
+
+  std::vector<RunOutcome> outcomes(grid.size());
+  support::parallel_for_each(
+      grid.size(), [&](std::size_t j) { outcomes[j] = run_case(o, grid[j]); },
+      o.host_threads);
+
+  // Aggregate in grid order: counters, failure reports and on_run callbacks
+  // are byte-identical to a sequential sweep regardless of host_threads.
+  // Minimization re-runs a failing case under successively halved budgets —
+  // an inherently serial search (each budget depends on the previous
+  // outcome), so it stays here rather than in the fan-out.
+  SweepStats stats;
+  for (std::size_t j = 0; j < grid.size(); ++j) {
+    const StressCase& c = grid[j];
+    const RunOutcome& out = outcomes[j];
+    ++stats.runs;
+    stats.total_ops += out.ops;
+    if (!out.ok()) {
+      FailureReport f;
+      f.c = c;
+      if (o.minimize) {
+        const Minimized m = minimize_case(o, c);
+        f.outcome = m.outcome;
+        f.minimized_points = m.points;
+      } else {
+        f.outcome = out;
+        f.minimized_points = c.perturb_points;
+      }
+      stats.failures.push_back(std::move(f));
+    }
+    if (on_run) on_run(c, out);
   }
   return stats;
 }

@@ -90,6 +90,15 @@ struct StressOptions {
 
   // Shrink failing seeds' perturbation budgets during sweep().
   bool minimize = true;
+
+  // Host threads sweep() may fan independent cases out across
+  // (support/parallel.hpp). Distinct from `threads`, which is the
+  // *simulated* thread count of every case. Any value produces
+  // byte-identical SweepStats (and on_run sequences) to host_threads=1:
+  // outcomes are merged — and failures minimized — in grid order after all
+  // cases ran. Failure minimization itself always runs serially (it
+  // mutates the case's perturbation budget between dependent re-runs).
+  int host_threads = 1;
 };
 
 // One cell of the sweep.
@@ -139,14 +148,20 @@ struct FailureReport {
 
 struct SweepStats {
   int runs = 0;
+  // Summed over outcomes in grid order (and commutative anyway), so the
+  // total is independent of which host thread completed which case when.
   std::uint64_t total_ops = 0;
-  std::vector<FailureReport> failures;
+  std::vector<FailureReport> failures;  // grid order
   bool ok() const { return failures.empty(); }
 };
 
 // Crosses schemes x locks x workloads x perturbation seeds
-// [first_seed, first_seed + n_seeds). `on_run`, if set, is called after
-// every case (progress reporting).
+// [first_seed, first_seed + n_seeds). Cases run on up to
+// o.host_threads host threads (each case is an independent simulation);
+// aggregation happens in grid order afterwards, so results and reporting
+// are byte-identical across host-thread counts. `on_run`, if set, is
+// called once per case in grid order during that aggregation phase —
+// progress reporting, not a live completion callback.
 SweepStats sweep(
     const StressOptions& o, const std::vector<locks::Scheme>& schemes,
     const std::vector<LockKind>& locks,

@@ -1,0 +1,80 @@
+#include "support/parallel.hpp"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace elision::support {
+
+int host_hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+namespace {
+
+// Shared state of one parallel_for_each call. Workers claim items from
+// `next`; a throwing job sets `cancelled` so no further items start, and
+// parks its exception in the item's slot. Slots are written by exactly one
+// worker each and read by the caller only after every worker joined, so
+// the joins are the only synchronization the slot data needs.
+struct ForEachRun {
+  support::FunctionRef<void(std::size_t)> fn;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> cancelled{false};
+  std::size_t n_items;
+  std::vector<std::exception_ptr> errors;
+
+  explicit ForEachRun(support::FunctionRef<void(std::size_t)> f,
+                      std::size_t n)
+      : fn(f), n_items(n), errors(n) {}
+
+  void work() {
+    while (!cancelled.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n_items) return;
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+        cancelled.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void parallel_for_each(std::size_t n_items,
+                       support::FunctionRef<void(std::size_t)> fn,
+                       int n_threads) {
+  if (n_items == 0) return;
+  const auto max_useful = static_cast<int>(
+      n_items < 1024 ? n_items : 1024);  // never spawn more threads than items
+  const int threads = n_threads < max_useful ? n_threads : max_useful;
+  if (threads <= 1) {
+    // Inline sequential path: item order, natural first-throw propagation.
+    for (std::size_t i = 0; i < n_items; ++i) fn(i);
+    return;
+  }
+
+  ForEachRun run(fn, n_items);
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads - 1));
+  for (int t = 1; t < threads; ++t) {
+    workers.emplace_back([&run] { run.work(); });
+  }
+  run.work();  // the calling thread is worker 0
+  for (std::thread& w : workers) w.join();
+
+  // Deterministic choice among possibly-several parked exceptions: the
+  // lowest item index that threw wins (with one job throwing, that is the
+  // same exception a sequential run would have surfaced).
+  for (std::size_t i = 0; i < n_items; ++i) {
+    if (run.errors[i]) std::rethrow_exception(run.errors[i]);
+  }
+}
+
+}  // namespace elision::support

@@ -1,0 +1,54 @@
+// Deterministic host-thread fan-out for independent simulations.
+//
+// Every unit of work this repo runs — one stress case, one benchmark seed,
+// one STAMP configuration — is an independent Scheduler+Engine instance
+// with no shared mutable state, executed entirely on whichever host thread
+// picks it up (fibers never migrate mid-run). parallel_for_each() executes
+// such jobs on up to n_threads host threads while keeping the *observable*
+// result identical to a sequential run:
+//
+//  * item-order merging — jobs write only into their own item's slot, and
+//    callers aggregate the slots in item order after the call returns, so
+//    output is byte-identical no matter which thread ran which item when;
+//  * no work stealing, no persistent pool — workers claim the next item
+//    from a shared atomic cursor and exit when the items run out, so there
+//    is no queue state to leak between calls and nothing for TSan to see
+//    beyond the cursor, the cancel flag, and the thread joins;
+//  * deterministic failure — if jobs throw, every worker stops claiming
+//    new items and the exception of the *lowest item index that actually
+//    ran* is rethrown in the caller (with one thread this degenerates to
+//    exactly the sequential first-throw behaviour).
+//
+// With n_threads <= 1 (or a single item) everything runs inline on the
+// calling thread, in item order, with zero thread machinery — the
+// sequential and parallel paths share one code shape, which is what makes
+// the byte-identity contract checkable (scripts/check.sh does).
+//
+// Jobs must not touch host-global mutable state. The audit that makes the
+// simulator safe to run concurrently: Telemetry sinks and MetricsRegistry
+// instances are per-run (src/harness/runner.cpp) or merged post-hoc, the
+// ASan fiber-switch bookkeeping is thread_local (src/sim/fiber.cpp), and
+// the ELISION_BENCH_SCALE warning is a std::once_flag.
+#pragma once
+
+#include <cstddef>
+
+#include "support/function_ref.hpp"
+
+namespace elision::support {
+
+// Executes fn(0) .. fn(n_items-1), each exactly once, on up to n_threads
+// host threads (including the calling thread, which participates). Returns
+// after every started job finished. n_threads <= 1 runs inline.
+//
+// fn must be safe to call concurrently for distinct items and must confine
+// its writes to per-item state; the caller merges in item order.
+void parallel_for_each(std::size_t n_items,
+                       support::FunctionRef<void(std::size_t)> fn,
+                       int n_threads);
+
+// Hardware concurrency of the host, >= 1 (0 when unknown is mapped to 1).
+// The conventional value for "--host-threads 0 = auto" flags.
+int host_hardware_threads();
+
+}  // namespace elision::support

@@ -20,6 +20,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "support/align.hpp"
 #include "tsx/engine.hpp"
 
 namespace elision::tsx {
@@ -106,6 +107,10 @@ class Shared {
 
 // A contiguous array of shared words. Consecutive elements share cache lines
 // (8 per line), which is the realistic layout for the array-based workloads.
+// The buffer is anchored to a line boundary so the element -> line grouping
+// is always exactly that — elements [8k, 8k+8) on one line — instead of
+// shifting with the heap address, which keeps simulations byte-identical
+// when independent runs execute on different host threads.
 template <typename T>
 class SharedArray {
  public:
@@ -119,7 +124,7 @@ class SharedArray {
   const Shared<T>& operator[](std::size_t i) const { return elems_[i]; }
 
  private:
-  std::vector<Shared<T>> elems_;
+  std::vector<Shared<T>, support::LineAlignedAllocator<Shared<T>>> elems_;
 };
 
 }  // namespace elision::tsx

@@ -204,6 +204,8 @@ TEST(SuiteJson, HostMetadataAndSimSpeedRoundTrip) {
   SuiteResult orig = tiny_result();
   orig.host_cores = 16;
   orig.jobs = 4;
+  orig.jobs_mode = "threads";
+  orig.host_threads = 3;
   orig.total_wall_ms = 1234.5;
   orig.points[0].metrics.sim_ops_per_sec = 5.5e6;
   orig.points[0].metrics.wall_ms = 42.125;
@@ -214,6 +216,8 @@ TEST(SuiteJson, HostMetadataAndSimSpeedRoundTrip) {
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->host_cores, 16u);
   EXPECT_EQ(parsed->jobs, 4);
+  EXPECT_EQ(parsed->jobs_mode, "threads");
+  EXPECT_EQ(parsed->host_threads, 3);
   EXPECT_NEAR(parsed->total_wall_ms, 1234.5, 1e-3);
   EXPECT_NEAR(parsed->points[0].metrics.sim_ops_per_sec, 5.5e6, 1.0);
   EXPECT_NEAR(parsed->points[0].metrics.wall_ms, 42.125, 1e-3);
@@ -222,6 +226,24 @@ TEST(SuiteJson, HostMetadataAndSimSpeedRoundTrip) {
     EXPECT_EQ(parsed->points[i].def.kind, orig.points[i].def.kind)
         << orig.points[i].def.id;
   }
+}
+
+TEST(SuiteJson, HostFieldsDefaultWhenAbsent) {
+  // Documents written before jobs_mode/host_threads existed (e.g. an older
+  // committed baseline) must still parse, with the sequential defaults.
+  SuiteResult orig = tiny_result();
+  std::string json = to_json_string(orig);
+  const auto cut = json.find("\"jobs_mode\"");
+  ASSERT_NE(cut, std::string::npos);
+  const auto end = json.find("\"total_wall_ms\"");
+  ASSERT_NE(end, std::string::npos);
+  json.erase(cut, end - cut);  // drop jobs_mode and host_threads keys
+  const auto doc = support::json::parse(json);
+  ASSERT_TRUE(doc.has_value());
+  const auto parsed = parse_results_json(*doc);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->jobs_mode, "fork");
+  EXPECT_EQ(parsed->host_threads, 1);
 }
 
 TEST(SuiteJson, RejectsWrongSchemaVersion) {

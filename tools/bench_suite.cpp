@@ -2,17 +2,23 @@
 // emit canonical machine-readable results, and optionally gate against a
 // committed baseline.
 //
-//   bench_suite [--tier smoke|full] [--jobs N] [--out FILE]
+//   bench_suite [--tier smoke|full] [--jobs N] [--jobs-mode fork|threads]
+//               [--host-threads N] [--out FILE]
 //               [--baseline FILE] [--gate] [--list] [--quiet]
 //               [--plant-regression FACTOR] [--plant-slowdown FACTOR]
 //               [--tol-throughput REL] [--tol-attempts REL]
 //               [--tol-fraction ABS] [--tol-simops REL] [--no-invariants]
 //
-// --jobs N fans the suite's points out to N isolated worker subprocesses
-// (self-invocations with --point ID), then merges the per-point fragments
-// into one canonical document. Every simulated metric is deterministic per
-// seed, so the merged output is identical to a sequential run except for
-// the host wall-time fields (wall_ms, sim_ops_per_sec, run.host).
+// --jobs N fans the suite's points out N-wide. With --jobs-mode fork (the
+// default) each point runs in an isolated worker subprocess (a
+// self-invocation with --point ID) and the per-point fragments are merged
+// into one canonical document; with --jobs-mode threads the points run on
+// an in-process host-thread pool (support/parallel.hpp) with no
+// subprocesses, temp files, or JSON round-trips. --host-threads N
+// additionally fans each point's multi-seed runs out N-wide (in either
+// mode). Every simulated metric is deterministic per seed, so all of these
+// produce output identical to a sequential run except for the host
+// wall-time fields (wall_ms, sim_ops_per_sec, run.host).
 //
 // Exit status: 0 on success; 1 if the gate found a regression or a
 // paper-qualitative invariant is violated; 2 on usage/IO/subprocess errors.
@@ -40,6 +46,7 @@
 
 #include "harness/report.hpp"
 #include "harness/suite.hpp"
+#include "support/parallel.hpp"
 
 namespace {
 
@@ -51,6 +58,8 @@ struct Options {
   std::string baseline_file;
   std::string point_id;  // non-empty: child mode, run one point
   int jobs = 1;
+  std::string jobs_mode = "fork";  // "fork" | "threads"
+  int host_threads = 1;            // per-point multi-seed fan-out width
   bool gate = false;
   bool list = false;
   bool quiet = false;
@@ -65,7 +74,9 @@ struct Options {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  bench_suite [--tier smoke|full] [--jobs N] [--out FILE]\n"
+      "  bench_suite [--tier smoke|full] [--jobs N]\n"
+      "              [--jobs-mode fork|threads] [--host-threads N]\n"
+      "              [--out FILE]\n"
       "              [--baseline FILE] [--gate] [--list] [--quiet]\n"
       "              [--plant-regression FACTOR] [--plant-slowdown FACTOR]\n"
       "              [--tol-throughput REL] [--tol-attempts REL]\n"
@@ -95,6 +106,17 @@ Options parse(int argc, char** argv) {
     } else if (a == "--jobs") {
       o.jobs = std::atoi(next().c_str());
       if (o.jobs < 1) usage("--jobs must be >= 1");
+    } else if (a == "--jobs-mode") {
+      o.jobs_mode = next();
+      if (o.jobs_mode != "fork" && o.jobs_mode != "threads") {
+        usage("--jobs-mode must be fork or threads");
+      }
+    } else if (a == "--host-threads") {
+      o.host_threads = std::atoi(next().c_str());
+      if (o.host_threads < 0) usage("--host-threads must be >= 0");
+      if (o.host_threads == 0) {
+        o.host_threads = support::host_hardware_threads();
+      }
     } else if (a == "--gate") {
       o.gate = true;
     } else if (a == "--list") {
@@ -128,9 +150,8 @@ Options parse(int argc, char** argv) {
 }
 
 // Metadata shared by every results document this process emits.
-void fill_run_metadata(harness::SuiteResult& r, harness::SuiteTier tier,
-                       int jobs) {
-  r.tier = tier;
+void fill_run_metadata(harness::SuiteResult& r, const Options& o, int jobs) {
+  r.tier = o.tier;
   r.duration_scale = harness::env_duration_scale();
   r.telemetry_compiled = tsx::kTelemetryCompiled;
   const sim::MachineConfig machine;
@@ -139,6 +160,8 @@ void fill_run_metadata(harness::SuiteResult& r, harness::SuiteTier tier,
   r.ghz = machine.ghz;
   r.host_cores = std::thread::hardware_concurrency();
   r.jobs = jobs;
+  r.jobs_mode = o.jobs_mode;
+  r.host_threads = o.host_threads;
 }
 
 // --point ID: run exactly one registered point and write a single-point
@@ -149,9 +172,9 @@ int run_child(const Options& o) {
   for (const auto& sp : harness::suite_points()) {
     if (sp.id != o.point_id) continue;
     harness::SuiteResult r;
-    fill_run_metadata(r, o.tier, /*jobs=*/1);
+    fill_run_metadata(r, o, /*jobs=*/1);
     const auto t0 = std::chrono::steady_clock::now();
-    r.points.push_back(harness::run_suite_point(sp));
+    r.points.push_back(harness::run_suite_point(sp, o.host_threads));
     r.total_wall_ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - t0)
                           .count();
@@ -231,9 +254,11 @@ int run_parallel(const Options& o, const char* argv0,
         return 2;
       }
       if (pid == 0) {
+        const std::string ht = std::to_string(o.host_threads);
         ::execl(exe.c_str(), exe.c_str(), "--point", pts[next].id.c_str(),
                 "--tier", harness::suite_tier_name(o.tier), "--out",
-                frags[next].c_str(), "--quiet", static_cast<char*>(nullptr));
+                frags[next].c_str(), "--host-threads", ht.c_str(), "--quiet",
+                static_cast<char*>(nullptr));
         std::fprintf(stderr, "bench_suite: exec %s failed\n", exe.c_str());
         std::_Exit(2);
       }
@@ -244,7 +269,7 @@ int run_parallel(const Options& o, const char* argv0,
   }
   if (any_failed) return 2;
 
-  fill_run_metadata(out, o.tier, o.jobs);
+  fill_run_metadata(out, o, o.jobs);
   for (std::size_t i = 0; i < pts.size(); ++i) {
     const auto frag = harness::load_results_file(frags[i]);
     if (!frag || frag->points.size() != 1 ||
@@ -266,6 +291,30 @@ int run_parallel(const Options& o, const char* argv0,
 }
 
 #endif  // ELISION_SUITE_HAS_SUBPROCESS
+
+// --jobs-mode threads: run the tier's points on an in-process host-thread
+// pool — no subprocesses, temp-file fragments, or JSON round-trips. Each
+// point is an independent simulation writing only its own record slot;
+// records are merged in registry order, so the document matches a
+// sequential run except for host wall-time fields.
+int run_in_process(const Options& o, harness::SuiteResult& out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<harness::SuitePoint> pts =
+      harness::suite_points_for(o.tier);
+  std::vector<harness::PointRecord> recs(pts.size());
+  support::parallel_for_each(
+      pts.size(),
+      [&](std::size_t i) {
+        recs[i] = harness::run_suite_point(pts[i], o.host_threads);
+      },
+      o.jobs);
+  fill_run_metadata(out, o, o.jobs);
+  for (auto& rec : recs) out.points.push_back(std::move(rec));
+  out.total_wall_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  return 0;
+}
 
 }  // namespace
 
@@ -293,9 +342,10 @@ int main(int argc, char** argv) {
   if (!o.point_id.empty()) return run_child(o);
 
 #if !ELISION_SUITE_HAS_SUBPROCESS
-  if (o.jobs > 1) {
+  if (o.jobs > 1 && o.jobs_mode == "fork") {
     std::fprintf(stderr,
-                 "bench_suite: --jobs needs fork/exec; running sequentially\n");
+                 "bench_suite: --jobs-mode fork needs fork/exec; "
+                 "running sequentially\n");
     o.jobs = 1;
   }
 #endif
@@ -312,12 +362,20 @@ int main(int argc, char** argv) {
   };
 
   harness::SuiteResult result;
-  if (o.jobs > 1) {
-#if ELISION_SUITE_HAS_SUBPROCESS
-    const int rc = run_parallel(o, argv[0], result);
+  if (o.jobs_mode == "threads") {
+    const int rc = run_in_process(o, result);
     if (rc != 0) return rc;
     // Plant factors are applied on the merged result so sequential and
     // parallel runs transform identical inputs identically.
+    for (auto& p : result.points) {
+      p.metrics.throughput_ops_per_sec *= o.plant_factor;
+      p.metrics.sim_ops_per_sec *= o.plant_simops;
+      if (!o.quiet) progress_row(p.def, p.metrics);
+    }
+  } else if (o.jobs > 1) {
+#if ELISION_SUITE_HAS_SUBPROCESS
+    const int rc = run_parallel(o, argv[0], result);
+    if (rc != 0) return rc;
     for (auto& p : result.points) {
       p.metrics.throughput_ops_per_sec *= o.plant_factor;
       p.metrics.sim_ops_per_sec *= o.plant_simops;
@@ -328,6 +386,7 @@ int main(int argc, char** argv) {
     harness::SuiteRunOptions run_opts;
     run_opts.plant_throughput_factor = o.plant_factor;
     run_opts.plant_simops_factor = o.plant_simops;
+    run_opts.host_threads = o.host_threads;
     if (!o.quiet) run_opts.on_point = progress_row;
     result = harness::run_suite(o.tier, run_opts);
   }

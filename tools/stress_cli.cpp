@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "stress/stress.hpp"
+#include "support/parallel.hpp"
 
 namespace {
 
@@ -29,9 +30,13 @@ using namespace elision::stress;
       "                  [--locks all|NAME[,NAME...]]\n"
       "                  [--workloads all|counter|hashtable]\n"
       "                  [--seeds N] [--first-seed S] [--threads N]\n"
-      "                  [--duration-ms MS] [--prob P] [--max-delay CYCLES]\n"
-      "                  [--no-minimize] [--telemetry] [--quiet]\n"
-      "                  [--selftest]\n");
+      "                  [--host-threads N] [--duration-ms MS] [--prob P]\n"
+      "                  [--max-delay CYCLES] [--no-minimize] [--telemetry]\n"
+      "                  [--quiet] [--selftest]\n"
+      "\n"
+      "--host-threads fans independent cases out across N host threads\n"
+      "(0 = all hardware threads); output is byte-identical to\n"
+      "--host-threads 1. --threads stays the *simulated* thread count.\n");
   std::exit(2);
 }
 
@@ -169,6 +174,12 @@ int main(int argc, char** argv) {
       first_seed = std::strtoull(value().c_str(), nullptr, 10);
     } else if (a == "--threads") {
       o.threads = std::atoi(value().c_str());
+    } else if (a == "--host-threads") {
+      o.host_threads = std::atoi(value().c_str());
+      if (o.host_threads == 0) {
+        o.host_threads = elision::support::host_hardware_threads();
+      }
+      if (o.host_threads < 0) usage_error("--host-threads must be >= 0");
     } else if (a == "--duration-ms") {
       o.duration_ms = std::atof(value().c_str());
     } else if (a == "--prob") {
