@@ -28,7 +28,7 @@ harness::RunStats run_policy(tsx::ConflictPolicy policy, locks::Scheme scheme,
   }
   tree.unsafe_distribute_free_lists(8);
   locks::TtasLock lock;
-  locks::CriticalSection<locks::TtasLock> cs(scheme, lock);
+  locks::CriticalSection<locks::TtasLock> cs(locks::ElisionPolicy::from_scheme(scheme), lock);
   harness::BenchConfig cfg;
   cfg.duration_scale = harness::env_duration_scale();
   cfg.tsx.conflict_policy = policy;

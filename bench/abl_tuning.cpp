@@ -75,7 +75,7 @@ int main() {
       pt.size = 2048;
       pt.update_pct = 0;
       pt.lock = LockSel::kMcs;
-      pt.scheme = locks::Scheme::kHle;
+      pt.scheme = locks::ElisionPolicy::hle();
       // Override the TSX config through a dedicated run.
       ds::RbTree tree(pt.size * 4 + 256);
       support::Xoshiro256 fill(42);
@@ -85,7 +85,7 @@ int main() {
       }
       tree.unsafe_distribute_free_lists(8);
       locks::McsLock lock;
-      locks::CriticalSection<locks::McsLock> cs(locks::Scheme::kHle, lock);
+      locks::CriticalSection<locks::McsLock> cs(locks::ElisionPolicy::hle(), lock);
       harness::BenchConfig cfg;
       cfg.duration_scale = harness::env_duration_scale();
       cfg.tsx.spurious_per_begin = p;

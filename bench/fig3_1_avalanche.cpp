@@ -29,11 +29,11 @@ int main() {
       p.update_pct = 20;
       p.lock = lock;
 
-      p.scheme = locks::Scheme::kStandard;
+      p.scheme = locks::ElisionPolicy::standard();
       const auto std_stats = run_rb_point(p);
 
       double arrival_held = 0.0;
-      p.scheme = locks::Scheme::kHle;
+      p.scheme = locks::ElisionPolicy::hle();
       p.arrival_held_frac = &arrival_held;
       const auto hle_stats = run_rb_point(p);
 

@@ -18,7 +18,7 @@ void timeline_for(elision::bench::LockSel lock) {
   p.size = 64;
   p.update_pct = 20;
   p.lock = lock;
-  p.scheme = locks::Scheme::kHle;
+  p.scheme = locks::ElisionPolicy::hle();
   p.duration_sec = 0.004;
   // 1 ms slots in the paper; use 100 us so the short run has ~40 slots.
   p.timeline_slot_cycles = 340000;

@@ -27,9 +27,9 @@ int main() {
           p.update_pct = mix.update_pct;
           p.threads = threads;
           p.lock = lock;
-          p.scheme = locks::Scheme::kStandard;
+          p.scheme = locks::ElisionPolicy::standard();
           const auto std_stats = run_rb_point(p);
-          p.scheme = locks::Scheme::kHle;
+          p.scheme = locks::ElisionPolicy::hle();
           const auto hle_stats = run_rb_point(p);
           table.add_row({mix.name, lock_sel_name(lock),
                          harness::fmt_int(size),

@@ -68,7 +68,7 @@ int main() {
         p.update_pct = 20;
         p.threads = threads;
         p.lock = lock;
-        p.scheme = scheme;
+        p.scheme = locks::ElisionPolicy::from_scheme(scheme);
         row.push_back(harness::fmt(run_rb_point(p).throughput() / base, 2));
       }
       table.add_row(std::move(row));

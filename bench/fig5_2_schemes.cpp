@@ -26,14 +26,14 @@ int main() {
         p.size = size;
         p.update_pct = mix.update_pct;
         p.lock = lock;
-        p.scheme = locks::Scheme::kHle;
+        p.scheme = locks::ElisionPolicy::hle();
         const double hle = run_rb_point(p).throughput();
         std::vector<std::string> row{lock_sel_name(lock),
                                      harness::fmt_int(size)};
         for (const auto scheme :
              {locks::Scheme::kHleScm, locks::Scheme::kPesSlr,
               locks::Scheme::kOptSlr, locks::Scheme::kOptSlrScm}) {
-          p.scheme = scheme;
+          p.scheme = locks::ElisionPolicy::from_scheme(scheme);
           row.push_back(harness::fmt(run_rb_point(p).throughput() / hle, 2));
         }
         table.add_row(std::move(row));

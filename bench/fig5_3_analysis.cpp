@@ -28,9 +28,9 @@ int main() {
       p.size = size;
       p.update_pct = 100;
       p.lock = LockSel::kMcs;
-      p.scheme = locks::Scheme::kHle;
+      p.scheme = locks::ElisionPolicy::hle();
       const auto hle = run_rb_point(p);
-      p.scheme = locks::Scheme::kHleScm;
+      p.scheme = locks::ElisionPolicy::hle_scm();
       const auto scm = run_rb_point(p);
       table.add_row({harness::fmt_int(size),
                      harness::fmt(hle.attempts_per_op(), 2),
@@ -50,12 +50,12 @@ int main() {
       p.size = size;
       p.update_pct = 100;
       p.lock = LockSel::kTtas;
-      p.scheme = locks::Scheme::kHle;
+      p.scheme = locks::ElisionPolicy::hle();
       const auto hle = run_rb_point(p);
       for (const auto scheme :
            {locks::Scheme::kHleScm, locks::Scheme::kOptSlr,
             locks::Scheme::kOptSlrScm}) {
-        p.scheme = scheme;
+        p.scheme = locks::ElisionPolicy::from_scheme(scheme);
         const auto s = run_rb_point(p);
         table.add_row({harness::fmt_int(size), locks::scheme_name(scheme),
                        harness::fmt(s.attempts_per_op(), 2),

@@ -30,7 +30,7 @@ int main() {
         p.size = size;
         p.update_pct = mix.update_pct;
         p.lock = lock;
-        p.scheme = locks::Scheme::kHle;
+        p.scheme = locks::ElisionPolicy::hle();
         p.hardware_extension = false;
         const auto plain = run_rb_point(p);
         p.hardware_extension = true;

@@ -25,11 +25,11 @@ int main() {
       p.size = size;
       p.update_pct = 20;
       p.lock = lock;
-      p.scheme = locks::Scheme::kStandard;
+      p.scheme = locks::ElisionPolicy::standard();
       const double std_thr = run_rb_point(p).throughput();
       for (const auto scheme :
            {locks::Scheme::kHle, locks::Scheme::kHleScm}) {
-        p.scheme = scheme;
+        p.scheme = locks::ElisionPolicy::from_scheme(scheme);
         const auto stats = run_rb_point(p);
         table.add_row({lock_sel_name(lock), harness::fmt_int(size),
                        locks::scheme_name(scheme),

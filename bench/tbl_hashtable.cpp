@@ -15,7 +15,7 @@ template <typename Lock>
 harness::RunStats run_ht(locks::Scheme scheme, std::size_t size,
                          int update_pct, ds::HashTable& ht) {
   Lock lock;
-  locks::CriticalSection<Lock> cs(scheme, lock);
+  locks::CriticalSection<Lock> cs(locks::ElisionPolicy::from_scheme(scheme), lock);
   harness::BenchConfig cfg;
   cfg.threads = 8;
   cfg.duration_sec = 0.0015;

@@ -16,7 +16,7 @@ template <typename Lock>
 harness::RunStats run_sl(locks::Scheme scheme, std::size_t size,
                          int update_pct, ds::SkipList& sl) {
   Lock lock;
-  locks::CriticalSection<Lock> cs(scheme, lock);
+  locks::CriticalSection<Lock> cs(locks::ElisionPolicy::from_scheme(scheme), lock);
   harness::BenchConfig cfg;
   cfg.duration_scale = harness::env_duration_scale();
   const std::uint64_t domain = size * 2;

@@ -28,7 +28,7 @@ int main() {
   tree.unsafe_distribute_free_lists(8);
 
   locks::McsLock lock;
-  locks::CriticalSection<locks::McsLock> cs(locks::Scheme::kHle, lock);
+  locks::CriticalSection<locks::McsLock> cs(locks::ElisionPolicy::hle(), lock);
 
   sim::MachineConfig machine;
   tsx::TsxConfig tsx_cfg;

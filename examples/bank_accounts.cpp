@@ -39,7 +39,7 @@ struct Bank {
 void run_with_scheme(locks::Scheme scheme) {
   Bank bank;
   locks::McsLock lock;  // a fair lock, as a real bank would want
-  locks::CriticalSection<locks::McsLock> cs(scheme, lock);
+  locks::CriticalSection<locks::McsLock> cs(locks::ElisionPolicy::from_scheme(scheme), lock);
 
   harness::BenchConfig cfg;
   cfg.threads = 8;

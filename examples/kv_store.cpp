@@ -20,7 +20,7 @@ namespace {
 class KvStore {
  public:
   explicit KvStore(locks::Scheme scheme)
-      : index_(1 << 16), values_(4096, 1 << 16), cs_(scheme, lock_) {}
+      : index_(1 << 16), values_(4096, 1 << 16), cs_(locks::ElisionPolicy::from_scheme(scheme), lock_) {}
 
   void put(tsx::Ctx& ctx, std::uint64_t key, std::uint64_t value) {
     cs_.run(ctx, [&] {

@@ -21,7 +21,7 @@ double run_with_scheme(locks::Scheme scheme) {
   // A shared hash table protected by ONE global TTAS lock.
   ds::HashTable table(256, 4096);
   locks::TtasLock lock;
-  locks::CriticalSection<locks::TtasLock> cs(scheme, lock);
+  locks::CriticalSection<locks::TtasLock> cs(locks::ElisionPolicy::from_scheme(scheme), lock);
 
   harness::BenchConfig cfg;
   cfg.threads = 8;             // 8 hyperthreads, like the paper's i7-4770

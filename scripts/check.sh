@@ -3,7 +3,8 @@
 # everything, run the full test suite (plain and under ASan+UBSan), and
 # smoke-test the telemetry and stress paths end to end (trace_dump must
 # detect the HLE avalanche and export metrics; stress_cli must hold all
-# invariants over a perturbed sweep and find the planted RacyLock bug).
+# invariants over a perturbed sweep and find both planted bugs — the
+# RacyLock race and the GreedySharedLock writer starvation).
 # Finally runs the bench-suite smoke tier gated against the committed
 # baseline (bench/baseline.json), re-runs it with --jobs 2 (fork mode) and
 # with --jobs 2 --jobs-mode threads --host-threads 2 (in-process pool) to
@@ -86,6 +87,10 @@ EOF
 "$BUILD"/tools/stress_cli --selftest --seeds 5 || {
   echo "check: stress self-test missed the planted RacyLock bug" >&2
   exit 1; }
+"$BUILD"/tools/stress_cli --selftest-shared --seeds 5 || {
+  echo "check: shared-mode self-test failed (planted GreedySharedLock" \
+       "writer starvation missed, or the correct lock was flagged)" >&2
+  exit 1; }
 
 # Host-thread fan-out must not change a single byte of stress output:
 # compare the full stdout of a threaded sweep against a sequential one.
@@ -97,6 +102,19 @@ stress_par=$("$BUILD"/tools/stress_cli --schemes HLE,HLE-SCM,opt-SLR \
   echo "check: stress --host-threads 2 diverged from --host-threads 1" >&2
   exit 1; }
 echo "stress: --host-threads 2 reproduces the sequential sweep exactly"
+
+# Same identity specifically for shared-mode execution: the btree workload
+# over the two-mode locks (elided readers, reader-writer checkers) must
+# produce byte-identical output at any host-thread count.
+shared_seq=$("$BUILD"/tools/stress_cli --schemes hle,hle-scm+shared \
+    --locks Shared-TTAS,Shared-MCS --workloads btree --seeds 3 --quiet)
+shared_par=$("$BUILD"/tools/stress_cli --schemes hle,hle-scm+shared \
+    --locks Shared-TTAS,Shared-MCS --workloads btree --seeds 3 --quiet \
+    --host-threads 4)
+[ "$shared_seq" = "$shared_par" ] || {
+  echo "check: shared-mode stress diverged across --host-threads counts" >&2
+  exit 1; }
+echo "stress: shared-mode btree sweep is byte-identical across host threads"
 
 # On multi-core hosts the fan-out must actually buy wall time: demand at
 # least 1.5x at --host-threads 4 (the target on an idle 4+-core machine is

@@ -1,0 +1,463 @@
+#include "ds/btree.hpp"
+
+#include <functional>
+#include <string>
+
+#include "support/check.hpp"
+
+namespace elision::ds {
+
+BplusTree::BplusTree(std::size_t capacity) : arena_(capacity) {
+  ELISION_CHECK_MSG(capacity >= 1, "BplusTree needs at least a root node");
+  // Node 0 is the initial (empty leaf) root; the rest thread onto the
+  // setup/global free list (slot kFreeLists-1).
+  Node& root = arena_[0];
+  root.leaf.unsafe_set(1);
+  root.count.unsafe_set(0);
+  root.next.unsafe_set(nullptr);
+  root_.unsafe_set(&root);
+  Node* head = nullptr;
+  for (std::size_t i = arena_.size(); i-- > 1;) {
+    arena_[i].next.unsafe_set(head);
+    head = &arena_[i];
+  }
+  free_[kFreeLists - 1].value.unsafe_set(head);
+}
+
+void BplusTree::unsafe_distribute_free_lists(int n_threads) {
+  ELISION_CHECK(n_threads >= 1 && n_threads < kFreeLists);
+  Node* n = free_[kFreeLists - 1].value.unsafe_get();
+  free_[kFreeLists - 1].value.unsafe_set(nullptr);
+  int slot = 0;
+  while (n != nullptr) {
+    Node* next = n->next.unsafe_get();
+    n->next.unsafe_set(free_[slot].value.unsafe_get());
+    free_[slot].value.unsafe_set(n);
+    slot = (slot + 1) % n_threads;
+    n = next;
+  }
+}
+
+BplusTree::Node* BplusTree::alloc(tsx::Ctx& ctx) {
+  // Thread-cached allocation, as in RbTree::alloc: the common path touches
+  // only this thread's free list, so concurrent splits do not conflict.
+  Node* n = nullptr;
+  auto& own = free_[ctx.id()].value;
+  n = own.load(ctx);
+  if (n != nullptr) {
+    own.store(ctx, n->next.load(ctx));
+  } else {
+    for (int i = kFreeLists - 1; i >= 0 && n == nullptr; --i) {
+      auto& other = free_[i].value;
+      n = other.load(ctx);
+      if (n != nullptr) other.store(ctx, n->next.load(ctx));
+    }
+  }
+  ELISION_CHECK_MSG(n != nullptr, "BplusTree node pool exhausted");
+  n->next.store(ctx, nullptr);
+  return n;
+}
+
+int BplusTree::child_index(tsx::Ctx& ctx, Node* n, std::uint64_t key) {
+  const int c = static_cast<int>(n->count.load(ctx));
+  int i = 0;
+  while (i < c && n->keys[static_cast<std::size_t>(i)].load(ctx) <= key) ++i;
+  return i;
+}
+
+BplusTree::Node* BplusTree::descend(tsx::Ctx& ctx, std::uint64_t key) {
+  Node* n = root_.load(ctx);
+  while (n->leaf.load(ctx) == 0) {
+    n = n->kids[static_cast<std::size_t>(child_index(ctx, n, key))].load(ctx);
+  }
+  return n;
+}
+
+void BplusTree::split_child(tsx::Ctx& ctx, Node* parent, int i) {
+  Node* child = parent->kids[static_cast<std::size_t>(i)].load(ctx);
+  Node* right = alloc(ctx);
+  const bool leaf = child->leaf.load(ctx) != 0;
+  std::uint64_t separator;
+  if (leaf) {
+    // Leaf split: the upper half moves right; the separator is the first
+    // right key (it stays in the leaf — B+tree separators are routing
+    // copies). The chain gains the new leaf in place.
+    constexpr int kHalf = kMaxKeys / 2;
+    right->leaf.store(ctx, 1);
+    for (int j = kHalf; j < kMaxKeys; ++j) {
+      const auto from = static_cast<std::size_t>(j);
+      const auto to = static_cast<std::size_t>(j - kHalf);
+      right->keys[to].store(ctx, child->keys[from].load(ctx));
+      right->vals[to].store(ctx, child->vals[from].load(ctx));
+    }
+    right->count.store(ctx, kMaxKeys - kHalf);
+    child->count.store(ctx, kHalf);
+    right->next.store(ctx, child->next.load(ctx));
+    child->next.store(ctx, right);
+    separator = right->keys[0].load(ctx);
+  } else {
+    // Internal split: the middle separator moves up; keys above it (and
+    // their children) move right.
+    constexpr int kMid = kMaxKeys / 2;
+    right->leaf.store(ctx, 0);
+    separator = child->keys[kMid].load(ctx);
+    for (int j = kMid + 1; j < kMaxKeys; ++j) {
+      const auto from = static_cast<std::size_t>(j);
+      const auto to = static_cast<std::size_t>(j - kMid - 1);
+      right->keys[to].store(ctx, child->keys[from].load(ctx));
+    }
+    for (int j = kMid + 1; j <= kMaxKeys; ++j) {
+      const auto from = static_cast<std::size_t>(j);
+      const auto to = static_cast<std::size_t>(j - kMid - 1);
+      right->kids[to].store(ctx, child->kids[from].load(ctx));
+    }
+    right->count.store(ctx, kMaxKeys - kMid - 1);
+    child->count.store(ctx, kMid);
+  }
+  // Insert the separator and the new right child into the parent at i
+  // (preemptive splitting guarantees room).
+  const int pcount = static_cast<int>(parent->count.load(ctx));
+  for (int j = pcount; j > i; --j) {
+    const auto to = static_cast<std::size_t>(j);
+    parent->keys[to].store(ctx, parent->keys[to - 1].load(ctx));
+    parent->kids[to + 1].store(ctx, parent->kids[to].load(ctx));
+  }
+  parent->keys[static_cast<std::size_t>(i)].store(ctx, separator);
+  parent->kids[static_cast<std::size_t>(i) + 1].store(ctx, right);
+  parent->count.store(ctx, static_cast<std::uint64_t>(pcount) + 1);
+}
+
+bool BplusTree::insert(tsx::Ctx& ctx, std::uint64_t key,
+                       std::uint64_t value) {
+  Node* r = root_.load(ctx);
+  if (r->count.load(ctx) == kMaxKeys) {
+    // Grow: a new internal root adopts the old root and splits it.
+    Node* nr = alloc(ctx);
+    nr->leaf.store(ctx, 0);
+    nr->count.store(ctx, 0);
+    nr->kids[0].store(ctx, r);
+    split_child(ctx, nr, 0);
+    root_.store(ctx, nr);
+    r = nr;
+  }
+  Node* n = r;
+  while (n->leaf.load(ctx) == 0) {
+    int i = child_index(ctx, n, key);
+    Node* c = n->kids[static_cast<std::size_t>(i)].load(ctx);
+    if (c->count.load(ctx) == kMaxKeys) {
+      split_child(ctx, n, i);
+      // Re-route against the freshly promoted separator (equal keys go
+      // right, matching child_index).
+      if (key >= n->keys[static_cast<std::size_t>(i)].load(ctx)) ++i;
+      c = n->kids[static_cast<std::size_t>(i)].load(ctx);
+    }
+    n = c;
+  }
+  const int count = static_cast<int>(n->count.load(ctx));
+  int pos = 0;
+  while (pos < count) {
+    const std::uint64_t k = n->keys[static_cast<std::size_t>(pos)].load(ctx);
+    if (k == key) return false;
+    if (k > key) break;
+    ++pos;
+  }
+  for (int j = count; j > pos; --j) {
+    const auto to = static_cast<std::size_t>(j);
+    n->keys[to].store(ctx, n->keys[to - 1].load(ctx));
+    n->vals[to].store(ctx, n->vals[to - 1].load(ctx));
+  }
+  n->keys[static_cast<std::size_t>(pos)].store(ctx, key);
+  n->vals[static_cast<std::size_t>(pos)].store(ctx, value);
+  n->count.store(ctx, static_cast<std::uint64_t>(count) + 1);
+  return true;
+}
+
+bool BplusTree::erase(tsx::Ctx& ctx, std::uint64_t key) {
+  Node* n = descend(ctx, key);
+  const int count = static_cast<int>(n->count.load(ctx));
+  for (int pos = 0; pos < count; ++pos) {
+    if (n->keys[static_cast<std::size_t>(pos)].load(ctx) != key) continue;
+    for (int j = pos + 1; j < count; ++j) {
+      const auto from = static_cast<std::size_t>(j);
+      n->keys[from - 1].store(ctx, n->keys[from].load(ctx));
+      n->vals[from - 1].store(ctx, n->vals[from].load(ctx));
+    }
+    n->count.store(ctx, static_cast<std::uint64_t>(count) - 1);
+    return true;
+  }
+  return false;
+}
+
+bool BplusTree::lookup(tsx::Ctx& ctx, std::uint64_t key,
+                       std::uint64_t* value) {
+  Node* n = descend(ctx, key);
+  const int count = static_cast<int>(n->count.load(ctx));
+  for (int pos = 0; pos < count; ++pos) {
+    if (n->keys[static_cast<std::size_t>(pos)].load(ctx) == key) {
+      *value = n->vals[static_cast<std::size_t>(pos)].load(ctx);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t BplusTree::range_sum(tsx::Ctx& ctx, std::uint64_t lo,
+                                 std::size_t limit, std::uint64_t* sum) {
+  std::size_t visited = 0;
+  std::uint64_t acc = 0;
+  Node* n = descend(ctx, lo);
+  while (n != nullptr && visited < limit) {
+    const int count = static_cast<int>(n->count.load(ctx));
+    for (int pos = 0; pos < count && visited < limit; ++pos) {
+      if (n->keys[static_cast<std::size_t>(pos)].load(ctx) < lo) continue;
+      acc += n->vals[static_cast<std::size_t>(pos)].load(ctx);
+      ++visited;
+    }
+    n = n->next.load(ctx);
+  }
+  *sum = acc;
+  return visited;
+}
+
+// ---------------------------------------------------------------------------
+// Setup/verification helpers (unsafe_* accessors; no simulated threads)
+// ---------------------------------------------------------------------------
+
+BplusTree::Node* BplusTree::unsafe_alloc() {
+  for (int i = kFreeLists - 1; i >= 0; --i) {
+    auto& list = free_[i].value;
+    Node* n = list.unsafe_get();
+    if (n != nullptr) {
+      list.unsafe_set(n->next.unsafe_get());
+      n->next.unsafe_set(nullptr);
+      return n;
+    }
+  }
+  ELISION_CHECK_MSG(false, "BplusTree node pool exhausted (setup)");
+  return nullptr;
+}
+
+void BplusTree::unsafe_split_child(Node* parent, int i) {
+  Node* child = parent->kids[static_cast<std::size_t>(i)].unsafe_get();
+  Node* right = unsafe_alloc();
+  const bool leaf = child->leaf.unsafe_get() != 0;
+  std::uint64_t separator;
+  if (leaf) {
+    constexpr int kHalf = kMaxKeys / 2;
+    right->leaf.unsafe_set(1);
+    for (int j = kHalf; j < kMaxKeys; ++j) {
+      const auto from = static_cast<std::size_t>(j);
+      const auto to = static_cast<std::size_t>(j - kHalf);
+      right->keys[to].unsafe_set(child->keys[from].unsafe_get());
+      right->vals[to].unsafe_set(child->vals[from].unsafe_get());
+    }
+    right->count.unsafe_set(kMaxKeys - kHalf);
+    child->count.unsafe_set(kHalf);
+    right->next.unsafe_set(child->next.unsafe_get());
+    child->next.unsafe_set(right);
+    separator = right->keys[0].unsafe_get();
+  } else {
+    constexpr int kMid = kMaxKeys / 2;
+    right->leaf.unsafe_set(0);
+    separator = child->keys[kMid].unsafe_get();
+    for (int j = kMid + 1; j < kMaxKeys; ++j) {
+      const auto from = static_cast<std::size_t>(j);
+      const auto to = static_cast<std::size_t>(j - kMid - 1);
+      right->keys[to].unsafe_set(child->keys[from].unsafe_get());
+    }
+    for (int j = kMid + 1; j <= kMaxKeys; ++j) {
+      const auto from = static_cast<std::size_t>(j);
+      const auto to = static_cast<std::size_t>(j - kMid - 1);
+      right->kids[to].unsafe_set(child->kids[from].unsafe_get());
+    }
+    right->count.unsafe_set(kMaxKeys - kMid - 1);
+    child->count.unsafe_set(kMid);
+  }
+  const int pcount = static_cast<int>(parent->count.unsafe_get());
+  for (int j = pcount; j > i; --j) {
+    const auto to = static_cast<std::size_t>(j);
+    parent->keys[to].unsafe_set(parent->keys[to - 1].unsafe_get());
+    parent->kids[to + 1].unsafe_set(parent->kids[to].unsafe_get());
+  }
+  parent->keys[static_cast<std::size_t>(i)].unsafe_set(separator);
+  parent->kids[static_cast<std::size_t>(i) + 1].unsafe_set(right);
+  parent->count.unsafe_set(static_cast<std::uint64_t>(pcount) + 1);
+}
+
+bool BplusTree::unsafe_insert(std::uint64_t key, std::uint64_t value) {
+  Node* r = root_.unsafe_get();
+  if (r->count.unsafe_get() == kMaxKeys) {
+    Node* nr = unsafe_alloc();
+    nr->leaf.unsafe_set(0);
+    nr->count.unsafe_set(0);
+    nr->kids[0].unsafe_set(r);
+    unsafe_split_child(nr, 0);
+    root_.unsafe_set(nr);
+    r = nr;
+  }
+  Node* n = r;
+  while (n->leaf.unsafe_get() == 0) {
+    const int c = static_cast<int>(n->count.unsafe_get());
+    int i = 0;
+    while (i < c && n->keys[static_cast<std::size_t>(i)].unsafe_get() <= key) {
+      ++i;
+    }
+    Node* child = n->kids[static_cast<std::size_t>(i)].unsafe_get();
+    if (child->count.unsafe_get() == kMaxKeys) {
+      unsafe_split_child(n, i);
+      if (key >= n->keys[static_cast<std::size_t>(i)].unsafe_get()) ++i;
+      child = n->kids[static_cast<std::size_t>(i)].unsafe_get();
+    }
+    n = child;
+  }
+  const int count = static_cast<int>(n->count.unsafe_get());
+  int pos = 0;
+  while (pos < count) {
+    const std::uint64_t k = n->keys[static_cast<std::size_t>(pos)].unsafe_get();
+    if (k == key) return false;
+    if (k > key) break;
+    ++pos;
+  }
+  for (int j = count; j > pos; --j) {
+    const auto to = static_cast<std::size_t>(j);
+    n->keys[to].unsafe_set(n->keys[to - 1].unsafe_get());
+    n->vals[to].unsafe_set(n->vals[to - 1].unsafe_get());
+  }
+  n->keys[static_cast<std::size_t>(pos)].unsafe_set(key);
+  n->vals[static_cast<std::size_t>(pos)].unsafe_set(value);
+  n->count.unsafe_set(static_cast<std::uint64_t>(count) + 1);
+  return true;
+}
+
+std::size_t BplusTree::unsafe_size() const {
+  const Node* n = root_.unsafe_get();
+  while (n->leaf.unsafe_get() == 0) n = n->kids[0].unsafe_get();
+  std::size_t total = 0;
+  for (; n != nullptr; n = n->next.unsafe_get()) {
+    total += n->count.unsafe_get();
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> BplusTree::unsafe_keys() const {
+  std::vector<std::uint64_t> out;
+  const Node* n = root_.unsafe_get();
+  while (n->leaf.unsafe_get() == 0) n = n->kids[0].unsafe_get();
+  for (; n != nullptr; n = n->next.unsafe_get()) {
+    const int count = static_cast<int>(n->count.unsafe_get());
+    for (int i = 0; i < count; ++i) {
+      out.push_back(n->keys[static_cast<std::size_t>(i)].unsafe_get());
+    }
+  }
+  return out;
+}
+
+bool BplusTree::unsafe_validate(std::string* why) const {
+  auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  std::size_t reachable = 0;
+  std::vector<const Node*> leaves_in_order;
+  int leaf_depth = -1;
+  bool ok = true;
+  std::string msg;
+  // Recursive structural walk with half-open key bounds [lo, hi).
+  std::function<void(const Node*, int, std::uint64_t, std::uint64_t, bool)>
+      walk = [&](const Node* n, int depth, std::uint64_t lo, std::uint64_t hi,
+                 bool has_hi) {
+        if (!ok) return;
+        ++reachable;
+        const int count = static_cast<int>(n->count.unsafe_get());
+        const bool leaf = n->leaf.unsafe_get() != 0;
+        if (count < 0 || count > kMaxKeys) {
+          ok = false;
+          msg = "node key count out of range";
+          return;
+        }
+        if (!leaf && count < 1) {
+          ok = false;
+          msg = "internal node with no separators";
+          return;
+        }
+        std::uint64_t prev = 0;
+        for (int i = 0; i < count; ++i) {
+          const std::uint64_t k =
+              n->keys[static_cast<std::size_t>(i)].unsafe_get();
+          if (i > 0 && k <= prev) {
+            ok = false;
+            msg = "keys not strictly ascending within a node";
+            return;
+          }
+          if (k < lo || (has_hi && k >= hi)) {
+            ok = false;
+            msg = leaf ? "leaf key outside its separator bounds"
+                       : "separator outside its parent bounds";
+            return;
+          }
+          prev = k;
+        }
+        if (leaf) {
+          if (leaf_depth == -1) leaf_depth = depth;
+          if (depth != leaf_depth) {
+            ok = false;
+            msg = "leaves at unequal depths";
+            return;
+          }
+          leaves_in_order.push_back(n);
+          return;
+        }
+        for (int i = 0; i <= count; ++i) {
+          const std::uint64_t clo =
+              i == 0 ? lo : n->keys[static_cast<std::size_t>(i - 1)].unsafe_get();
+          const bool child_has_hi = i < count || has_hi;
+          const std::uint64_t chi =
+              i < count ? n->keys[static_cast<std::size_t>(i)].unsafe_get() : hi;
+          walk(n->kids[static_cast<std::size_t>(i)].unsafe_get(), depth + 1,
+               clo, chi, child_has_hi);
+          if (!ok) return;
+        }
+      };
+  walk(root_.unsafe_get(), 0, 0, 0, false);
+  if (!ok) return fail(msg);
+  // The leaf chain must visit exactly the in-order leaves, and keys must be
+  // strictly ascending across it.
+  const Node* n = root_.unsafe_get();
+  while (n->leaf.unsafe_get() == 0) n = n->kids[0].unsafe_get();
+  std::size_t chain_pos = 0;
+  bool have_prev = false;
+  std::uint64_t prev = 0;
+  for (; n != nullptr; n = n->next.unsafe_get()) {
+    if (chain_pos >= leaves_in_order.size() ||
+        leaves_in_order[chain_pos] != n) {
+      return fail("leaf chain disagrees with the tree order");
+    }
+    ++chain_pos;
+    const int count = static_cast<int>(n->count.unsafe_get());
+    for (int i = 0; i < count; ++i) {
+      const std::uint64_t k = n->keys[static_cast<std::size_t>(i)].unsafe_get();
+      if (have_prev && k <= prev) {
+        return fail("keys not strictly ascending across the leaf chain");
+      }
+      prev = k;
+      have_prev = true;
+    }
+  }
+  if (chain_pos != leaves_in_order.size()) {
+    return fail("leaf chain shorter than the tree order");
+  }
+  // Free-list accounting: every node is reachable or free, exactly once.
+  std::size_t free_count = 0;
+  for (const auto& list : free_) {
+    for (const Node* f = list.value.unsafe_get(); f != nullptr;
+         f = f->next.unsafe_get()) {
+      ++free_count;
+    }
+  }
+  if (reachable + free_count != arena_.size()) {
+    return fail("node accounting mismatch (reachable + free != capacity)");
+  }
+  return true;
+}
+
+}  // namespace elision::ds

@@ -1,0 +1,107 @@
+// A B+tree over simulated shared memory — the range-scan workload of the
+// shared-mode elision study (Brown's HTM-tree template is the shape
+// exemplar; see PAPERS.md).
+//
+// Like RbTree, every node field is a tsx::Shared word, so operations inside
+// a critical section are transactional (or direct) according to the
+// thread's state and an abort rolls back partial splits. The fanout is kept
+// small (8 keys per node) so a lookup's read set stays a handful of cache
+// lines and range scans grow it linearly with the scanned prefix — exactly
+// the footprint contrast between point and scan operations the btree bench
+// points rely on.
+//
+// Structure: all keys and values live in the leaves; leaves form a singly
+// linked chain for range scans; internal separators route key k to child i
+// where i = #{separators <= k}. Inserts split full children on the way down
+// (preemptive splitting), so a parent always has room for the promoted
+// separator. Erase removes the key from its leaf without rebalancing — an
+// emptied leaf keeps its position in the chain and its (now unbacked)
+// separator in the parent, which is harmless for correctness and bounds the
+// node count by the key domain (the workloads draw keys from a fixed
+// domain).
+//
+// Not thread-safe by itself: the caller serializes operations with a global
+// two-mode lock — lookups and scans in shared mode, mutations exclusive.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/align.hpp"
+#include "tsx/config.hpp"
+#include "tsx/shared.hpp"
+
+namespace elision::ds {
+
+class BplusTree {
+ public:
+  // Max keys per node. Even, so a leaf split leaves both halves at
+  // kMaxKeys/2.
+  static constexpr int kMaxKeys = 8;
+
+  // `capacity` bounds the number of nodes ever in use. Splits are the only
+  // allocation and nothing is ever freed, so 2 * (key-domain size) / 2 + a
+  // root is always enough; the workloads size it from their key domain.
+  explicit BplusTree(std::size_t capacity);
+
+  BplusTree(const BplusTree&) = delete;
+  BplusTree& operator=(const BplusTree&) = delete;
+
+  // Returns false if the key was already present (the value is not
+  // updated).
+  bool insert(tsx::Ctx& ctx, std::uint64_t key, std::uint64_t value);
+  // Returns false if the key was absent.
+  bool erase(tsx::Ctx& ctx, std::uint64_t key);
+  // Returns true and fills *value if the key is present.
+  bool lookup(tsx::Ctx& ctx, std::uint64_t key, std::uint64_t* value);
+  // Range scan: visits up to `limit` keys >= lo in ascending order, summing
+  // their values into *sum. Returns the number of keys visited.
+  std::size_t range_sum(tsx::Ctx& ctx, std::uint64_t lo, std::size_t limit,
+                        std::uint64_t* sum);
+
+  // --- setup/verification helpers (no simulated threads running) ---
+  bool unsafe_insert(std::uint64_t key, std::uint64_t value);
+  // Distributes the remaining free nodes round-robin over the first
+  // n_threads per-thread caches. Call once after prefilling.
+  void unsafe_distribute_free_lists(int n_threads);
+  std::size_t unsafe_size() const;
+  // Validates the B+tree invariants (sorted keys, separator bounds, uniform
+  // leaf depth, leaf chain consistent with the tree) and that the free
+  // lists account for every unused node. Returns false (and fills *why) on
+  // violation.
+  bool unsafe_validate(std::string* why = nullptr) const;
+  std::vector<std::uint64_t> unsafe_keys() const;
+
+ private:
+  struct alignas(support::kCacheLineBytes) Node {
+    tsx::Shared<std::uint64_t> leaf;   // 1 = leaf
+    tsx::Shared<std::uint64_t> count;  // live keys
+    tsx::Shared<Node*> next;           // leaf chain; free-list threading
+    std::array<tsx::Shared<std::uint64_t>, kMaxKeys> keys;
+    std::array<tsx::Shared<std::uint64_t>, kMaxKeys> vals;  // leaves only
+    std::array<tsx::Shared<Node*>, kMaxKeys + 1> kids;      // internal only
+  };
+
+  Node* alloc(tsx::Ctx& ctx);
+  // Splits the full i-th child of `parent` (which must have room).
+  void split_child(tsx::Ctx& ctx, Node* parent, int i);
+  // Child index routing `key` within internal node `n`: #{separators <= key}.
+  int child_index(tsx::Ctx& ctx, Node* n, std::uint64_t key);
+  // Descends to the leaf that covers `key` (read-only; no splitting).
+  Node* descend(tsx::Ctx& ctx, std::uint64_t key);
+
+  Node* unsafe_alloc();
+  void unsafe_split_child(Node* parent, int i);
+
+  std::vector<Node> arena_;
+  tsx::Shared<Node*> root_;
+  // Per-thread free lists (threaded through `next`), as in RbTree: without
+  // thread caching every split would conflict on one allocator word. Slot
+  // kFreeLists-1 is the setup/global list.
+  static constexpr int kFreeLists = tsx::kMaxThreads + 1;
+  std::array<support::CacheAligned<tsx::Shared<Node*>>, kFreeLists> free_;
+};
+
+}  // namespace elision::ds

@@ -17,6 +17,7 @@ const char* point_kind_name(PointKind k) {
   switch (k) {
     case PointKind::kRb: return "rb";
     case PointKind::kMicro: return "micro";
+    case PointKind::kBtree: return "btree";
   }
   return "?";
 }
@@ -49,11 +50,11 @@ const char* lock_slug(LockSel l) {
   return "?";
 }
 
-std::string scheme_slug(const locks::ElisionPolicy& p) {
-  std::string s = p.name();
-  for (char& c : s) c = static_cast<char>(std::tolower(c));
-  return s;
-}
+// Point ids and the JSON "scheme" field both use the policy's canonical
+// spec spelling (locks/policy.hpp). For the pre-existing points this equals
+// the lower-cased scheme name the ids historically used, so baselines keep
+// matching.
+std::string scheme_slug(const locks::ElisionPolicy& p) { return p.spec(); }
 
 SuitePoint make_point(SuiteTier tier, const char* figure, std::size_t size,
                       int update_pct, int threads, LockSel lock,
@@ -72,6 +73,31 @@ SuitePoint make_point(SuiteTier tier, const char* figure, std::size_t size,
   sp.id = "rb-s" + std::to_string(size) + "-u" + std::to_string(update_pct) +
           "-t" + std::to_string(threads) + "-" + lock_slug(lock) + "-" +
           scheme_slug(scheme);
+  return sp;
+}
+
+SuitePoint make_bt_point(SuiteTier tier, const char* figure, std::size_t size,
+                         int update_pct, int scan_pct, std::size_t scan_len,
+                         int threads, SharedLockSel lock,
+                         locks::ElisionPolicy policy, bool telemetry = false) {
+  SuitePoint sp;
+  sp.tier = tier;
+  sp.figure = figure;
+  sp.kind = PointKind::kBtree;
+  sp.bt.size = size;
+  sp.bt.update_pct = update_pct;
+  sp.bt.scan_pct = scan_pct;
+  sp.bt.scan_len = scan_len;
+  sp.bt.threads = threads;
+  sp.bt.lock = lock;
+  sp.bt.policy = policy;
+  sp.bt.telemetry = telemetry;
+  sp.bt.duration_sec = 0.003;
+  sp.bt.seeds = threads == 1 ? 1 : 2;
+  sp.id = "bt-s" + std::to_string(size) + "-u" + std::to_string(update_pct) +
+          "-c" + std::to_string(scan_pct) + "-l" + std::to_string(scan_len) +
+          "-t" + std::to_string(threads) + "-" + shared_lock_sel_name(lock) +
+          "-" + policy.spec();
   return sp;
 }
 
@@ -126,7 +152,45 @@ std::vector<SuitePoint> build_points() {
     v.push_back(sp);
   }
 
+  // Two-mode B+tree points (shared-mode elision). The read-mostly pair is
+  // the headline comparison: identical mix and lock, reads exclusive vs
+  // shared. Shared mode pays off through its fallback path: an exclusive
+  // fallback read claims the writer word and serializes everyone, while a
+  // shared fallback read counts itself on the reader line and coexists —
+  // with the elided crowd too, since that line is not the one the crowd
+  // subscribes to (see locks/shared_word.hpp). The writer-heavy point
+  // watches the reader-avalanche (a writer's real acquisition of the
+  // reader-writer word aborts the whole subscribed reader crowd) through
+  // telemetry.
+  v.push_back(make_bt_point(S, "shared-elision", 1024, 10, 100, 64, 8,
+                            SharedLockSel::kSharedTtas, ElisionPolicy::hle()));
+  v.push_back(make_bt_point(S, "shared-elision", 1024, 10, 100, 64, 8,
+                            SharedLockSel::kSharedTtas,
+                            ElisionPolicy::hle().shared()));
+  v.push_back(make_bt_point(S, "shared-avalanche", 128, 80, 30, 16, 8,
+                            SharedLockSel::kSharedTtas,
+                            ElisionPolicy::hle().shared(),
+                            /*telemetry=*/true));
+
   // --- full tier: wider scheme / size / mix / lock coverage ---
+  // Shared-mode coverage: the fair family member, the SCM-managed pair
+  // (fallbacks gated through the auxiliary lock never happen on this mix,
+  // so the two run identically — speculation already admits everyone), and
+  // the no-speculation shared baseline.
+  v.push_back(make_bt_point(F, "shared-elision", 1024, 10, 100, 64, 8,
+                            SharedLockSel::kSharedMcs,
+                            ElisionPolicy::hle().shared()));
+  v.push_back(make_bt_point(F, "shared-elision", 1024, 10, 100, 64, 8,
+                            SharedLockSel::kSharedMcs, ElisionPolicy::hle()));
+  v.push_back(make_bt_point(F, "shared-elision", 1024, 10, 100, 64, 8,
+                            SharedLockSel::kSharedTtas,
+                            ElisionPolicy::hle_scm().shared()));
+  v.push_back(make_bt_point(F, "shared-elision", 1024, 10, 100, 64, 8,
+                            SharedLockSel::kSharedTtas,
+                            ElisionPolicy::hle_scm()));
+  v.push_back(make_bt_point(F, "shared-elision", 1024, 10, 100, 64, 8,
+                            SharedLockSel::kSharedTtas,
+                            ElisionPolicy::standard().shared()));
   v.push_back(make_point(F, "fig5.2", 64, 20, 8, LockSel::kTtas,
                          ElisionPolicy::pes_slr()));
   v.push_back(make_point(F, "fig5.2", 64, 20, 8, LockSel::kTtas,
@@ -219,6 +283,8 @@ PointMetrics run_point_metrics(const SuitePoint& sp) {
     mp.array_words = sp.point.size;
     mp.seed = sp.point.seed;
     stats = run_micro_point(mp);
+  } else if (sp.kind == PointKind::kBtree) {
+    stats = run_bt_point(sp.bt);
   } else {
     stats = run_rb_point(sp.point);
   }
@@ -250,6 +316,7 @@ SuiteResult run_suite(SuiteTier tier, const SuiteRunOptions& opts) {
   result.host_threads = opts.host_threads > 0 ? opts.host_threads : 1;
   for (auto sp : suite_points_for(tier)) {
     sp.point.host_threads = result.host_threads;
+    sp.bt.host_threads = result.host_threads;
     PointMetrics m = run_point_metrics(sp);
     m.throughput_ops_per_sec *= opts.plant_throughput_factor;
     m.sim_ops_per_sec *= opts.plant_simops_factor;
@@ -265,6 +332,7 @@ SuiteResult run_suite(SuiteTier tier, const SuiteRunOptions& opts) {
 PointRecord run_suite_point(const SuitePoint& sp, int host_threads) {
   SuitePoint p = sp;
   p.point.host_threads = host_threads > 0 ? host_threads : 1;
+  p.bt.host_threads = p.point.host_threads;
   PointRecord rec{sp, run_point_metrics(p)};
   return rec;
 }
@@ -276,20 +344,37 @@ namespace {
 void write_point_json(const PointRecord& r, std::FILE* out) {
   const auto& d = r.def;
   const auto& m = r.metrics;
-  std::fprintf(
-      out,
-      "    {\"id\":\"%s\",\"tier\":\"%s\",\"figure\":\"%s\",\"kind\":\"%s\","
-      "\"lock\":\"%s\",\"scheme\":\"%s\",\"size\":%zu,\"update_pct\":%d,"
-      "\"threads\":%d,\"seeds\":%d,\"duration_sec\":%g,\"seed\":%llu,"
-      "\"telemetry\":%s,\n",
-      support::json::escape(d.id).c_str(), suite_tier_name(d.tier),
-      support::json::escape(d.figure).c_str(), point_kind_name(d.kind),
-      lock_sel_name(d.point.lock),
-      support::json::escape(d.point.scheme.name()).c_str(), d.point.size,
-      d.point.update_pct, d.point.threads, d.point.seeds,
-      d.point.duration_sec,
-      static_cast<unsigned long long>(d.point.seed),
-      d.point.telemetry ? "true" : "false");
+  if (d.kind == PointKind::kBtree) {
+    std::fprintf(
+        out,
+        "    {\"id\":\"%s\",\"tier\":\"%s\",\"figure\":\"%s\","
+        "\"kind\":\"%s\",\"lock\":\"%s\",\"scheme\":\"%s\",\"size\":%zu,"
+        "\"update_pct\":%d,\"scan_pct\":%d,\"scan_len\":%zu,\"threads\":%d,"
+        "\"seeds\":%d,\"duration_sec\":%g,\"seed\":%llu,\"telemetry\":%s,\n",
+        support::json::escape(d.id).c_str(), suite_tier_name(d.tier),
+        support::json::escape(d.figure).c_str(), point_kind_name(d.kind),
+        shared_lock_sel_name(d.bt.lock),
+        support::json::escape(d.bt.policy.spec()).c_str(), d.bt.size,
+        d.bt.update_pct, d.bt.scan_pct, d.bt.scan_len, d.bt.threads,
+        d.bt.seeds, d.bt.duration_sec,
+        static_cast<unsigned long long>(d.bt.seed),
+        d.bt.telemetry ? "true" : "false");
+  } else {
+    std::fprintf(
+        out,
+        "    {\"id\":\"%s\",\"tier\":\"%s\",\"figure\":\"%s\","
+        "\"kind\":\"%s\",\"lock\":\"%s\",\"scheme\":\"%s\",\"size\":%zu,"
+        "\"update_pct\":%d,\"threads\":%d,\"seeds\":%d,\"duration_sec\":%g,"
+        "\"seed\":%llu,\"telemetry\":%s,\n",
+        support::json::escape(d.id).c_str(), suite_tier_name(d.tier),
+        support::json::escape(d.figure).c_str(), point_kind_name(d.kind),
+        lock_sel_name(d.point.lock),
+        support::json::escape(d.point.scheme.spec()).c_str(), d.point.size,
+        d.point.update_pct, d.point.threads, d.point.seeds,
+        d.point.duration_sec,
+        static_cast<unsigned long long>(d.point.seed),
+        d.point.telemetry ? "true" : "false");
+  }
   std::fprintf(
       out,
       "     \"metrics\":{\"throughput_ops_per_sec\":%.3f,"
@@ -423,26 +508,61 @@ std::optional<SuiteResult> parse_results_json(
     }
     if (const Value* fig = p.find("figure")) rec.def.figure = fig->as_string();
     if (const Value* v = p.find("kind")) {
-      rec.def.kind = v->as_string() == "micro" ? PointKind::kMicro
-                                               : PointKind::kRb;
+      rec.def.kind = v->as_string() == "micro"   ? PointKind::kMicro
+                     : v->as_string() == "btree" ? PointKind::kBtree
+                                                 : PointKind::kRb;
     }
-    if (const Value* v = p.find("lock")) {
-      rec.def.point.lock = lock_from_name(v->as_string());
-    }
-    if (const Value* v = p.find("size")) {
-      rec.def.point.size = static_cast<std::size_t>(v->as_u64());
-    }
-    if (const Value* v = p.find("update_pct")) {
-      rec.def.point.update_pct = static_cast<int>(v->as_u64());
-    }
-    if (const Value* v = p.find("threads")) {
-      rec.def.point.threads = static_cast<int>(v->as_u64());
-    }
-    if (const Value* v = p.find("seeds")) {
-      rec.def.point.seeds = static_cast<int>(v->as_u64());
-    }
-    if (const Value* v = p.find("telemetry")) {
-      rec.def.point.telemetry = v->as_bool();
+    if (rec.def.kind == PointKind::kBtree) {
+      if (const Value* v = p.find("lock")) {
+        rec.def.bt.lock = v->as_string() == "shared-mcs"
+                              ? SharedLockSel::kSharedMcs
+                              : SharedLockSel::kSharedTtas;
+      }
+      if (const Value* v = p.find("scheme")) {
+        if (const auto pol = locks::ElisionPolicy::parse(v->as_string())) {
+          rec.def.bt.policy = *pol;
+        }
+      }
+      if (const Value* v = p.find("size")) {
+        rec.def.bt.size = static_cast<std::size_t>(v->as_u64());
+      }
+      if (const Value* v = p.find("update_pct")) {
+        rec.def.bt.update_pct = static_cast<int>(v->as_u64());
+      }
+      if (const Value* v = p.find("scan_pct")) {
+        rec.def.bt.scan_pct = static_cast<int>(v->as_u64());
+      }
+      if (const Value* v = p.find("scan_len")) {
+        rec.def.bt.scan_len = static_cast<std::size_t>(v->as_u64());
+      }
+      if (const Value* v = p.find("threads")) {
+        rec.def.bt.threads = static_cast<int>(v->as_u64());
+      }
+      if (const Value* v = p.find("seeds")) {
+        rec.def.bt.seeds = static_cast<int>(v->as_u64());
+      }
+      if (const Value* v = p.find("telemetry")) {
+        rec.def.bt.telemetry = v->as_bool();
+      }
+    } else {
+      if (const Value* v = p.find("lock")) {
+        rec.def.point.lock = lock_from_name(v->as_string());
+      }
+      if (const Value* v = p.find("size")) {
+        rec.def.point.size = static_cast<std::size_t>(v->as_u64());
+      }
+      if (const Value* v = p.find("update_pct")) {
+        rec.def.point.update_pct = static_cast<int>(v->as_u64());
+      }
+      if (const Value* v = p.find("threads")) {
+        rec.def.point.threads = static_cast<int>(v->as_u64());
+      }
+      if (const Value* v = p.find("seeds")) {
+        rec.def.point.seeds = static_cast<int>(v->as_u64());
+      }
+      if (const Value* v = p.find("telemetry")) {
+        rec.def.point.telemetry = v->as_bool();
+      }
     }
     auto& m = rec.metrics;
     auto num = [&](const char* key, double fallback = 0.0) {
@@ -583,8 +703,11 @@ GateReport compare_to_baseline(const SuiteResult& current,
            "baseline"});
     }
 
+    const bool cur_telemetry = cur.def.kind == PointKind::kBtree
+                                   ? cur.def.bt.telemetry
+                                   : cur.def.point.telemetry;
     if (current.telemetry_compiled && baseline.telemetry_compiled &&
-        cur.def.point.telemetry &&
+        cur_telemetry &&
         cm.avalanche_episodes != bm.avalanche_episodes) {
       report.notes.push_back(
           "point " + cur.def.id + ": avalanche episodes changed (" +
@@ -729,6 +852,47 @@ std::vector<InvariantResult> check_invariants(const SuiteResult& result) {
   {
     const char* name = "hle-mcs-avalanche-detected";
     const auto* p = point("rb-s64-u20-t8-mcs-hle");
+    if (p == nullptr) {
+      out.push_back(skipped(name, "required point not in this tier"));
+    } else if (!result.telemetry_compiled) {
+      out.push_back(skipped(name, "telemetry compiled out"));
+    } else {
+      const bool ok = p->metrics.avalanche_episodes >= 1;
+      std::snprintf(buf, sizeof buf, "%llu avalanche episodes (want >= 1)",
+                    static_cast<unsigned long long>(
+                        p->metrics.avalanche_episodes));
+      out.push_back({name, ok, false, buf});
+    }
+  }
+
+  // (7) Shared-mode elision pays off on the read-mostly B+tree point: with
+  // 90% lookups/scans, the `+shared` policy (fallback readers coexist with
+  // each other and with the elided crowd) must beat the exclusive-elided
+  // equivalent, whose fallback reads serialize through the writer word.
+  {
+    const char* name = "shared-elision-beats-exclusive-read-mostly";
+    const auto* excl = point("bt-s1024-u10-c100-l64-t8-shared-ttas-hle");
+    const auto* shrd =
+        point("bt-s1024-u10-c100-l64-t8-shared-ttas-hle+shared");
+    if (excl == nullptr || shrd == nullptr) {
+      out.push_back(skipped(name, "required points not in this tier"));
+    } else {
+      const bool ok = shrd->metrics.throughput_ops_per_sec >
+                      excl->metrics.throughput_ops_per_sec;
+      std::snprintf(buf, sizeof buf,
+                    "hle+shared %.3g ops/s vs hle %.3g ops/s",
+                    shrd->metrics.throughput_ops_per_sec,
+                    excl->metrics.throughput_ops_per_sec);
+      out.push_back({name, ok, false, buf});
+    }
+  }
+
+  // (8) The writer-heavy B+tree point exhibits the reader avalanche: real
+  // writer acquisitions of the reader-writer word abort the subscribed
+  // elided-reader crowd, visible as telemetry episodes.
+  {
+    const char* name = "shared-btree-reader-avalanche-detected";
+    const auto* p = point("bt-s128-u80-c30-l16-t8-shared-ttas-hle+shared");
     if (p == nullptr) {
       out.push_back(skipped(name, "required point not in this tier"));
     } else if (!result.telemetry_compiled) {

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/bt_workload.hpp"
 #include "harness/rb_workload.hpp"
 #include "support/json.hpp"
 #include "tsx/abort.hpp"
@@ -38,9 +39,11 @@ const char* suite_tier_name(SuiteTier t);
 std::optional<SuiteTier> suite_tier_from_name(const std::string& name);
 
 // What workload a suite point runs: the RB-tree benchmark (fixed virtual
-// duration) or the fixed-work engine microbenchmark (harness/micro_point.hpp)
-// whose sim_ops_per_sec tracks simulator speed itself.
-enum class PointKind { kRb, kMicro };
+// duration), the B+tree range-scan benchmark over the two-mode locks
+// (harness/bt_workload.hpp), or the fixed-work engine microbenchmark
+// (harness/micro_point.hpp) whose sim_ops_per_sec tracks simulator speed
+// itself.
+enum class PointKind { kRb, kMicro, kBtree };
 
 const char* point_kind_name(PointKind k);
 
@@ -50,6 +53,7 @@ struct SuitePoint {
   std::string figure;  // paper figure/table the point reproduces
   PointKind kind = PointKind::kRb;
   RbPoint point;       // for kMicro only threads/size/seed are meaningful
+  BtPoint bt;          // kBtree only
 };
 
 // The curated list, smoke points first. Ids are unique.

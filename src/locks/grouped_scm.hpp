@@ -26,6 +26,9 @@ namespace elision::locks {
 
 struct GroupedScmParams {
   int max_retries = 10;
+
+  friend bool operator==(const GroupedScmParams&,
+                         const GroupedScmParams&) = default;
 };
 
 // A bank of K auxiliary locks for grouped conflict serialization. AuxLock
@@ -54,7 +57,8 @@ class AuxLockBank {
 template <typename MainLock, typename AuxBank>
 RegionResult grouped_scm_region(tsx::Ctx& ctx, MainLock& main, AuxBank& bank,
                                 const GroupedScmParams& params,
-                                support::FunctionRef<void()> body) {
+                                support::FunctionRef<void()> body,
+                                AccessMode mode = AccessMode::kExclusive) {
   auto& eng = ctx.engine();
   RegionResult r;
   int retries = 0;
@@ -62,7 +66,9 @@ RegionResult grouped_scm_region(tsx::Ctx& ctx, MainLock& main, AuxBank& bank,
   for (;;) {
     ++r.attempts;
     const unsigned st = eng.run_transaction(ctx, [&] {
-      if (main.is_held(ctx)) eng.xabort(ctx, kAbortCodeLockBusy);
+      if (detail::mode_blocked(ctx, main, mode)) {
+        eng.xabort(ctx, kAbortCodeLockBusy);
+      }
       body();
     });
     if (st == tsx::kCommitted) {
@@ -75,7 +81,7 @@ RegionResult grouped_scm_region(tsx::Ctx& ctx, MainLock& main, AuxBank& bank,
     // so don't burn max_retries serialized attempts — same short-circuit as
     // scm_region/slr_region.
     if ((st & tsx::status::kRetry) == 0) {
-      complete_locked(ctx, main, r, body);
+      complete_locked(ctx, main, r, body, mode);
       break;
     }
     // Serializing path: pick the group from the conflict location.
@@ -88,7 +94,7 @@ RegionResult grouped_scm_region(tsx::Ctx& ctx, MainLock& main, AuxBank& bank,
       ++retries;
     }
     if (retries >= params.max_retries) {
-      complete_locked(ctx, main, r, body);
+      complete_locked(ctx, main, r, body, mode);
       break;
     }
   }

@@ -11,8 +11,25 @@
 //
 //   CriticalSection<TtasLock> cs(ElisionPolicy::hle_scm(), lock);
 //   auto tuned = ElisionPolicy::hle_scm().with_scm_retries(4);
-//   CriticalSection<TtasLock> legacy(Scheme::kHle, lock);  // still compiles
+//
+// Policies also carry the access-mode axis of the two-mode lock API
+// (`.shared()` makes CriticalSection::run() take the lock in shared mode),
+// and round-trip through one canonical string spelling:
+//
+//   ElisionPolicy::parse("hle-scm+shared")  ->  policy
+//   policy.spec()                           ->  "hle-scm+shared"
+//
+// The spec grammar is `<scheme>[+shared][:knob=N...]` with the lower-case
+// scheme slugs of scheme_slug(); bench point ids, bench JSON, stress_cli
+// and elide_cli flags all use this one spelling.
 #pragma once
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
 
 #include "locks/grouped_scm.hpp"
 #include "locks/region.hpp"
@@ -53,6 +70,30 @@ inline const char* scheme_name(Scheme s) {
   }
 }
 
+// Canonical lower-case spelling of each scheme — the one spelling used by
+// policy specs, bench point ids/JSON, and CLI flags. (Equal to scheme_name()
+// lower-cased, so legacy mixed-case flag values still parse.)
+inline const char* scheme_slug(Scheme s) {
+  switch (s) {
+    case Scheme::kStandard: return "standard";
+    case Scheme::kHle: return "hle";
+    case Scheme::kHleScm: return "hle-scm";
+    case Scheme::kPesSlr: return "pes-slr";
+    case Scheme::kOptSlr: return "opt-slr";
+    case Scheme::kOptSlrScm: return "opt-slr-scm";
+    case Scheme::kRtmElide: return "rtm-elide";
+    case Scheme::kHleScmNested: return "hle-scm-nested";
+    case Scheme::kHleGroupedScm: return "hle-gscm";
+    default: return "?";
+  }
+}
+
+inline constexpr Scheme kAllSchemes[] = {
+    Scheme::kStandard,  Scheme::kHle,          Scheme::kHleScm,
+    Scheme::kPesSlr,    Scheme::kOptSlr,       Scheme::kOptSlrScm,
+    Scheme::kRtmElide,  Scheme::kHleScmNested, Scheme::kHleGroupedScm,
+};
+
 inline constexpr Scheme kAllSixSchemes[] = {
     Scheme::kStandard, Scheme::kHle,    Scheme::kHleScm,
     Scheme::kPesSlr,   Scheme::kOptSlr, Scheme::kOptSlrScm,
@@ -60,6 +101,10 @@ inline constexpr Scheme kAllSixSchemes[] = {
 
 struct ElisionPolicy {
   Scheme scheme = Scheme::kStandard;
+  // Default access mode of CriticalSection::run(): exclusive, or — for
+  // two-mode locks — shared (the whole critical section runs as one of many
+  // readers; the body must not write simulated shared state).
+  AccessMode mode = AccessMode::kExclusive;
   RetryParams retry;       // HLE/RTM elision drivers
   ScmParams scm;           // kHleScm / kHleScmNested
   SlrParams slr;           // kPesSlr / kOptSlr / kOptSlrScm
@@ -69,6 +114,9 @@ struct ElisionPolicy {
 
   // Compatibility shim: a bare Scheme converts to the policy the old
   // switch-based dispatch would have built for it.
+  [[deprecated(
+      "construct via a named constructor (ElisionPolicy::hle_scm()), "
+      "ElisionPolicy::from_scheme(s), or ElisionPolicy::parse(spec)")]]
   ElisionPolicy(Scheme s) : ElisionPolicy(from_scheme(s)) {}  // NOLINT
 
   // --- named constructors (the paper's six schemes + extras) ---
@@ -116,8 +164,109 @@ struct ElisionPolicy {
   }
 
   const char* name() const { return scheme_name(scheme); }
+  const char* slug() const { return scheme_slug(scheme); }
+
+  // --- canonical string spec (parse/format round-trip) ---
+  // `<scheme>[+shared][:knob=N...]`; knobs are emitted only when they differ
+  // from the scheme's defaults, so from_scheme(s).spec() == scheme_slug(s).
+  // parse(spec()) == *this for any policy built from the named constructors
+  // and the fluent knobs below.
+  std::string spec() const {
+    std::string out = scheme_slug(scheme);
+    if (mode == AccessMode::kShared) out += "+shared";
+    ElisionPolicy base = from_scheme(scheme);
+    char buf[48];
+    if (scm.max_retries != base.scm.max_retries) {
+      std::snprintf(buf, sizeof buf, ":scm-retries=%d", scm.max_retries);
+      out += buf;
+    }
+    if (slr.max_attempts != base.slr.max_attempts) {
+      std::snprintf(buf, sizeof buf, ":slr-attempts=%d", slr.max_attempts);
+      out += buf;
+    }
+    if (retry.max_spec_attempts != base.retry.max_spec_attempts) {
+      std::snprintf(buf, sizeof buf, ":spec-attempts=%d",
+                    retry.max_spec_attempts);
+      out += buf;
+    }
+    if (retry.backoff_base_cycles != base.retry.backoff_base_cycles) {
+      std::snprintf(buf, sizeof buf, ":backoff=%llu",
+                    static_cast<unsigned long long>(
+                        retry.backoff_base_cycles));
+      out += buf;
+    }
+    return out;
+  }
+
+  // Parses a policy spec (case-insensitive; legacy scheme_name() spellings
+  // such as "HLE-SCM" are accepted because they lower-case to the slug).
+  // Returns nullopt for an unknown scheme or a malformed knob.
+  static std::optional<ElisionPolicy> parse(std::string_view s) {
+    std::string lower(s);
+    for (char& c : lower) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    std::string_view rest = lower;
+    const std::size_t colon = rest.find(':');
+    std::string_view head = rest.substr(0, colon);
+    rest = colon == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(colon + 1);
+    bool shared = false;
+    constexpr std::string_view kSharedSuffix = "+shared";
+    if (head.size() >= kSharedSuffix.size() &&
+        head.substr(head.size() - kSharedSuffix.size()) == kSharedSuffix) {
+      shared = true;
+      head = head.substr(0, head.size() - kSharedSuffix.size());
+    }
+    std::optional<ElisionPolicy> out;
+    for (const Scheme sch : kAllSchemes) {
+      if (head == scheme_slug(sch)) {
+        out = from_scheme(sch);
+        break;
+      }
+    }
+    if (!out) return std::nullopt;
+    if (shared) out->mode = AccessMode::kShared;
+    while (!rest.empty()) {
+      const std::size_t next = rest.find(':');
+      const std::string_view knob = rest.substr(0, next);
+      rest = next == std::string_view::npos ? std::string_view{}
+                                            : rest.substr(next + 1);
+      const std::size_t eq = knob.find('=');
+      if (eq == std::string_view::npos) return std::nullopt;
+      const std::string_view key = knob.substr(0, eq);
+      const std::string value(knob.substr(eq + 1));
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0') {
+        return std::nullopt;
+      }
+      if (key == "scm-retries") {
+        *out = out->with_scm_retries(static_cast<int>(n));
+      } else if (key == "slr-attempts") {
+        *out = out->with_slr_attempts(static_cast<int>(n));
+      } else if (key == "spec-attempts") {
+        *out = out->with_max_spec_attempts(static_cast<int>(n));
+      } else if (key == "backoff") {
+        *out = out->with_backoff(n);
+      } else {
+        return std::nullopt;
+      }
+    }
+    return out;
+  }
+
+  friend bool operator==(const ElisionPolicy&, const ElisionPolicy&) =
+      default;
 
   // --- fluent tuning knobs ---
+  ElisionPolicy with_mode(AccessMode m) const {
+    ElisionPolicy p = *this;
+    p.mode = m;
+    return p;
+  }
+  // Shared-mode variant of this policy: run() takes the lock as a reader.
+  ElisionPolicy shared() const { return with_mode(AccessMode::kShared); }
   ElisionPolicy with_scm_retries(int n) const {
     ElisionPolicy p = *this;
     p.scm.max_retries = n;

@@ -18,10 +18,24 @@
 // events the avalanche detector keys on.
 #pragma once
 
+#include "support/check.hpp"
 #include "support/function_ref.hpp"
 #include "tsx/engine.hpp"
 
 namespace elision::locks {
+
+// The access-mode axis of the two-mode lock API: every region driver can run
+// a critical section as the exclusive holder or — for locks providing a
+// shared mode — as one of many readers. Exclusive is the default everywhere,
+// so single-mode locks and existing call sites are unaffected.
+enum class AccessMode : std::uint8_t {
+  kExclusive,
+  kShared,
+};
+
+inline const char* access_mode_name(AccessMode m) {
+  return m == AccessMode::kShared ? "shared" : "exclusive";
+}
 
 // How a critical section eventually completed.
 struct RegionResult {
@@ -46,9 +60,76 @@ struct RetryParams {
   // If nonzero, wait a randomized exponentially-growing number of cycles
   // (base << failures, capped) before re-entering speculation.
   std::uint64_t backoff_base_cycles = 0;
+
+  friend bool operator==(const RetryParams&, const RetryParams&) = default;
 };
 
 namespace detail {
+
+// The two-mode lock concept: a lock is shared-capable when it implements the
+// shared-mode half of the contract next to the exclusive one.
+template <typename Lock>
+inline constexpr bool kHasSharedMode = requires(Lock& l, tsx::Ctx& c) {
+  l.lock_shared(c);
+  l.unlock_shared(c);
+  l.is_write_locked(c);
+  l.reissue_acquire_shared_standard(c);
+};
+
+// Mode-dispatched lock operations. For single-mode locks these compile down
+// to the exclusive calls (and shared mode is a programming error).
+template <typename Lock>
+void mode_lock(tsx::Ctx& ctx, Lock& lock, AccessMode mode) {
+  if constexpr (kHasSharedMode<Lock>) {
+    if (mode == AccessMode::kShared) {
+      lock.lock_shared(ctx);
+      return;
+    }
+  } else {
+    ELISION_DCHECK(mode == AccessMode::kExclusive);
+  }
+  lock.lock(ctx);
+}
+
+template <typename Lock>
+void mode_unlock(tsx::Ctx& ctx, Lock& lock, AccessMode mode) {
+  if constexpr (kHasSharedMode<Lock>) {
+    if (mode == AccessMode::kShared) {
+      lock.unlock_shared(ctx);
+      return;
+    }
+  } else {
+    ELISION_DCHECK(mode == AccessMode::kExclusive);
+  }
+  lock.unlock(ctx);
+}
+
+template <typename Lock>
+bool mode_reissue(tsx::Ctx& ctx, Lock& lock, AccessMode mode) {
+  if constexpr (kHasSharedMode<Lock>) {
+    if (mode == AccessMode::kShared) {
+      return lock.reissue_acquire_shared_standard(ctx);
+    }
+  } else {
+    ELISION_DCHECK(mode == AccessMode::kExclusive);
+  }
+  return lock.reissue_acquire_standard(ctx);
+}
+
+// What blocks this access (the RTM-style schemes' "lock busy" subscription
+// check, and the drivers' spin-wait): an exclusive acquirer is blocked by
+// any holder; a shared acquirer only by a writer — speculative readers
+// coexist with real readers, which is where shared-mode elision wins over
+// exclusive elision on read-mostly workloads.
+template <typename Lock>
+bool mode_blocked(tsx::Ctx& ctx, Lock& lock, AccessMode mode) {
+  if constexpr (kHasSharedMode<Lock>) {
+    if (mode == AccessMode::kShared) return lock.is_write_locked(ctx);
+  } else {
+    ELISION_DCHECK(mode == AccessMode::kExclusive);
+  }
+  return lock.is_held(ctx);
+}
 
 // Locks exposing their elidable word's cache line (lock_line()) let
 // telemetry tag lock events with it; others report 0 (unknown).
@@ -92,14 +173,15 @@ inline void backoff(tsx::Ctx& ctx, const RetryParams& p, int failures) {
 // reader (the avalanche trigger), so victims' abort events follow it.
 template <typename Lock>
 bool complete_standard(tsx::Ctx& ctx, Lock& lock, RegionResult& r,
-                       support::FunctionRef<void()> body) {
+                       support::FunctionRef<void()> body,
+                       AccessMode mode = AccessMode::kExclusive) {
   auto& eng = ctx.engine();
   const support::LineId line = detail::lock_line_of(lock);
   eng.note_event(ctx, tsx::EventKind::kLockAcquire, line);
-  if (!lock.reissue_acquire_standard(ctx)) return false;
+  if (!detail::mode_reissue(ctx, lock, mode)) return false;
   ++r.attempts;
   body();
-  lock.unlock(ctx);
+  detail::mode_unlock(ctx, lock, mode);
   eng.note_event(ctx, tsx::EventKind::kLockRelease, line);
   r.speculative = false;
   return true;
@@ -110,30 +192,32 @@ bool complete_standard(tsx::Ctx& ctx, Lock& lock, RegionResult& r,
 // SCM/SLR give-up paths.
 template <typename Lock>
 void complete_locked(tsx::Ctx& ctx, Lock& lock, RegionResult& r,
-                     support::FunctionRef<void()> body) {
+                     support::FunctionRef<void()> body,
+                     AccessMode mode = AccessMode::kExclusive) {
   auto& eng = ctx.engine();
   const support::LineId line = detail::lock_line_of(lock);
   eng.note_event(ctx, tsx::EventKind::kLockAcquire, line);
-  lock.lock(ctx);
+  detail::mode_lock(ctx, lock, mode);
   ++r.attempts;
   body();
-  lock.unlock(ctx);
+  detail::mode_unlock(ctx, lock, mode);
   eng.note_event(ctx, tsx::EventKind::kLockRelease, line);
   r.speculative = false;
 }
 
 template <typename Lock>
 RegionResult hle_region(tsx::Ctx& ctx, Lock& lock, const RetryParams& params,
-                        support::FunctionRef<void()> body) {
+                        support::FunctionRef<void()> body,
+                        AccessMode mode = AccessMode::kExclusive) {
   RegionResult r;
   int spec_failures = 0;
   for (;;) {
     ++r.attempts;
     try {
       ctx.set_mode(tsx::ElisionMode::kSpeculative);
-      lock.lock(ctx);
+      detail::mode_lock(ctx, lock, mode);
       body();
-      lock.unlock(ctx);  // the XRELEASE commits
+      detail::mode_unlock(ctx, lock, mode);  // the XRELEASE commits
       ctx.set_mode(tsx::ElisionMode::kStandard);
       r.speculative = true;
       return r;
@@ -143,14 +227,14 @@ RegionResult hle_region(tsx::Ctx& ctx, Lock& lock, const RetryParams& params,
     }
     ctx.set_mode(tsx::ElisionMode::kStandard);
     ++spec_failures;
-    if (complete_standard(ctx, lock, r, body)) return r;
+    if (complete_standard(ctx, lock, r, body, mode)) return r;
     if (params.max_spec_attempts > 0 &&
         spec_failures >= params.max_spec_attempts) {
       // Speculation budget exhausted: stop re-entering it and wait for the
       // standard re-acquisition to succeed.
       for (;;) {
-        while (lock.is_held(ctx)) ctx.engine().pause(ctx);
-        if (complete_standard(ctx, lock, r, body)) return r;
+        while (detail::mode_blocked(ctx, lock, mode)) ctx.engine().pause(ctx);
+        if (complete_standard(ctx, lock, r, body, mode)) return r;
       }
     }
     detail::backoff(ctx, params, spec_failures);
@@ -168,16 +252,21 @@ RegionResult hle_region(tsx::Ctx& ctx, Lock& lock,
 template <typename Lock>
 RegionResult rtm_elide_region(tsx::Ctx& ctx, Lock& lock,
                               const RetryParams& params,
-                              support::FunctionRef<void()> body) {
+                              support::FunctionRef<void()> body,
+                              AccessMode mode = AccessMode::kExclusive) {
   auto& eng = ctx.engine();
   RegionResult r;
   int spec_failures = 0;
   for (;;) {
     ++r.attempts;
     const unsigned st = eng.run_transaction(ctx, [&] {
-      // Put the lock in the read set and check it is free (lock elision via
-      // RTM; no illusion of holding the lock).
-      if (lock.is_held(ctx)) eng.xabort(ctx, kAbortCodeLockBusy);
+      // Put the lock in the read set and check it does not block this
+      // access mode (lock elision via RTM; no illusion of holding the
+      // lock). In shared mode only a writer blocks — the speculative reader
+      // coexists with real readers.
+      if (detail::mode_blocked(ctx, lock, mode)) {
+        eng.xabort(ctx, kAbortCodeLockBusy);
+      }
       body();
     });
     if (st == tsx::kCommitted) {
@@ -186,16 +275,16 @@ RegionResult rtm_elide_region(tsx::Ctx& ctx, Lock& lock,
     }
     r.last_abort = ctx.last_abort_cause();
     ++spec_failures;
-    if (complete_standard(ctx, lock, r, body)) return r;
+    if (complete_standard(ctx, lock, r, body, mode)) return r;
     if (params.max_spec_attempts > 0 &&
         spec_failures >= params.max_spec_attempts) {
       for (;;) {
-        while (lock.is_held(ctx)) eng.pause(ctx);
-        if (complete_standard(ctx, lock, r, body)) return r;
+        while (detail::mode_blocked(ctx, lock, mode)) eng.pause(ctx);
+        if (complete_standard(ctx, lock, r, body, mode)) return r;
       }
     }
     detail::backoff(ctx, params, spec_failures);
-    while (lock.is_held(ctx)) eng.pause(ctx);
+    while (detail::mode_blocked(ctx, lock, mode)) eng.pause(ctx);
   }
 }
 

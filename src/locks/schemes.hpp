@@ -9,6 +9,7 @@
 #include "locks/region.hpp"
 #include "locks/grouped_scm.hpp"
 #include "locks/scm.hpp"
+#include "locks/shared_guard.hpp"
 #include "locks/slr.hpp"
 #include "support/function_ref.hpp"
 
@@ -28,27 +29,52 @@ class CriticalSection {
   Lock& main_lock() { return main_; }
   McsLock& aux_lock() { return aux_; }
 
+  // Runs the body under the policy's default access mode (exclusive unless
+  // the policy was built with .shared()).
   RegionResult run(tsx::Ctx& ctx, support::FunctionRef<void()> body) {
+    return run_mode(ctx, policy_.mode, body);
+  }
+
+  // Explicit-mode entry points. run_shared() requires a two-mode lock; the
+  // body runs as one of many readers and must not write simulated shared
+  // state (mirrors snippet-style transactional_shared_lock_guard usage).
+  RegionResult run_exclusive(tsx::Ctx& ctx,
+                             support::FunctionRef<void()> body) {
+    return run_mode(ctx, AccessMode::kExclusive, body);
+  }
+  RegionResult run_shared(tsx::Ctx& ctx, support::FunctionRef<void()> body)
+    requires detail::kHasSharedMode<Lock>
+  {
+    return run_mode(ctx, AccessMode::kShared, body);
+  }
+
+  RegionResult run_mode(tsx::Ctx& ctx, AccessMode mode,
+                        support::FunctionRef<void()> body) {
+    if constexpr (!detail::kHasSharedMode<Lock>) {
+      ELISION_CHECK_MSG(mode == AccessMode::kExclusive,
+                        "shared-mode policy requires a two-mode lock "
+                        "(SharedTtasLock / SharedMcsLock)");
+    }
     switch (policy_.scheme) {
       case Scheme::kStandard: {
         RegionResult r;
-        complete_locked(ctx, main_, r, body);
+        complete_locked(ctx, main_, r, body, mode);
         return r;
       }
       case Scheme::kHle:
-        return hle_region(ctx, main_, policy_.retry, body);
+        return hle_region(ctx, main_, policy_.retry, body, mode);
       case Scheme::kRtmElide:
-        return rtm_elide_region(ctx, main_, policy_.retry, body);
+        return rtm_elide_region(ctx, main_, policy_.retry, body, mode);
       case Scheme::kHleScm:
       case Scheme::kHleScmNested:
-        return scm_region(ctx, main_, aux_, policy_.scm, body);
+        return scm_region(ctx, main_, aux_, policy_.scm, body, mode);
       case Scheme::kPesSlr:
       case Scheme::kOptSlr:
       case Scheme::kOptSlrScm:
-        return slr_region(ctx, main_, aux_, policy_.slr, body);
+        return slr_region(ctx, main_, aux_, policy_.slr, body, mode);
       case Scheme::kHleGroupedScm:
         return grouped_scm_region(ctx, main_, aux_bank_, policy_.grouped,
-                                  body);
+                                  body, mode);
     }
     ELISION_CHECK_MSG(false, "unknown scheme");
     return {};

@@ -28,12 +28,15 @@ struct ScmParams {
   // (Sec 5.1, Conflict management tuning).
   int max_retries = 10;
   bool nested_hle = false;  // Algorithm 3 as designed (needs allow_hle_in_rtm)
+
+  friend bool operator==(const ScmParams&, const ScmParams&) = default;
 };
 
 template <typename MainLock, typename AuxLock>
 RegionResult scm_region(tsx::Ctx& ctx, MainLock& main, AuxLock& aux,
                         const ScmParams& params,
-                        support::FunctionRef<void()> body) {
+                        support::FunctionRef<void()> body,
+                        AccessMode mode = AccessMode::kExclusive) {
   auto& eng = ctx.engine();
   RegionResult r;
   int retries = 0;
@@ -45,14 +48,18 @@ RegionResult scm_region(tsx::Ctx& ctx, MainLock& main, AuxLock& aux,
     if (params.nested_hle) {
       st = eng.run_transaction(ctx, [&] {
         ctx.set_mode(tsx::ElisionMode::kSpeculative);
-        main.lock(ctx);    // HLE acquire nested in the RTM transaction
+        // HLE acquire (exclusive or shared) nested in the RTM transaction;
+        // the XRELEASE validates the elision.
+        detail::mode_lock(ctx, main, mode);
         body();
-        main.unlock(ctx);  // XRELEASE validates the elision
+        detail::mode_unlock(ctx, main, mode);
       });
       ctx.set_mode(tsx::ElisionMode::kStandard);
     } else {
       st = eng.run_transaction(ctx, [&] {
-        if (main.is_held(ctx)) eng.xabort(ctx, kAbortCodeLockBusy);
+        if (detail::mode_blocked(ctx, main, mode)) {
+          eng.xabort(ctx, kAbortCodeLockBusy);
+        }
         body();
       });
     }
@@ -70,7 +77,7 @@ RegionResult scm_region(tsx::Ctx& ctx, MainLock& main, AuxLock& aux,
     // conflict group. Complete non-speculatively right away, without even
     // acquiring the aux lock if this was the first failure.
     if ((st & tsx::status::kRetry) == 0) {
-      complete_locked(ctx, main, r, body);
+      complete_locked(ctx, main, r, body, mode);
       break;
     }
     // --- serializing path ---
@@ -83,7 +90,7 @@ RegionResult scm_region(tsx::Ctx& ctx, MainLock& main, AuxLock& aux,
     }
     if (retries >= params.max_retries) {
       // Standard acquire: run non-speculatively.
-      complete_locked(ctx, main, r, body);
+      complete_locked(ctx, main, r, body, mode);
       break;
     }
   }

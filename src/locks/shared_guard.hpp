@@ -1,0 +1,55 @@
+// SharedGuard: abort-aware RAII over the shared mode of a two-mode lock,
+// mirroring atomic_sync's transactional_shared_lock_guard.
+//
+// The constructor acquires the lock in shared mode under the thread's
+// current elision mode: speculatively (the XACQUIRE FETCH_ADD subscribes to
+// the writer word without storing) when the surrounding region driver set
+// ElisionMode::kSpeculative, or as a real reader otherwise. The destructor
+// releases — *unless* the acquisition happened inside a transaction that has
+// since aborted, in which case the increment was rolled back with it and a
+// release would corrupt the reader count. That is what makes the guard safe
+// on the unwind path of a TxAbortException.
+//
+// Typical use is through CriticalSection::run_shared(), which supplies the
+// retry/fallback loop; standalone use gives a plain (or, inside an RTM
+// transaction, a buffered) shared acquisition:
+//
+//   {
+//     locks::SharedGuard<locks::SharedTtasLock> g(ctx, lock);
+//     ... read-only body ...
+//   }  // released, or rolled back with the enclosing transaction
+#pragma once
+
+#include "tsx/engine.hpp"
+
+namespace elision::locks {
+
+template <typename Lock>
+class SharedGuard {
+ public:
+  SharedGuard(tsx::Ctx& ctx, Lock& lock) : ctx_(ctx), lock_(lock) {
+    lock_.lock_shared(ctx_);
+    speculative_ = ctx_.in_tx();
+  }
+
+  SharedGuard(const SharedGuard&) = delete;
+  SharedGuard& operator=(const SharedGuard&) = delete;
+
+  ~SharedGuard() {
+    // A transactional acquisition whose transaction is gone was rolled back
+    // (abort unwind); there is nothing to release.
+    if (speculative_ && !ctx_.in_tx()) return;
+    lock_.unlock_shared(ctx_);
+  }
+
+  // Whether the acquisition was transactional (elided/buffered) rather than
+  // a real reader-count increment.
+  bool was_speculative() const { return speculative_; }
+
+ private:
+  tsx::Ctx& ctx_;
+  Lock& lock_;
+  bool speculative_ = false;
+};
+
+}  // namespace elision::locks

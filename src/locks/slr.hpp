@@ -19,12 +19,15 @@ struct SlrParams {
   int max_attempts = 10;  // 1 = pessimistic, 10 = optimistic (Sec 5.1)
   bool scm = false;
   int scm_max_retries = 10;
+
+  friend bool operator==(const SlrParams&, const SlrParams&) = default;
 };
 
 template <typename MainLock, typename AuxLock>
 RegionResult slr_region(tsx::Ctx& ctx, MainLock& main, AuxLock& aux,
                         const SlrParams& params,
-                        support::FunctionRef<void()> body) {
+                        support::FunctionRef<void()> body,
+                        AccessMode mode = AccessMode::kExclusive) {
   auto& eng = ctx.engine();
   RegionResult r;
   int failures = 0;
@@ -34,8 +37,11 @@ RegionResult slr_region(tsx::Ctx& ctx, MainLock& main, AuxLock& aux,
     ++r.attempts;
     const unsigned st = eng.run_transaction(ctx, [&] {
       body();
-      // Lock removal: consult the lock only at commit time.
-      if (main.is_held(ctx)) eng.xabort(ctx, kAbortCodeLockBusy);
+      // Lock removal: consult the lock only at commit time. In shared mode
+      // only a writer blocks the commit.
+      if (detail::mode_blocked(ctx, main, mode)) {
+        eng.xabort(ctx, kAbortCodeLockBusy);
+      }
     });
     if (st == tsx::kCommitted) {
       r.speculative = true;
@@ -49,7 +55,7 @@ RegionResult slr_region(tsx::Ctx& ctx, MainLock& main, AuxLock& aux,
     // before joining the aux-lock queue, which would serialize this thread
     // behind the conflict group for nothing.
     if ((st & tsx::status::kRetry) == 0) {
-      complete_locked(ctx, main, r, body);
+      complete_locked(ctx, main, r, body, mode);
       break;
     }
     bool give_up;
@@ -66,7 +72,7 @@ RegionResult slr_region(tsx::Ctx& ctx, MainLock& main, AuxLock& aux,
       give_up = failures >= params.max_attempts;
     }
     if (give_up) {
-      complete_locked(ctx, main, r, body);
+      complete_locked(ctx, main, r, body, mode);
       break;
     }
   }

@@ -45,7 +45,7 @@ StampResult run_genome(const StampConfig& cfg) {
     using Lock = std::remove_reference_t<decltype(lock)>;
     sim::Scheduler sched(cfg.machine);
     tsx::Engine eng(sched, cfg.tsx);
-    locks::CriticalSection<Lock> cs(cfg.scheme, lock);
+    locks::CriticalSection<Lock> cs(locks::ElisionPolicy::from_scheme(cfg.scheme), lock);
     SimBarrier barrier(cfg.threads);
     std::vector<OpTally> tallies(cfg.threads);
     std::vector<std::uint64_t> matches(cfg.threads, 0);

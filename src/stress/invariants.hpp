@@ -62,6 +62,126 @@ class MutualExclusionChecker {
   std::uint64_t violations_ = 0;
 };
 
+// Reader-writer mutual exclusion for the two-mode lock family: a
+// non-speculative writer must exclude *everything*; non-speculative readers
+// may overlap each other but never a writer. As with MutualExclusionChecker,
+// speculative (transactional) occupancies legitimately overlap — the TM
+// layer rolls losers back — so only non-transactional scopes count, and the
+// decision is latched at construction. Scope a WriterGuard over exclusive
+// bodies and a ReaderGuard over shared ones.
+class SharedMutualExclusionChecker {
+ public:
+  class WriterGuard {
+   public:
+    WriterGuard(SharedMutualExclusionChecker& checker, tsx::Ctx& ctx)
+        : checker_(checker), counted_(!ctx.in_tx()) {
+      if (counted_ &&
+          (++checker_.writers_ > 1 || checker_.readers_ > 0)) {
+        ++checker_.violations_;
+      }
+    }
+    ~WriterGuard() {
+      if (counted_) --checker_.writers_;
+    }
+    WriterGuard(const WriterGuard&) = delete;
+    WriterGuard& operator=(const WriterGuard&) = delete;
+
+   private:
+    SharedMutualExclusionChecker& checker_;
+    const bool counted_;
+  };
+
+  class ReaderGuard {
+   public:
+    ReaderGuard(SharedMutualExclusionChecker& checker, tsx::Ctx& ctx)
+        : checker_(checker), counted_(!ctx.in_tx()) {
+      if (counted_) {
+        ++checker_.readers_;
+        if (checker_.writers_ > 0) ++checker_.violations_;
+      }
+    }
+    ~ReaderGuard() {
+      if (counted_) --checker_.readers_;
+    }
+    ReaderGuard(const ReaderGuard&) = delete;
+    ReaderGuard& operator=(const ReaderGuard&) = delete;
+
+   private:
+    SharedMutualExclusionChecker& checker_;
+    const bool counted_;
+  };
+
+  std::uint64_t violations() const { return violations_; }
+  void reset() {
+    writers_ = 0;
+    readers_ = 0;
+    violations_ = 0;
+  }
+
+ private:
+  int writers_ = 0;
+  int readers_ = 0;
+  std::uint64_t violations_ = 0;
+};
+
+// Role-lockout watchdog for reader-writer locks: the role-granular sibling
+// of StarvationWatchdog. Writer-preference locks can lock *readers* out
+// under a continuous writer stream (the SharedTtasLock hazard); a broken
+// reader protocol that ignores writer intent locks *writers* out under a
+// continuous reader stream (the planted GreedySharedLock bug). Feed every
+// completion with its role; a role silent for `gap_cycles` of virtual time
+// while the other role completed at least `min_other_ops` regions is locked
+// out — not merely idle.
+class RoleLockoutChecker {
+ public:
+  RoleLockoutChecker(std::uint64_t gap_cycles, std::uint64_t min_other_ops)
+      : gap_cycles_(gap_cycles), min_other_ops_(min_other_ops) {}
+
+  void note_reader(std::uint64_t now) { note(0, now); }
+  void note_writer(std::uint64_t now) { note(1, now); }
+
+  // Call once after the run with the final virtual time: a role that fell
+  // silent and never completed again is locked out too.
+  void finish(std::uint64_t end_time) {
+    for (int r = 0; r < 2; ++r) check_gap(r, end_time);
+  }
+
+  const std::vector<std::string>& violations() const { return violations_; }
+
+ private:
+  void note(int role, std::uint64_t now) {
+    check_gap(role, now);
+    auto& t = roles_[role];
+    t.completions += 1;
+    t.last_completion = now;
+    t.other_at_last = roles_[1 - role].completions;
+  }
+
+  void check_gap(int role, std::uint64_t now) {
+    const auto& t = roles_[role];
+    const std::uint64_t gap = now - t.last_completion;
+    const std::uint64_t other = roles_[1 - role].completions - t.other_at_last;
+    if (gap > gap_cycles_ && other >= min_other_ops_) {
+      violations_.push_back(
+          std::string(role == 0 ? "reader" : "writer") +
+          " lockout: no completion for " + std::to_string(gap) +
+          " cycles while " + std::to_string(other) + " " +
+          (role == 0 ? "writer" : "reader") + " completions went through");
+    }
+  }
+
+  struct PerRole {
+    std::uint64_t completions = 0;
+    std::uint64_t last_completion = 0;
+    std::uint64_t other_at_last = 0;
+  };
+
+  const std::uint64_t gap_cycles_;
+  const std::uint64_t min_other_ops_;
+  PerRole roles_[2];
+  std::vector<std::string> violations_;
+};
+
 // Virtual-time livelock/starvation watchdog. Feed it every region
 // completion (thread id + the completing thread's virtual clock); it flags
 // any thread that went `gap_cycles` of simulated time without completing a

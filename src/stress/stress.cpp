@@ -2,13 +2,17 @@
 
 #include <utility>
 
+#include "ds/btree.hpp"
 #include "ds/hashtable.hpp"
 #include "harness/runner.hpp"
 #include "locks/clh_lock.hpp"
 #include "locks/mcs_lock.hpp"
 #include "locks/schemes.hpp"
+#include "locks/shared_mcs_lock.hpp"
+#include "locks/shared_ttas_lock.hpp"
 #include "locks/ticket_lock.hpp"
 #include "locks/ttas_lock.hpp"
+#include "stress/greedy_shared_lock.hpp"
 #include "stress/invariants.hpp"
 #include "stress/racy_lock.hpp"
 #include "support/check.hpp"
@@ -24,37 +28,44 @@ const char* lock_name(LockKind k) {
     case LockKind::kTicketAdj: return locks::TicketLockAdjusted::kName;
     case LockKind::kClh: return locks::ClhLock::kName;
     case LockKind::kClhAdj: return locks::ClhLockAdjusted::kName;
+    case LockKind::kSharedTtas: return locks::SharedTtasLock::kName;
+    case LockKind::kSharedMcs: return locks::SharedMcsLock::kName;
     case LockKind::kRacy: return RacyLock::kName;
+    case LockKind::kGreedyShared: return GreedySharedLock::kName;
   }
   return "?";
 }
 
 std::vector<LockKind> all_locks() {
-  return {LockKind::kTtas,      LockKind::kMcs, LockKind::kTicket,
-          LockKind::kTicketAdj, LockKind::kClh, LockKind::kClhAdj};
+  return {LockKind::kTtas,       LockKind::kMcs,      LockKind::kTicket,
+          LockKind::kTicketAdj,  LockKind::kClh,      LockKind::kClhAdj,
+          LockKind::kSharedTtas, LockKind::kSharedMcs};
 }
 
 const char* workload_name(Workload w) {
   switch (w) {
     case Workload::kCounter: return "counter";
     case Workload::kHashTable: return "hashtable";
+    case Workload::kBtree: return "btree";
   }
   return "?";
 }
 
 std::vector<Workload> all_workloads() {
-  return {Workload::kCounter, Workload::kHashTable};
+  return {Workload::kCounter, Workload::kHashTable, Workload::kBtree};
 }
 
-std::vector<locks::Scheme> all_schemes() {
-  std::vector<locks::Scheme> v(std::begin(locks::kAllSixSchemes),
-                               std::end(locks::kAllSixSchemes));
-  v.push_back(locks::Scheme::kRtmElide);
+std::vector<locks::ElisionPolicy> all_policies() {
+  std::vector<locks::ElisionPolicy> v;
+  for (const locks::Scheme s : locks::kAllSixSchemes) {
+    v.push_back(locks::ElisionPolicy::from_scheme(s));
+  }
+  v.push_back(locks::ElisionPolicy::rtm_elide());
   return v;
 }
 
 std::string case_name(const StressCase& c) {
-  std::string s = scheme_name(c.scheme);
+  std::string s = c.policy.spec();
   s += '/';
   s += lock_name(c.lock);
   s += '/';
@@ -80,9 +91,9 @@ harness::BenchConfig base_config(const StressOptions& o, const StressCase& c) {
   cfg.machine.perturb.max_delay_cycles = o.perturb_max_delay_cycles;
   cfg.machine.perturb.seed = c.perturb_seed;
   cfg.machine.perturb.max_points = c.perturb_points;
-  cfg.policy = locks::ElisionPolicy::from_scheme(c.scheme);
+  cfg.policy = c.policy;
   // Algorithm 3 as designed needs HLE nested inside RTM.
-  if (c.scheme == locks::Scheme::kHleScmNested) {
+  if (c.policy.scheme == locks::Scheme::kHleScmNested) {
     cfg.tsx.allow_hle_in_rtm = true;
   }
   cfg.telemetry = o.telemetry;
@@ -219,11 +230,132 @@ RunOutcome run_hashtable(const StressOptions& o, const StressCase& c) {
   return out;
 }
 
+// B+tree mix over the two-mode lock API: updates run exclusive, reads run
+// *shared* on shared-capable locks (and exclusive on single-mode ones, so
+// the workload still crosses the whole lock grid). On top of the structural
+// checks this is where the reader-writer invariants live: a WriterGuard
+// must exclude everything, ReaderGuards may overlap each other, and the
+// RoleLockoutChecker watches for either role being locked out — the
+// writer-starvation hazard the planted GreedySharedLock self-test trips.
+template <typename Lock>
+RunOutcome run_btree(const StressOptions& o, const StressCase& c) {
+  harness::BenchConfig cfg = base_config(o, c);
+  Lock lock;
+  locks::CriticalSection<Lock> cs(cfg.policy, lock);
+  // Capacity bound: nothing is ever freed and a leaf interval below half
+  // capacity cannot split again (see ds/btree.hpp).
+  ds::BplusTree tree(o.btree_size * 2 + 256);
+  const std::uint64_t domain = o.btree_size * 2;
+  std::uint64_t prefilled = 0;
+  for (std::uint64_t k = 0; k < domain; k += 2) {
+    if (tree.unsafe_insert(k, k + 1)) ++prefilled;
+  }
+  tree.unsafe_distribute_free_lists(o.threads);
+  tsx::Shared<std::uint64_t> net(prefilled);
+  SharedMutualExclusionChecker rw_mutex;
+  RoleLockoutChecker roles(o.starvation_gap_cycles,
+                           o.starvation_min_other_ops);
+  StarvationWatchdog dog(o.threads, o.starvation_gap_cycles,
+                         o.starvation_min_other_ops);
+  cfg.on_region_complete = [&dog](tsx::Ctx& ctx, const locks::RegionResult&) {
+    dog.note_completion(ctx.id(), ctx.thread().now());
+  };
+  std::uint64_t torn_values = 0;
+  const int half_updates = o.btree_update_pct / 2;
+  const harness::RunStats stats =
+      harness::run_workload(cfg, [&](tsx::Ctx& ctx) {
+        const std::uint64_t key = ctx.thread().rng().next_below(domain);
+        const std::uint64_t dice = ctx.thread().rng().next_below(100);
+        const std::uint64_t read_dice = ctx.thread().rng().next_below(100);
+        // Role assignment: per-op dice by default; with dedicated writer
+        // threads, low thread ids update and the rest only read (a pure
+        // reader crowd is what keeps a writer-lockout window open — a
+        // mixed-duty thread that blocks as a writer stops reading, so the
+        // crowd self-drains).
+        const bool is_update =
+            o.btree_writer_threads > 0
+                ? ctx.id() < o.btree_writer_threads
+                : dice < static_cast<std::uint64_t>(o.btree_update_pct);
+        // Inserts take the lower half of the update dice range — the whole
+        // [0, 100) range for a dedicated writer, [0, update_pct) otherwise.
+        const std::uint64_t insert_below = static_cast<std::uint64_t>(
+            o.btree_writer_threads > 0 ? 50 : half_updates);
+        if (is_update) {
+          if (o.btree_writer_gap_cycles != 0) {
+            ctx.engine().compute(ctx, o.btree_writer_gap_cycles);
+          }
+          const locks::RegionResult r = cs.run_exclusive(ctx, [&] {
+            SharedMutualExclusionChecker::WriterGuard g(rw_mutex, ctx);
+            if (dice < insert_below) {
+              if (tree.insert(ctx, key, key + 1)) {
+                net.store(ctx, net.load(ctx) + 1);
+              }
+            } else if (tree.erase(ctx, key)) {
+              net.store(ctx, net.load(ctx) - 1);
+            }
+          });
+          roles.note_writer(ctx.thread().now());
+          return r;
+        }
+        const auto read_body = [&] {
+          SharedMutualExclusionChecker::ReaderGuard g(rw_mutex, ctx);
+          if (o.btree_read_dwell_cycles != 0) {
+            ctx.engine().compute(ctx, o.btree_read_dwell_cycles);
+          }
+          if (read_dice < static_cast<std::uint64_t>(o.btree_scan_pct)) {
+            std::uint64_t sum = 0;
+            tree.range_sum(ctx, key, o.btree_scan_len, &sum);
+            return;
+          }
+          std::uint64_t v = 0;
+          if (tree.lookup(ctx, key, &v) && v != key + 1) ++torn_values;
+        };
+        locks::RegionResult r;
+        if constexpr (locks::detail::kHasSharedMode<Lock>) {
+          r = cs.run_shared(ctx, read_body);
+        } else {
+          r = cs.run_exclusive(ctx, read_body);
+        }
+        roles.note_reader(ctx.thread().now());
+        return r;
+      });
+  dog.finish(stats.elapsed_cycles);
+  roles.finish(stats.elapsed_cycles);
+
+  RunOutcome out;
+  fill_outcome(stats, &out);
+  std::string why;
+  if (!tree.unsafe_validate(&why)) {
+    out.violations.push_back("btree structure: " + why);
+  }
+  if (net.unsafe_get() != tree.unsafe_size()) {
+    out.violations.push_back(
+        "btree net size: tracked " + std::to_string(net.unsafe_get()) +
+        " but tree holds " + std::to_string(tree.unsafe_size()));
+  }
+  if (torn_values > 0) {
+    out.violations.push_back("btree torn values: " +
+                             std::to_string(torn_values) +
+                             " lookups observed value != key+1");
+  }
+  if (rw_mutex.violations() > 0) {
+    out.violations.push_back(
+        "rw mutual exclusion: " + std::to_string(rw_mutex.violations()) +
+        " non-speculative writer overlaps");
+  }
+  for (const std::string& v : roles.violations()) {
+    out.violations.push_back("role lockout: " + v);
+  }
+  append_watchdog(dog, &out);
+  return out;
+}
+
 template <typename Lock>
 RunOutcome run_with(const StressOptions& o, const StressCase& c) {
   switch (c.workload) {
     case Workload::kCounter: return run_counter<Lock>(o, c);
     case Workload::kHashTable: return run_hashtable<Lock>(o, c);
+    case Workload::kBtree: return run_btree<Lock>(o, c);
   }
   ELISION_CHECK_MSG(false, "unknown workload");
   return {};
@@ -240,10 +372,18 @@ RunOutcome run_case(const StressOptions& o, const StressCase& c) {
       return run_with<locks::TicketLockAdjusted>(o, c);
     case LockKind::kClh: return run_with<locks::ClhLock>(o, c);
     case LockKind::kClhAdj: return run_with<locks::ClhLockAdjusted>(o, c);
+    case LockKind::kSharedTtas:
+      return run_with<locks::SharedTtasLock>(o, c);
+    case LockKind::kSharedMcs: return run_with<locks::SharedMcsLock>(o, c);
     case LockKind::kRacy:
-      ELISION_CHECK_MSG(c.scheme == locks::Scheme::kStandard,
+      ELISION_CHECK_MSG(c.policy.scheme == locks::Scheme::kStandard,
                         "RacyLock is a standard-scheme self-test instrument");
       return run_with<RacyLock>(o, c);
+    case LockKind::kGreedyShared:
+      ELISION_CHECK_MSG(
+          c.policy.scheme == locks::Scheme::kStandard,
+          "GreedySharedLock is a standard-scheme self-test instrument");
+      return run_with<GreedySharedLock>(o, c);
   }
   ELISION_CHECK_MSG(false, "unknown lock kind");
   return {};
@@ -278,23 +418,23 @@ Minimized minimize_case(const StressOptions& o, StressCase c) {
 }
 
 SweepStats sweep(
-    const StressOptions& o, const std::vector<locks::Scheme>& schemes,
+    const StressOptions& o, const std::vector<locks::ElisionPolicy>& policies,
     const std::vector<LockKind>& locks, const std::vector<Workload>& workloads,
     std::uint64_t first_seed, int n_seeds,
     const std::function<void(const StressCase&, const RunOutcome&)>& on_run) {
-  // Flatten the seed x scheme x lock x workload grid into a job vector in
+  // Flatten the seed x policy x lock x workload grid into a job vector in
   // the order the nested loops have always visited it; every cell is an
   // independent Scheduler+Engine simulation, so the runs fan out across
   // host threads while each outcome lands in its own grid slot.
   std::vector<StressCase> grid;
-  grid.reserve(static_cast<std::size_t>(n_seeds) * schemes.size() *
+  grid.reserve(static_cast<std::size_t>(n_seeds) * policies.size() *
                locks.size() * workloads.size());
   for (int i = 0; i < n_seeds; ++i) {
-    for (const locks::Scheme scheme : schemes) {
+    for (const locks::ElisionPolicy& policy : policies) {
       for (const LockKind lock : locks) {
         for (const Workload workload : workloads) {
           StressCase c;
-          c.scheme = scheme;
+          c.policy = policy;
           c.lock = lock;
           c.workload = workload;
           c.perturb_seed = first_seed + static_cast<std::uint64_t>(i);

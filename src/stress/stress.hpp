@@ -12,8 +12,8 @@
 //  * invariants — mutual exclusion (at most one *non-speculative* thread
 //    per lock's critical section), lost-update detection, data-structure
 //    validation after every run, and a virtual-time starvation watchdog;
-//  * sweeping — run_case() executes one (scheme, lock, workload,
-//    perturbation seed) cell; sweep() crosses scheme x lock x workload x
+//  * sweeping — run_case() executes one (policy, lock, workload,
+//    perturbation seed) cell; sweep() crosses policy x lock x workload x
 //    seed; minimize_case() shrinks a failing seed's perturbation budget to
 //    the smallest injection prefix that still reproduces the violation.
 //
@@ -29,8 +29,11 @@
 
 namespace elision::stress {
 
-// Locks under test. kRacy is the self-test instrument (racy_lock.hpp):
-// excluded from all_locks(), only valid with Scheme::kStandard.
+// Locks under test. kSharedTtas/kSharedMcs are the two-mode family: the
+// single-mode workloads drive them purely exclusively, the btree workload
+// additionally exercises shared mode. kRacy and kGreedyShared are the
+// self-test instruments (racy_lock.hpp, greedy_shared_lock.hpp): excluded
+// from all_locks(), only valid with the standard (non-speculative) policy.
 enum class LockKind {
   kTtas,
   kMcs,
@@ -38,7 +41,10 @@ enum class LockKind {
   kTicketAdj,
   kClh,
   kClhAdj,
+  kSharedTtas,
+  kSharedMcs,
   kRacy,
+  kGreedyShared,
 };
 
 const char* lock_name(LockKind k);
@@ -47,14 +53,19 @@ std::vector<LockKind> all_locks();
 enum class Workload {
   kCounter,    // one hot Shared counter; checks lost updates + mutex
   kHashTable,  // mixed insert/erase/lookup; checks structure + net size
+  kBtree,      // B+tree mix; reads run shared on two-mode locks; checks
+               // structure, net size, rw-mutex and role lockout
 };
 
 const char* workload_name(Workload w);
 std::vector<Workload> all_workloads();
 
-// Schemes covered by "--schemes all": the paper's six evaluated schemes
-// plus the RTM-based elision mechanism.
-std::vector<locks::Scheme> all_schemes();
+// Policies covered by "--schemes all": the paper's six evaluated schemes
+// plus the RTM-based elision mechanism, all in exclusive mode — the
+// shared-mode axis is exercised per-operation by the btree workload, not
+// by the policy grid (a `+shared` policy would run read-write bodies as
+// readers, which is a usage error, not a lock bug).
+std::vector<locks::ElisionPolicy> all_policies();
 
 // Per-sweep knobs (shared by every case of a sweep).
 struct StressOptions {
@@ -88,6 +99,30 @@ struct StressOptions {
   std::size_t hashtable_buckets = 32;
   std::size_t hashtable_capacity = 256;
 
+  // B+tree workload: tree size (key domain is 2x), the update share of the
+  // mix (split between inserts and erases), the share of reads that are
+  // range scans, their length, and an optional in-section dwell for read
+  // operations — virtual cycles of compute() inside the (shared) critical
+  // section, used by the writer-starvation self-test to keep the reader
+  // crowd overlapped.
+  std::size_t btree_size = 96;
+  int btree_update_pct = 20;
+  int btree_scan_pct = 30;
+  std::size_t btree_scan_len = 8;
+  std::uint64_t btree_read_dwell_cycles = 0;
+  // 0: every thread rolls the update die per op. > 0: threads with id below
+  // this are dedicated writers (update mix only) and the rest are pure
+  // readers — the role split the lockout hazards need (a mixed-duty thread
+  // that blocks as a writer stops reading, so the reader crowd self-drains
+  // and a reader-barging bug can never starve writers for long).
+  int btree_writer_threads = 0;
+  // Virtual cycles an updater computes *outside* the critical section before
+  // each update. Without it a dedicated writer re-announces intent the
+  // moment it unlocks, and a writer-preference lock then (correctly, per its
+  // documented unfairness) locks the readers out — the gap opens reader
+  // windows so only a broken lock trips the lockout checker.
+  std::uint64_t btree_writer_gap_cycles = 0;
+
   // Shrink failing seeds' perturbation budgets during sweep().
   bool minimize = true;
 
@@ -103,7 +138,7 @@ struct StressOptions {
 
 // One cell of the sweep.
 struct StressCase {
-  locks::Scheme scheme = locks::Scheme::kHle;
+  locks::ElisionPolicy policy = locks::ElisionPolicy::hle();
   LockKind lock = LockKind::kTtas;
   Workload workload = Workload::kCounter;
   std::uint64_t perturb_seed = 0;
@@ -155,7 +190,7 @@ struct SweepStats {
   bool ok() const { return failures.empty(); }
 };
 
-// Crosses schemes x locks x workloads x perturbation seeds
+// Crosses policies x locks x workloads x perturbation seeds
 // [first_seed, first_seed + n_seeds). Cases run on up to
 // o.host_threads host threads (each case is an independent simulation);
 // aggregation happens in grid order afterwards, so results and reporting
@@ -163,7 +198,7 @@ struct SweepStats {
 // called once per case in grid order during that aggregation phase —
 // progress reporting, not a live completion callback.
 SweepStats sweep(
-    const StressOptions& o, const std::vector<locks::Scheme>& schemes,
+    const StressOptions& o, const std::vector<locks::ElisionPolicy>& policies,
     const std::vector<LockKind>& locks,
     const std::vector<Workload>& workloads, std::uint64_t first_seed,
     int n_seeds,

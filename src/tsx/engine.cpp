@@ -600,6 +600,32 @@ std::uint64_t Engine::xacquire_fetch_add(Ctx& ctx, void* addr,
   return original;
 }
 
+bool Engine::xacquire_compare_exchange(Ctx& ctx, void* addr,
+                                       std::uint64_t expected,
+                                       std::uint64_t desired) {
+  if (ctx.mode() == ElisionMode::kStandard) {
+    return compare_exchange(ctx, addr, expected, desired);
+  }
+  if (ctx.in_tx()) {
+    poll(ctx);
+    if (!config_.allow_hle_in_rtm) abort_self(ctx, AbortCause::kNesting);
+    ctx.elided_is_tx_root_ = false;
+  } else {
+    begin_tx(ctx);
+    ctx.elided_is_tx_root_ = true;
+  }
+  // CMPXCHG stores `desired` on success and writes back the original value
+  // on failure; either way the tagged store is elided and the lock's line
+  // enters the read set (the illusion is what this thread "wrote"). A caller
+  // that sees `false` while transactional must PAUSE (and thus abort): the
+  // illusion pins the lock word, so spinning on it in-tx cannot make
+  // progress.
+  const std::uint64_t original = read_word(addr);
+  const bool ok = original == expected;
+  elide_begin(ctx, addr, ok ? desired : original);
+  return ok;
+}
+
 bool Engine::elide_release(Ctx& ctx, std::uint64_t new_value) {
   if (new_value != ctx.elided_original_) {
     // HLE requires the releasing store to restore the lock's original value.

@@ -55,6 +55,8 @@ class Engine {
   // ------------------------------------------------------------------
   std::uint64_t xacquire_exchange(Ctx& ctx, void* addr, std::uint64_t value);
   std::uint64_t xacquire_fetch_add(Ctx& ctx, void* addr, std::uint64_t delta);
+  bool xacquire_compare_exchange(Ctx& ctx, void* addr, std::uint64_t expected,
+                                 std::uint64_t desired);
   void xrelease_store(Ctx& ctx, void* addr, std::uint64_t value);
   bool xrelease_compare_exchange(Ctx& ctx, void* addr, std::uint64_t expected,
                                  std::uint64_t desired);

@@ -71,6 +71,11 @@ class Shared {
     return decode(ctx.engine().xacquire_fetch_add(
         ctx, &raw_, static_cast<std::uint64_t>(delta)));
   }
+  bool xacquire_compare_exchange(Ctx& ctx, T expected, T desired) {
+    return ctx.engine().xacquire_compare_exchange(ctx, &raw_,
+                                                  encode(expected),
+                                                  encode(desired));
+  }
   void xrelease_store(Ctx& ctx, T v) {
     ctx.engine().xrelease_store(ctx, &raw_, encode(v));
   }

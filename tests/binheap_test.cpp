@@ -120,7 +120,7 @@ TEST(BinHeap, ConcurrentMixedOpsKeepHeapValid) {
     BinHeap heap(4096);
     for (std::uint64_t k = 0; k < 256; ++k) heap.unsafe_push(k * 13 % 997);
     locks::TtasLock lock;
-    locks::CriticalSection<locks::TtasLock> cs(scheme, lock);
+    locks::CriticalSection<locks::TtasLock> cs(locks::ElisionPolicy::from_scheme(scheme), lock);
     sim::Scheduler sched(quiet_machine());
     tsx::Engine eng(sched, quiet_tsx());
     std::int64_t net = 0;
@@ -160,7 +160,7 @@ TEST(BinHeap, ElisionCannotParallelizeTheHeap) {
     BinHeap heap(1 << 14);
     for (std::uint64_t k = 0; k < 4096; ++k) heap.unsafe_push(k * 31 % 65536);
     locks::TtasLock lock;
-    locks::CriticalSection<locks::TtasLock> cs(scheme, lock);
+    locks::CriticalSection<locks::TtasLock> cs(locks::ElisionPolicy::from_scheme(scheme), lock);
     sim::Scheduler sched(quiet_machine());
     tsx::Engine eng(sched, quiet_tsx());
     std::uint64_t ops = 0;

@@ -176,7 +176,7 @@ TEST(GroupedScm, GivesUpAfterMaxRetries) {
 TEST(GroupedScm, AvailableThroughSchemeRunner) {
   locks::TtasLock main;
   locks::CriticalSection<locks::TtasLock> cs(
-      locks::Scheme::kHleGroupedScm, main);
+      locks::ElisionPolicy::hle_grouped_scm(), main);
   tsx::Shared<std::uint64_t> counter(0);
   sim::Scheduler sched(quiet_machine());
   tsx::Engine eng(sched, quiet_tsx());

@@ -31,7 +31,7 @@ harness::RunStats tree_run(locks::Scheme scheme, std::size_t size,
   }
   tree.unsafe_distribute_free_lists(8);
   Lock lock;
-  locks::CriticalSection<Lock> cs(scheme, lock);
+  locks::CriticalSection<Lock> cs(locks::ElisionPolicy::from_scheme(scheme), lock);
   harness::BenchConfig cfg;
   cfg.duration_sec = 0.002;
   cfg.machine.seed = seed;
@@ -108,7 +108,7 @@ TEST(Figures, HashTable_ScmLargeFactorOverHleMcs) {
       if (ht.unsafe_insert(fill.next_below(2048), 1)) ++filled;
     }
     locks::McsLock lock;
-    locks::CriticalSection<locks::McsLock> cs(scheme, lock);
+    locks::CriticalSection<locks::McsLock> cs(locks::ElisionPolicy::from_scheme(scheme), lock);
     harness::BenchConfig cfg;
     cfg.duration_sec = 0.002;
     return harness::run_workload(cfg, [&](tsx::Ctx& ctx) {

@@ -43,7 +43,7 @@ TEST_P(TransferFuzz, SumConservedUnderRandomTransfers) {
   // parameter sweep.
   const locks::Scheme scheme =
       locks::kAllSixSchemes[seed % std::size(locks::kAllSixSchemes)];
-  locks::CriticalSection<locks::TtasLock> cs(scheme, lock);
+  locks::CriticalSection<locks::TtasLock> cs(locks::ElisionPolicy::from_scheme(scheme), lock);
 
   for (int t = 0; t < 6; ++t) {
     sched.spawn([&](sim::SimThread& st) {
@@ -89,7 +89,7 @@ TEST_P(InvariantFuzz, CommittedReadersSeeConsistentSnapshots) {
   locks::TtasLock lock;
   const locks::Scheme scheme =
       locks::kAllSixSchemes[(seed + 2) % std::size(locks::kAllSixSchemes)];
-  locks::CriticalSection<locks::TtasLock> cs(scheme, lock);
+  locks::CriticalSection<locks::TtasLock> cs(locks::ElisionPolicy::from_scheme(scheme), lock);
 
   for (int t = 0; t < 3; ++t) {
     sched.spawn([&](sim::SimThread& st) {  // writers
@@ -162,7 +162,7 @@ TEST_P(TreeFuzz, TreeStaysValidUnderRandomMachines) {
   locks::McsLock lock;
   const locks::Scheme scheme =
       locks::kAllSixSchemes[seed % std::size(locks::kAllSixSchemes)];
-  locks::CriticalSection<locks::McsLock> cs(scheme, lock);
+  locks::CriticalSection<locks::McsLock> cs(locks::ElisionPolicy::from_scheme(scheme), lock);
   for (int t = 0; t < threads; ++t) {
     sched.spawn([&](sim::SimThread& st) {
       auto& ctx = eng.context(st);

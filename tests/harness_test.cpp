@@ -64,7 +64,7 @@ TEST(Runner, DeterministicAcrossIdenticalRuns) {
   auto once = [] {
     BenchConfig cfg = quiet_config();
     locks::TtasLock lock;
-    locks::CriticalSection<locks::TtasLock> cs(locks::Scheme::kHle, lock);
+    locks::CriticalSection<locks::TtasLock> cs(locks::ElisionPolicy::hle(), lock);
     tsx::Shared<std::uint64_t> hot(0);
     return run_workload(cfg, [&](tsx::Ctx& ctx) {
       return cs.run(ctx, [&] { hot.store(ctx, hot.load(ctx) + 1); });

@@ -172,7 +172,7 @@ TEST_P(HashTableConcurrent, ValueSumConserved) {
 
   auto run_with = [&](auto& lock) {
     using Lock = std::remove_reference_t<decltype(lock)>;
-    locks::CriticalSection<Lock> cs(p.scheme, lock);
+    locks::CriticalSection<Lock> cs(locks::ElisionPolicy::from_scheme(p.scheme), lock);
     for (int t = 0; t < kThreads; ++t) {
       sched.spawn([&](sim::SimThread& st) {
         auto& ctx = eng.context(st);

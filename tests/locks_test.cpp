@@ -9,6 +9,7 @@
 
 #include "locks/clh_lock.hpp"
 #include "locks/mcs_lock.hpp"
+#include "locks/policy.hpp"
 #include "locks/region.hpp"
 #include "locks/ticket_lock.hpp"
 #include "locks/ttas_lock.hpp"
@@ -417,6 +418,71 @@ TEST(Ttas, ArrivalStatsCount) {
   sched.run();
   EXPECT_EQ(lock.arrivals(), 1u);
   EXPECT_EQ(lock.arrivals_lock_held(), 0u);
+}
+
+// --- ElisionPolicy spec grammar: the one spelling shared by bench point
+// ids, stress case names, and every CLI flag (see locks/policy.hpp). ---
+
+TEST(PolicySpec, NamedConstructorsRoundTrip) {
+  const ElisionPolicy policies[] = {
+      ElisionPolicy::standard(),        ElisionPolicy::hle(),
+      ElisionPolicy::hle_scm(),         ElisionPolicy::pes_slr(),
+      ElisionPolicy::opt_slr(),         ElisionPolicy::opt_slr_scm(),
+      ElisionPolicy::rtm_elide(),       ElisionPolicy::hle_scm_nested(),
+      ElisionPolicy::hle_grouped_scm(), ElisionPolicy::hle().shared(),
+      ElisionPolicy::hle_scm().shared(),
+  };
+  for (const ElisionPolicy& p : policies) {
+    const auto back = ElisionPolicy::parse(p.spec());
+    ASSERT_TRUE(back.has_value()) << p.spec();
+    EXPECT_EQ(back->spec(), p.spec());
+    EXPECT_EQ(back->scheme, p.scheme) << p.spec();
+    EXPECT_EQ(back->mode, p.mode) << p.spec();
+  }
+}
+
+TEST(PolicySpec, SchemeDefaultsSpellAsBareSlug) {
+  for (const Scheme s : kAllSchemes) {
+    EXPECT_EQ(ElisionPolicy::from_scheme(s).spec(), scheme_slug(s));
+  }
+}
+
+TEST(PolicySpec, KnobsRoundTripAndNonDefaultsOnlyAppear) {
+  const ElisionPolicy p = ElisionPolicy::hle_scm().with_max_spec_attempts(5);
+  const std::string spec = p.spec();
+  EXPECT_NE(spec.find("spec-attempts=5"), std::string::npos) << spec;
+  const auto back = ElisionPolicy::parse(spec);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->retry.max_spec_attempts, 5);
+  EXPECT_EQ(back->spec(), spec);
+}
+
+TEST(PolicySpec, ParseAcceptsLegacyMixedCaseAndSharedSuffix) {
+  const auto legacy = ElisionPolicy::parse("HLE-SCM");
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(legacy->scheme, Scheme::kHleScm);
+  const auto shared = ElisionPolicy::parse("hle+shared");
+  ASSERT_TRUE(shared.has_value());
+  EXPECT_EQ(shared->mode, AccessMode::kShared);
+  EXPECT_EQ(shared->spec(), "hle+shared");
+}
+
+TEST(PolicySpec, ParseRejectsGarbage) {
+  EXPECT_FALSE(ElisionPolicy::parse("").has_value());
+  EXPECT_FALSE(ElisionPolicy::parse("htm-magic").has_value());
+  EXPECT_FALSE(ElisionPolicy::parse("hle:imaginary-knob=3").has_value());
+  EXPECT_FALSE(ElisionPolicy::parse("hle+exclusive-ish").has_value());
+}
+
+TEST(PolicySpec, DeprecatedSchemeConversionStillWorks) {
+  // The implicit Scheme conversion is deprecated but must keep functioning
+  // until the last out-of-tree caller migrates.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const ElisionPolicy p = Scheme::kHleScm;
+#pragma GCC diagnostic pop
+  EXPECT_EQ(p.scheme, Scheme::kHleScm);
+  EXPECT_EQ(p.spec(), "hle-scm");
 }
 
 }  // namespace

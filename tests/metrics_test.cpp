@@ -190,7 +190,7 @@ TEST(MetricsExport, SixSchemeSweepHasMatrixAndHistogramPerScheme) {
     cfg.threads = 4;
     cfg.duration_sec = 0.0002;
     cfg.machine.seed = 7;
-    cfg.policy = scheme;
+    cfg.policy = locks::ElisionPolicy::from_scheme(scheme);
     cfg.telemetry = true;
     locks::TtasLock lock;
     locks::CriticalSection<locks::TtasLock> cs(cfg.policy, lock);

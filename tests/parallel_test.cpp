@@ -138,7 +138,7 @@ std::vector<std::string> sweep_log(int host_threads, stress::SweepStats* out) {
   o.host_threads = host_threads;
   std::vector<std::string> log;
   *out = stress::sweep(
-      o, {locks::Scheme::kHle, locks::Scheme::kHleScm},
+      o, {locks::ElisionPolicy::hle(), locks::ElisionPolicy::hle_scm()},
       {stress::LockKind::kTtas, stress::LockKind::kMcs},
       stress::all_workloads(), /*first_seed=*/1, /*n_seeds=*/2,
       [&](const stress::StressCase& c, const stress::RunOutcome& r) {
@@ -152,7 +152,7 @@ std::vector<std::string> sweep_log(int host_threads, stress::SweepStats* out) {
 TEST(ParallelStress, SweepByteIdenticalAcrossHostThreads) {
   stress::SweepStats serial;
   const std::vector<std::string> serial_log = sweep_log(1, &serial);
-  ASSERT_EQ(serial.runs, 16);
+  ASSERT_EQ(serial.runs, 24);
   for (const int ht : {2, 4}) {
     stress::SweepStats threaded;
     const std::vector<std::string> log = sweep_log(ht, &threaded);
@@ -173,7 +173,7 @@ harness::RunStats rb_stats(int host_threads, double* arrival) {
   p.threads = 4;
   p.seeds = 4;
   p.duration_sec = 0.001;
-  p.scheme = locks::Scheme::kHleScm;
+  p.scheme = locks::ElisionPolicy::hle_scm();
   p.timeline_slot_cycles = 20000;  // exercise timeline slot-wise merging
   p.host_threads = host_threads;
   p.arrival_held_frac = arrival;

@@ -190,7 +190,7 @@ TEST_P(RbTreeConcurrent, InvariantsHoldUnderConcurrency) {
 
   auto run_with = [&](auto& lock) {
     using Lock = std::remove_reference_t<decltype(lock)>;
-    locks::CriticalSection<Lock> cs(p.scheme, lock);
+    locks::CriticalSection<Lock> cs(locks::ElisionPolicy::from_scheme(p.scheme), lock);
     for (int t = 0; t < 8; ++t) {
       sched.spawn([&](sim::SimThread& st) {
         auto& ctx = eng.context(st);

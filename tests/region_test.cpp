@@ -50,7 +50,7 @@ TEST(Region, AttemptAccountingSpeculative) {
   for (const Scheme s : kAllSixSchemes) {
     if (s == Scheme::kStandard) continue;
     TtasLock lock;
-    CriticalSection<TtasLock> cs(s, lock);
+    CriticalSection<TtasLock> cs(ElisionPolicy::from_scheme(s), lock);
     tsx::Shared<std::uint64_t> x(0);
     sim::Scheduler sched(quiet_machine());
     tsx::Engine eng(sched, quiet_tsx());
@@ -71,7 +71,7 @@ TEST(Region, AttemptAccountingOnCapacityGiveUp) {
   std::vector<support::CacheAligned<tsx::Shared<std::uint64_t>>> big(kLines);
   for (const Scheme s : {Scheme::kHle, Scheme::kOptSlr}) {
     TtasLock lock;
-    CriticalSection<TtasLock> cs(s, lock);
+    CriticalSection<TtasLock> cs(ElisionPolicy::from_scheme(s), lock);
     sim::Scheduler sched(quiet_machine());
     tsx::Engine eng(sched, quiet_tsx());
     sched.spawn([&](sim::SimThread& st) {
@@ -92,7 +92,7 @@ template <typename Lock>
 void scheme_lock_matrix() {
   for (const Scheme s : kAllSixSchemes) {
     Lock lock;
-    CriticalSection<Lock> cs(s, lock);
+    CriticalSection<Lock> cs(ElisionPolicy::from_scheme(s), lock);
     tsx::Shared<std::uint64_t> counter(0);
     sim::Scheduler sched(quiet_machine());
     tsx::Engine eng(sched, quiet_tsx());
@@ -122,7 +122,7 @@ TEST(Region, MatrixClhUnadjusted) { scheme_lock_matrix<ClhLock>(); }
 
 TEST(Region, UnadjustedTicketNeverSpeculatesUnderHle) {
   TicketLock lock;
-  CriticalSection<TicketLock> cs(Scheme::kHle, lock);
+  CriticalSection<TicketLock> cs(ElisionPolicy::hle(), lock);
   tsx::Shared<std::uint64_t> x(0);
   std::uint64_t spec = 0;
   sim::Scheduler sched(quiet_machine());
@@ -147,7 +147,7 @@ TEST(Region, ScmOverAdjustedFairLocksKeepsFifoUnderGiveUp) {
   // up taking the adjusted ticket lock non-speculatively; FIFO order (and
   // hence completion) must be preserved.
   TicketLockAdjusted lock;
-  CriticalSection<TicketLockAdjusted> cs(Scheme::kHleScm, lock);
+  CriticalSection<TicketLockAdjusted> cs(ElisionPolicy::hle_scm(), lock);
   constexpr std::size_t kLines = 600;
   std::vector<support::CacheAligned<tsx::Shared<std::uint64_t>>> big(kLines);
   sim::Scheduler sched(quiet_machine());
@@ -169,7 +169,7 @@ TEST(Region, RtmElideCountsAbortsHleCannot) {
   // Two conflicting threads under kRtmElide must leave engine-visible
   // conflict-abort counts.
   TtasLock lock;
-  CriticalSection<TtasLock> cs(Scheme::kRtmElide, lock);
+  CriticalSection<TtasLock> cs(ElisionPolicy::rtm_elide(), lock);
   tsx::Shared<std::uint64_t> hot(0);
   sim::Scheduler sched(quiet_machine());
   tsx::Engine eng(sched, quiet_tsx());
@@ -219,7 +219,7 @@ TEST(Region, BodySideEffectsReplayOnRetry) {
   // caller contract is that bodies are idempotent apart from simulated
   // state. Verify the attempt count equals the number of executions.
   TtasLock lock;
-  CriticalSection<TtasLock> cs(Scheme::kHleScm, lock);
+  CriticalSection<TtasLock> cs(ElisionPolicy::hle_scm(), lock);
   tsx::Shared<std::uint64_t> hot(0);
   sim::Scheduler sched(quiet_machine());
   tsx::Engine eng(sched, quiet_tsx());

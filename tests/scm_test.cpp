@@ -306,7 +306,7 @@ TEST(Scm, WorksWithMcsMainLock) {
 TEST(Scheme, RunnerDispatchesAllSchemes) {
   for (const Scheme s : kAllSixSchemes) {
     TtasLock main;
-    CriticalSection<TtasLock> cs(s, main);
+    CriticalSection<TtasLock> cs(ElisionPolicy::from_scheme(s), main);
     tsx::Shared<std::uint64_t> counter(0);
     sim::Scheduler sched(quiet_machine());
     tsx::Engine eng(sched, quiet_tsx());

@@ -170,11 +170,11 @@ TEST_P(SkipListConcurrent, StructureSurvivesConcurrency) {
   };
   if (p.mcs) {
     locks::McsLock lock;
-    locks::CriticalSection<locks::McsLock> cs(p.scheme, lock);
+    locks::CriticalSection<locks::McsLock> cs(locks::ElisionPolicy::from_scheme(p.scheme), lock);
     worker(cs);
   } else {
     locks::TtasLock lock;
-    locks::CriticalSection<locks::TtasLock> cs(p.scheme, lock);
+    locks::CriticalSection<locks::TtasLock> cs(locks::ElisionPolicy::from_scheme(p.scheme), lock);
     worker(cs);
   }
   std::string why;

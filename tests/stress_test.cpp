@@ -11,7 +11,7 @@
 namespace elision {
 namespace {
 
-using locks::Scheme;
+using locks::ElisionPolicy;
 using namespace stress;
 
 StressOptions quick_options() {
@@ -21,10 +21,10 @@ StressOptions quick_options() {
 }
 
 TEST(Stress, SweepAllSchemesAllLocksHoldsInvariants) {
-  const SweepStats s = sweep(quick_options(), all_schemes(), all_locks(),
+  const SweepStats s = sweep(quick_options(), all_policies(), all_locks(),
                              all_workloads(), /*first_seed=*/1,
                              /*n_seeds=*/2);
-  EXPECT_EQ(s.runs, 7 * 6 * 2 * 2);
+  EXPECT_EQ(s.runs, 7 * 8 * 3 * 2);
   EXPECT_GT(s.total_ops, 0u);
   for (const FailureReport& f : s.failures) {
     ADD_FAILURE() << case_name(f.c) << ": " << f.outcome.violations.front();
@@ -34,7 +34,7 @@ TEST(Stress, SweepAllSchemesAllLocksHoldsInvariants) {
 TEST(Stress, PerturbationFiresAndIsDeterministic) {
   const StressOptions o = quick_options();
   StressCase c;
-  c.scheme = Scheme::kHleScm;
+  c.policy = ElisionPolicy::hle_scm();
   c.lock = LockKind::kTtas;
   c.workload = Workload::kHashTable;
   c.perturb_seed = 7;
@@ -50,7 +50,7 @@ TEST(Stress, PerturbationFiresAndIsDeterministic) {
 TEST(Stress, PerturbationSeedChangesTheSchedule) {
   const StressOptions o = quick_options();
   StressCase c;
-  c.scheme = Scheme::kHle;
+  c.policy = ElisionPolicy::hle();
   c.lock = LockKind::kTtas;
   c.workload = Workload::kCounter;
   c.perturb_seed = 1;
@@ -65,7 +65,7 @@ TEST(Stress, PerturbationSeedChangesTheSchedule) {
 TEST(Stress, BudgetCapsInjections) {
   StressOptions o = quick_options();
   StressCase c;
-  c.scheme = Scheme::kHle;
+  c.policy = ElisionPolicy::hle();
   c.lock = LockKind::kMcs;
   c.workload = Workload::kCounter;
   c.perturb_seed = 3;
@@ -81,8 +81,8 @@ TEST(Stress, SelfTestFindsPlantedRacyLockBug) {
   StressOptions o = quick_options();
   o.duration_ms = 0.05;
   const SweepStats s =
-      sweep(o, {Scheme::kStandard}, {LockKind::kRacy}, {Workload::kCounter},
-            /*first_seed=*/1, /*n_seeds=*/10);
+      sweep(o, {ElisionPolicy::standard()}, {LockKind::kRacy},
+            {Workload::kCounter}, /*first_seed=*/1, /*n_seeds=*/10);
   ASSERT_FALSE(s.failures.empty())
       << "perturbed sweep missed the planted RacyLock bug";
   const FailureReport& f = s.failures.front();
@@ -93,6 +93,39 @@ TEST(Stress, SelfTestFindsPlantedRacyLockBug) {
   StressCase repro = f.c;
   repro.perturb_points = f.minimized_points;
   EXPECT_FALSE(run_case(o, repro).ok());
+}
+
+// The shared-mode sibling of the RacyLock self-test: the reader-writer
+// invariants must catch GreedySharedLock's planted writer starvation
+// (readers barge past announced writer intent), and must stay quiet on the
+// correct SharedTtasLock under the identical configuration.
+TEST(Stress, SelfTestFindsPlantedWriterStarvation) {
+  StressOptions o = quick_options();
+  // One dedicated writer thread against a pure reader crowd (mixed-duty
+  // threads would all eventually block as writers, draining the crowd and
+  // closing the starvation window).
+  o.duration_ms = 0.2;
+  o.btree_writer_threads = 1;
+  o.btree_writer_gap_cycles = 4000;  // reader windows on a correct lock
+  o.btree_read_dwell_cycles = 1500;
+  const SweepStats broken =
+      sweep(o, {ElisionPolicy::standard()}, {LockKind::kGreedyShared},
+            {Workload::kBtree}, /*first_seed=*/1, /*n_seeds=*/5);
+  bool found = false;
+  for (const FailureReport& f : broken.failures) {
+    for (const std::string& v : f.outcome.violations) {
+      if (v.find("writer lockout") != std::string::npos) found = true;
+    }
+  }
+  EXPECT_TRUE(found)
+      << "perturbed sweep missed the planted writer starvation";
+  const SweepStats control =
+      sweep(o, {ElisionPolicy::standard()}, {LockKind::kSharedTtas},
+            {Workload::kBtree}, /*first_seed=*/1, /*n_seeds=*/5);
+  for (const FailureReport& f : control.failures) {
+    ADD_FAILURE() << "correct lock flagged: " << case_name(f.c) << ": "
+                  << f.outcome.violations.front();
+  }
 }
 
 TEST(InvariantsTest, MutualExclusionCounterBalances) {
@@ -122,6 +155,25 @@ TEST(InvariantsTest, StarvationWatchdogIgnoresIdleSystem) {
   dog.note_completion(0, 50);
   dog.finish(100000);
   EXPECT_TRUE(dog.violations().empty());
+}
+
+TEST(InvariantsTest, RoleLockoutFlagsSilentRole) {
+  RoleLockoutChecker roles(/*gap_cycles=*/1000, /*min_other_ops=*/3);
+  // Readers complete steadily; no writer ever completes.
+  for (int i = 1; i <= 6; ++i) {
+    roles.note_reader(static_cast<std::uint64_t>(i) * 300);
+  }
+  roles.finish(2000);
+  ASSERT_EQ(roles.violations().size(), 1u);
+  EXPECT_NE(roles.violations()[0].find("writer lockout"), std::string::npos);
+}
+
+TEST(InvariantsTest, RoleLockoutIgnoresIdleSystem) {
+  RoleLockoutChecker roles(/*gap_cycles=*/1000, /*min_other_ops=*/3);
+  roles.note_reader(50);
+  roles.note_writer(60);
+  roles.finish(100000);  // both roles idle: nothing singled out
+  EXPECT_TRUE(roles.violations().empty());
 }
 
 }  // namespace

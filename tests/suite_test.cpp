@@ -78,7 +78,7 @@ TEST(RbWorkload, TimelineMergedAcrossSeeds) {
   p.threads = 4;
   p.duration_sec = 0.0004;
   p.seeds = 2;
-  p.scheme = locks::Scheme::kHle;
+  p.scheme = locks::ElisionPolicy::hle();
   p.timeline_slot_cycles = 340000;  // ~4 slots per seed run
   const RunStats merged = run_rb_point(p);
   ASSERT_GT(merged.ops, 0u);

@@ -12,8 +12,8 @@
 //          hle-scm-nested hle-gscm
 #include <cstdio>
 #include <cstring>
-#include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,6 +22,7 @@
 #include "harness/runner.hpp"
 #include "locks/clh_lock.hpp"
 #include "locks/mcs_lock.hpp"
+#include "locks/policy.hpp"
 #include "locks/schemes.hpp"
 #include "locks/ticket_lock.hpp"
 #include "locks/ttas_lock.hpp"
@@ -44,20 +45,6 @@ struct Options {
   std::string trace_file;
 };
 
-const std::map<std::string, locks::Scheme>& scheme_map() {
-  static const std::map<std::string, locks::Scheme> m = {
-      {"standard", locks::Scheme::kStandard},
-      {"hle", locks::Scheme::kHle},
-      {"hle-scm", locks::Scheme::kHleScm},
-      {"pes-slr", locks::Scheme::kPesSlr},
-      {"opt-slr", locks::Scheme::kOptSlr},
-      {"opt-slr-scm", locks::Scheme::kOptSlrScm},
-      {"rtm-elide", locks::Scheme::kRtmElide},
-      {"hle-scm-nested", locks::Scheme::kHleScmNested},
-      {"hle-gscm", locks::Scheme::kHleGroupedScm},
-  };
-  return m;
-}
 
 [[noreturn]] void usage(const char* why) {
   std::fprintf(stderr, "error: %s\n\n", why);
@@ -116,14 +103,17 @@ Options parse(int argc, char** argv, int first, std::string* positional) {
   return o;
 }
 
-locks::Scheme parse_scheme(const std::string& s) {
-  const auto it = scheme_map().find(s);
-  if (it == scheme_map().end()) usage(("unknown scheme " + s).c_str());
-  return it->second;
+// One shared policy-spec grammar across every CLI (see locks/policy.hpp):
+// `<scheme>[+shared][:knob=N...]`, e.g. "hle-scm:retries=5". The scheme
+// spellings are the canonical scheme_slug() ones listed in usage().
+locks::ElisionPolicy parse_policy(const std::string& s) {
+  const std::optional<locks::ElisionPolicy> p = locks::ElisionPolicy::parse(s);
+  if (!p) usage(("unknown policy spec " + s).c_str());
+  return *p;
 }
 
 template <typename Lock>
-int run_tree_with(const Options& o, locks::Scheme scheme) {
+int run_tree_with(const Options& o, const locks::ElisionPolicy& policy) {
   ds::RbTree tree(o.size * 4 + 256);
   support::Xoshiro256 fill(42);
   std::size_t filled = 0;
@@ -133,7 +123,7 @@ int run_tree_with(const Options& o, locks::Scheme scheme) {
   tree.unsafe_distribute_free_lists(o.threads);
 
   Lock lock;
-  locks::CriticalSection<Lock> cs(scheme, lock);
+  locks::CriticalSection<Lock> cs(policy, lock);
   harness::BenchConfig cfg;
   cfg.threads = o.threads;
   cfg.duration_sec = o.ms / 1e3;
@@ -173,7 +163,7 @@ int run_tree_with(const Options& o, locks::Scheme scheme) {
   const auto tx = eng.total_stats();
   std::printf("workload:   red-black tree, size %zu, %d%% updates, %d threads\n",
               o.size, o.updates, o.threads);
-  std::printf("scheme:     %s on %s%s\n", locks::scheme_name(scheme),
+  std::printf("scheme:     %s on %s%s\n", policy.spec().c_str(),
               Lock::kName, o.hwext ? " + Ch.7 hardware extension" : "");
   std::printf("throughput: %.2f Mops/s  (%llu ops in %.2f simulated ms)\n",
               ops / secs / 1e6, static_cast<unsigned long long>(ops),
@@ -206,7 +196,7 @@ int run_tree_with(const Options& o, locks::Scheme scheme) {
 }
 
 int cmd_tree(const Options& o) {
-  const locks::Scheme scheme = parse_scheme(o.scheme);
+  const locks::ElisionPolicy scheme = parse_policy(o.scheme);
   if (o.lock == "ttas") return run_tree_with<locks::TtasLock>(o, scheme);
   if (o.lock == "mcs") return run_tree_with<locks::McsLock>(o, scheme);
   if (o.lock == "ticket") return run_tree_with<locks::TicketLock>(o, scheme);
@@ -230,7 +220,7 @@ int cmd_stamp(const Options& o, const std::string& app) {
   stamp::StampConfig cfg;
   cfg.threads = o.threads;
   cfg.scale = o.scale;
-  cfg.scheme = parse_scheme(o.scheme);
+  cfg.scheme = parse_policy(o.scheme).scheme;  // STAMP is scheme-only
   if (o.lock == "ttas") {
     cfg.lock = stamp::LockKind::kTtas;
   } else if (o.lock == "mcs") {
@@ -260,8 +250,9 @@ int cmd_schemes(const Options& o) {
               "(TTAS / MCS Mops/s):\n\n",
               o.size, o.updates, o.threads);
   harness::Table table({"scheme", "TTAS Mops/s", "MCS Mops/s"});
-  for (const auto& [name, scheme] : scheme_map()) {
-    if (scheme == locks::Scheme::kHleScmNested) continue;  // needs hw flag
+  for (const locks::Scheme s : locks::kAllSchemes) {
+    if (s == locks::Scheme::kHleScmNested) continue;  // needs hw flag
+    const locks::ElisionPolicy scheme = locks::ElisionPolicy::from_scheme(s);
     auto run = [&](auto lock_tag) {
       using Lock = decltype(lock_tag);
       ds::RbTree tree(o.size * 4 + 256);
@@ -292,7 +283,7 @@ int cmd_schemes(const Options& o) {
       });
       return stats.throughput() / 1e6;
     };
-    table.add_row({name, harness::fmt(run(locks::TtasLock{}), 2),
+    table.add_row({scheme.spec(), harness::fmt(run(locks::TtasLock{}), 2),
                    harness::fmt(run(locks::McsLock{}), 2)});
   }
   table.print();

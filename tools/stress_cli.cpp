@@ -1,38 +1,45 @@
 // stress_cli: schedule-exploration stress driver (see docs/stress.md).
 //
-// Sweeps scheme x lock x workload x perturbation-seed, checks the run-time
+// Sweeps policy x lock x workload x perturbation-seed, checks the run-time
 // invariants from src/stress, and shrinks any failing seed's perturbation
 // budget to a small reproducer. Exit status 0 iff no violations.
 //
+// --schemes takes canonical policy specs (locks/policy.hpp) — lower-case
+// scheme slugs with optional knobs, e.g. "hle-scm" or "hle:backoff=200";
+// legacy mixed-case spellings like "HLE-SCM" parse case-insensitively.
+//
 //   stress_cli --schemes all --locks all --seeds 200
-//   stress_cli --schemes HLE-SCM --locks MCS --workloads hashtable
+//   stress_cli --schemes hle-scm --locks MCS --workloads hashtable
 //              --seeds 50 --prob 0.1
-//   stress_cli --selftest     # must *find* the planted RacyLock bug
+//   stress_cli --selftest         # must *find* the planted RacyLock bug
+//   stress_cli --selftest-shared  # ... and the planted writer starvation
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "locks/policy.hpp"
 #include "stress/stress.hpp"
 #include "support/parallel.hpp"
 
 namespace {
 
-using elision::locks::Scheme;
+using elision::locks::ElisionPolicy;
 using namespace elision::stress;
 
 [[noreturn]] void usage_error(const std::string& msg) {
   std::fprintf(stderr, "stress_cli: %s\n", msg.c_str());
   std::fprintf(
       stderr,
-      "usage: stress_cli [--schemes all|NAME[,NAME...]]\n"
+      "usage: stress_cli [--schemes all|SPEC[,SPEC...]]\n"
       "                  [--locks all|NAME[,NAME...]]\n"
-      "                  [--workloads all|counter|hashtable]\n"
+      "                  [--workloads all|counter|hashtable|btree]\n"
       "                  [--seeds N] [--first-seed S] [--threads N]\n"
       "                  [--host-threads N] [--duration-ms MS] [--prob P]\n"
       "                  [--max-delay CYCLES] [--no-minimize] [--telemetry]\n"
-      "                  [--quiet] [--selftest]\n"
+      "                  [--quiet] [--selftest] [--selftest-shared]\n"
       "\n"
       "--host-threads fans independent cases out across N host threads\n"
       "(0 = all hardware threads); output is byte-identical to\n"
@@ -55,24 +62,15 @@ std::vector<std::string> split_commas(const std::string& s) {
   return out;
 }
 
-std::vector<Scheme> parse_schemes(const std::string& arg) {
-  if (arg == "all") return all_schemes();
-  static const Scheme kKnown[] = {
-      Scheme::kStandard,  Scheme::kHle,          Scheme::kHleScm,
-      Scheme::kPesSlr,    Scheme::kOptSlr,       Scheme::kOptSlrScm,
-      Scheme::kRtmElide,  Scheme::kHleScmNested, Scheme::kHleGroupedScm,
-  };
-  std::vector<Scheme> out;
+// One shared policy-spec parser (ElisionPolicy::parse) for every CLI: the
+// same grammar and spellings as bench point ids and bench JSON.
+std::vector<ElisionPolicy> parse_policies(const std::string& arg) {
+  if (arg == "all") return all_policies();
+  std::vector<ElisionPolicy> out;
   for (const std::string& name : split_commas(arg)) {
-    bool found = false;
-    for (const Scheme s : kKnown) {
-      if (name == elision::locks::scheme_name(s)) {
-        out.push_back(s);
-        found = true;
-        break;
-      }
-    }
-    if (!found) usage_error("unknown scheme '" + name + "'");
+    const std::optional<ElisionPolicy> p = ElisionPolicy::parse(name);
+    if (!p) usage_error("unknown policy spec '" + name + "'");
+    out.push_back(*p);
   }
   return out;
 }
@@ -80,9 +78,10 @@ std::vector<Scheme> parse_schemes(const std::string& arg) {
 std::vector<LockKind> parse_locks(const std::string& arg) {
   if (arg == "all") return all_locks();
   static const LockKind kKnown[] = {
-      LockKind::kTtas, LockKind::kMcs, LockKind::kTicket,
-      LockKind::kTicketAdj, LockKind::kClh, LockKind::kClhAdj,
-      LockKind::kRacy,
+      LockKind::kTtas,       LockKind::kMcs,       LockKind::kTicket,
+      LockKind::kTicketAdj,  LockKind::kClh,       LockKind::kClhAdj,
+      LockKind::kSharedTtas, LockKind::kSharedMcs, LockKind::kRacy,
+      LockKind::kGreedyShared,
   };
   std::vector<LockKind> out;
   for (const std::string& name : split_commas(arg)) {
@@ -107,6 +106,8 @@ std::vector<Workload> parse_workloads(const std::string& arg) {
       out.push_back(Workload::kCounter);
     } else if (name == workload_name(Workload::kHashTable)) {
       out.push_back(Workload::kHashTable);
+    } else if (name == workload_name(Workload::kBtree)) {
+      out.push_back(Workload::kBtree);
     } else {
       usage_error("unknown workload '" + name + "'");
     }
@@ -128,7 +129,7 @@ int run_selftest(StressOptions o, std::uint64_t first_seed, int n_seeds,
                  bool quiet) {
   o.minimize = true;
   const SweepStats s =
-      sweep(o, {Scheme::kStandard}, {LockKind::kRacy},
+      sweep(o, {ElisionPolicy::standard()}, {LockKind::kRacy},
             {Workload::kCounter}, first_seed, n_seeds);
   if (s.failures.empty()) {
     std::printf("selftest: FAILED — %d perturbed runs missed the planted "
@@ -144,17 +145,70 @@ int run_selftest(StressOptions o, std::uint64_t first_seed, int n_seeds,
   return 0;
 }
 
+// Shared-mode self-test: the reader-writer invariants must catch the
+// planted writer starvation in GreedySharedLock (readers barge past
+// announced writer intent, so the reader count never drains), and must NOT
+// fire on the correct SharedTtasLock under the identical read-heavy,
+// long-dwell configuration.
+int run_selftest_shared(StressOptions o, std::uint64_t first_seed,
+                        int n_seeds, bool quiet) {
+  // One dedicated writer thread against a pure reader crowd, long enough
+  // that a locked-out writer exceeds the watchdog gap, with reads dwelling
+  // in-section so the crowd stays overlapped (mixed-duty threads would all
+  // eventually block as writers, draining the crowd and closing the
+  // starvation window).
+  o.duration_ms = 0.2;
+  o.btree_writer_threads = 1;
+  o.btree_writer_gap_cycles = 4000;  // reader windows on a correct lock
+  o.btree_read_dwell_cycles = 1500;
+  const SweepStats broken =
+      sweep(o, {ElisionPolicy::standard()}, {LockKind::kGreedyShared},
+            {Workload::kBtree}, first_seed, n_seeds);
+  bool found = false;
+  for (const FailureReport& f : broken.failures) {
+    for (const std::string& v : f.outcome.violations) {
+      if (v.find("writer lockout") != std::string::npos) found = true;
+    }
+  }
+  if (!found) {
+    std::printf(
+        "selftest-shared: FAILED — %d perturbed runs missed the planted "
+        "GreedySharedLock writer starvation (raise --seeds or --prob)\n",
+        broken.runs);
+    return 1;
+  }
+  const SweepStats control =
+      sweep(o, {ElisionPolicy::standard()}, {LockKind::kSharedTtas},
+            {Workload::kBtree}, first_seed, n_seeds);
+  if (!control.ok()) {
+    std::printf(
+        "selftest-shared: FAILED — the correct SharedTtasLock was flagged "
+        "under the same configuration:\n");
+    for (const FailureReport& f : control.failures) print_failure(f);
+    return 1;
+  }
+  if (!quiet) {
+    std::printf(
+        "selftest-shared: ok — writer lockout found in %zu/%d runs, "
+        "control lock clean; first:\n",
+        broken.failures.size(), broken.runs);
+    print_failure(broken.failures.front());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   StressOptions o;
-  std::vector<Scheme> schemes = all_schemes();
+  std::vector<ElisionPolicy> policies = all_policies();
   std::vector<LockKind> locks = all_locks();
   std::vector<Workload> workloads = all_workloads();
   std::uint64_t first_seed = 1;
   int n_seeds = 20;
   bool quiet = false;
   bool selftest = false;
+  bool selftest_shared = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -163,7 +217,7 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (a == "--schemes") {
-      schemes = parse_schemes(value());
+      policies = parse_policies(value());
     } else if (a == "--locks") {
       locks = parse_locks(value());
     } else if (a == "--workloads") {
@@ -194,6 +248,8 @@ int main(int argc, char** argv) {
       quiet = true;
     } else if (a == "--selftest") {
       selftest = true;
+    } else if (a == "--selftest-shared") {
+      selftest_shared = true;
     } else if (a == "--help" || a == "-h") {
       usage_error("help");
     } else {
@@ -203,13 +259,16 @@ int main(int argc, char** argv) {
   if (n_seeds <= 0) usage_error("--seeds must be positive");
 
   if (selftest) return run_selftest(o, first_seed, n_seeds, quiet);
+  if (selftest_shared) {
+    return run_selftest_shared(o, first_seed, n_seeds, quiet);
+  }
 
   int done = 0;
-  const int total = n_seeds * static_cast<int>(schemes.size()) *
+  const int total = n_seeds * static_cast<int>(policies.size()) *
                     static_cast<int>(locks.size()) *
                     static_cast<int>(workloads.size());
   const SweepStats s = sweep(
-      o, schemes, locks, workloads, first_seed, n_seeds,
+      o, policies, locks, workloads, first_seed, n_seeds,
       [&](const StressCase& c, const RunOutcome& out) {
         ++done;
         if (!out.ok()) {

@@ -249,7 +249,7 @@ int main(int argc, char** argv) {
     }
     for (const auto scheme : locks::kAllSixSchemes) {
       telemetry.clear();
-      const locks::ElisionPolicy policy(scheme);
+      const locks::ElisionPolicy policy = locks::ElisionPolicy::from_scheme(scheme);
       const auto stats = run_policy(o, policy, &telemetry);
       registry.record(policy.name(), lock_display_name(o.lock), stats);
       report_run(o, policy, stats);
