@@ -5,6 +5,9 @@
 # detect the HLE avalanche and export metrics; stress_cli must hold all
 # invariants over a perturbed sweep and find both planted bugs — the
 # RacyLock race and the GreedySharedLock writer starvation).
+# The adaptive controller gets its own smoke (decision trace printed, at
+# least one migration under a write storm, malformed policy specs rejected)
+# and an end-to-end outcome check on the phase-shifting bench points.
 # Finally runs the bench-suite smoke tier gated against the committed
 # baseline (bench/baseline.json), re-runs it with --jobs 2 (fork mode) and
 # with --jobs 2 --jobs-mode threads --host-threads 2 (in-process pool) to
@@ -63,6 +66,28 @@ echo "$out" | grep -q "avalanche episodes" || {
 echo "$out" | grep -Eq "[1-9][0-9]* avalanche episodes" || {
   echo "check: no avalanche detected under HLE/MCS" >&2; exit 1; }
 
+# Adaptive-controller smoke: an adaptive run over a phase-shifting level of
+# contention must print its decision trace with at least one migration, and
+# the spec parser behind every CLI must reject malformed knob values instead
+# of wrapping them around.
+out=$("$BUILD"/tools/trace_dump --lock ttas --scheme adaptive:window=16 \
+      --size 12 --threads 16 --updates 100 --ms 1)
+echo "$out" | grep -q "adaptive controller" || {
+  echo "check: trace_dump printed no adaptive decision trace" >&2; exit 1; }
+echo "$out" | grep -Eq "[1-9][0-9]* migration" || {
+  echo "check: adaptive controller never migrated under a write storm" >&2
+  exit 1; }
+echo "adaptive: decision trace present with at least one migration"
+for bad in adaptive:window=-5 adaptive:up=-60 hle:spec-attempts=-1 \
+           hle:backoff=4294967296000000000000 adaptive:window= adaptive:up=3x
+do
+  if "$BUILD"/tools/trace_dump --lock ttas --scheme "$bad" --ms 0.1 \
+      >/dev/null 2>&1; then
+    echo "check: spec parser accepted malformed policy '$bad'" >&2; exit 1
+  fi
+done
+echo "adaptive: parser rejects malformed knob values"
+
 metrics=$(mktemp)
 trap 'rm -f "$metrics"' EXIT
 "$BUILD"/tools/trace_dump --lock mcs --all-schemes --size 64 --threads 8 \
@@ -94,9 +119,11 @@ EOF
 
 # Host-thread fan-out must not change a single byte of stress output:
 # compare the full stdout of a threaded sweep against a sequential one.
-stress_seq=$("$BUILD"/tools/stress_cli --schemes HLE,HLE-SCM,opt-SLR \
+stress_seq=$("$BUILD"/tools/stress_cli \
+    --schemes HLE,HLE-SCM,opt-SLR,adaptive:window=8 \
     --locks all --seeds 2 --quiet)
-stress_par=$("$BUILD"/tools/stress_cli --schemes HLE,HLE-SCM,opt-SLR \
+stress_par=$("$BUILD"/tools/stress_cli \
+    --schemes HLE,HLE-SCM,opt-SLR,adaptive:window=8 \
     --locks all --seeds 2 --quiet --host-threads 2)
 [ "$stress_seq" = "$stress_par" ] || {
   echo "check: stress --host-threads 2 diverged from --host-threads 1" >&2
@@ -170,6 +197,30 @@ for p in doc["points"]:
         assert key in m, f"{p['id']} missing {key}"
     assert m["sim_ops_per_sec"] > 0, f"{p['id']} has no simulator speed"
 print(f"bench suite: {len(doc['points'])} smoke points, schema valid")
+EOF
+
+# Adaptive end-to-end outcome: the smoke tier carries the phase-shifting
+# points (ph-*, figure adaptive-phases). Beyond the suite's own gated
+# invariants (adaptive within 0.9x of the per-phase-best static scheme in
+# every phase; every static scheme losing at least one phase), pin the
+# headline here: adaptive's total commits beat the worst static scheme's.
+python3 - "$bench_json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+phase = {p["id"]: p["metrics"] for p in doc["points"]
+         if p["id"].startswith("ph-")}
+assert len(phase) == 5, f"expected 5 phase points, got {sorted(phase)}"
+for pid, m in phase.items():
+    assert len(m["phase_ops"]) == 3, f"{pid}: phase_ops {m['phase_ops']}"
+    assert sum(m["phase_ops"]) > 0, f"{pid}: no commits recorded"
+adaptive = next(m for pid, m in phase.items() if pid.endswith("-adaptive"))
+statics = [m for pid, m in phase.items() if not pid.endswith("-adaptive")]
+worst = min(sum(m["phase_ops"]) for m in statics)
+assert sum(adaptive["phase_ops"]) > worst, (
+    f"adaptive total {sum(adaptive['phase_ops'])} does not beat the worst "
+    f"static scheme's {worst}")
+print(f"adaptive: {sum(adaptive['phase_ops'])} total commits vs worst "
+      f"static {worst} across the phase shift")
 EOF
 
 # Parallel execution must reproduce the sequential run exactly: every

@@ -18,6 +18,7 @@ const char* point_kind_name(PointKind k) {
     case PointKind::kRb: return "rb";
     case PointKind::kMicro: return "micro";
     case PointKind::kBtree: return "btree";
+    case PointKind::kPhase: return "phase";
   }
   return "?";
 }
@@ -101,6 +102,28 @@ SuitePoint make_bt_point(SuiteTier tier, const char* figure, std::size_t size,
   return sp;
 }
 
+SuitePoint make_phase_point(SuiteTier tier, const char* figure,
+                            std::size_t size, int calm_pct, int storm_pct,
+                            int threads, LockSel lock,
+                            locks::ElisionPolicy policy) {
+  SuitePoint sp;
+  sp.tier = tier;
+  sp.figure = figure;
+  sp.kind = PointKind::kPhase;
+  sp.phase.size = size;
+  sp.phase.calm_update_pct = calm_pct;
+  sp.phase.storm_update_pct = storm_pct;
+  sp.phase.threads = threads;
+  sp.phase.lock = lock;
+  sp.phase.scheme = policy;
+  sp.phase.phase_sec = 0.001;
+  sp.phase.seeds = 2;
+  sp.id = "ph-s" + std::to_string(size) + "-u" + std::to_string(calm_pct) +
+          "-" + std::to_string(storm_pct) + "-t" + std::to_string(threads) +
+          "-" + lock_slug(lock) + "-" + scheme_slug(policy);
+  return sp;
+}
+
 std::vector<SuitePoint> build_points() {
   using locks::ElisionPolicy;
   constexpr SuiteTier S = SuiteTier::kSmoke;
@@ -171,6 +194,19 @@ std::vector<SuitePoint> build_points() {
                             SharedLockSel::kSharedTtas,
                             ElisionPolicy::hle().shared(),
                             /*telemetry=*/true));
+
+  // Phase-shifting adaptive headline (ROADMAP item 2): one read-mostly ->
+  // write-storm -> read-mostly run, adaptive against each of its four
+  // static modes. The adaptive invariants key on these ids: adaptive must
+  // stay within 10% of the per-phase winner in every phase while every
+  // static scheme loses at least one phase.
+  for (const ElisionPolicy& pol :
+       {ElisionPolicy::adaptive(), ElisionPolicy::hle(),
+        ElisionPolicy::hle_scm(), ElisionPolicy::hle_grouped_scm(),
+        ElisionPolicy::standard()}) {
+    v.push_back(make_phase_point(S, "adaptive-phases", 12, 10, 100, 16,
+                                 LockSel::kTtas, pol));
+  }
 
   // --- full tier: wider scheme / size / mix / lock coverage ---
   // Shared-mode coverage: the fair family member, the SCM-managed pair
@@ -285,6 +321,8 @@ PointMetrics run_point_metrics(const SuitePoint& sp) {
     stats = run_micro_point(mp);
   } else if (sp.kind == PointKind::kBtree) {
     stats = run_bt_point(sp.bt);
+  } else if (sp.kind == PointKind::kPhase) {
+    stats = run_phase_point(sp.phase);
   } else {
     stats = run_rb_point(sp.point);
   }
@@ -293,6 +331,10 @@ PointMetrics run_point_metrics(const SuitePoint& sp) {
           std::chrono::steady_clock::now() - t0)
           .count();
   PointMetrics m = PointMetrics::derive(stats);
+  if (sp.kind == PointKind::kPhase) {
+    const auto per_phase = phase_ops_of(stats);
+    m.phase_ops.assign(per_phase.begin(), per_phase.end());
+  }
   m.wall_ms = wall_ms;
   m.sim_ops_per_sec =
       wall_ms > 0 ? static_cast<double>(m.ops) / (wall_ms / 1e3) : 0.0;
@@ -317,6 +359,7 @@ SuiteResult run_suite(SuiteTier tier, const SuiteRunOptions& opts) {
   for (auto sp : suite_points_for(tier)) {
     sp.point.host_threads = result.host_threads;
     sp.bt.host_threads = result.host_threads;
+    sp.phase.host_threads = result.host_threads;
     PointMetrics m = run_point_metrics(sp);
     m.throughput_ops_per_sec *= opts.plant_throughput_factor;
     m.sim_ops_per_sec *= opts.plant_simops_factor;
@@ -333,6 +376,7 @@ PointRecord run_suite_point(const SuitePoint& sp, int host_threads) {
   SuitePoint p = sp;
   p.point.host_threads = host_threads > 0 ? host_threads : 1;
   p.bt.host_threads = p.point.host_threads;
+  p.phase.host_threads = p.point.host_threads;
   PointRecord rec{sp, run_point_metrics(p)};
   return rec;
 }
@@ -359,6 +403,21 @@ void write_point_json(const PointRecord& r, std::FILE* out) {
         d.bt.seeds, d.bt.duration_sec,
         static_cast<unsigned long long>(d.bt.seed),
         d.bt.telemetry ? "true" : "false");
+  } else if (d.kind == PointKind::kPhase) {
+    std::fprintf(
+        out,
+        "    {\"id\":\"%s\",\"tier\":\"%s\",\"figure\":\"%s\","
+        "\"kind\":\"%s\",\"lock\":\"%s\",\"scheme\":\"%s\",\"size\":%zu,"
+        "\"calm_update_pct\":%d,\"storm_update_pct\":%d,\"threads\":%d,"
+        "\"seeds\":%d,\"phase_sec\":%g,\"seed\":%llu,\"telemetry\":%s,\n",
+        support::json::escape(d.id).c_str(), suite_tier_name(d.tier),
+        support::json::escape(d.figure).c_str(), point_kind_name(d.kind),
+        lock_sel_name(d.phase.lock),
+        support::json::escape(d.phase.scheme.spec()).c_str(), d.phase.size,
+        d.phase.calm_update_pct, d.phase.storm_update_pct, d.phase.threads,
+        d.phase.seeds, d.phase.phase_sec,
+        static_cast<unsigned long long>(d.phase.seed),
+        d.phase.telemetry ? "true" : "false");
   } else {
     std::fprintf(
         out,
@@ -396,10 +455,18 @@ void write_point_json(const PointRecord& r, std::FILE* out) {
                  static_cast<unsigned long long>(m.aborts_by_cause[c]));
   }
   std::fprintf(out,
-               "},\"avalanche_episodes\":%llu,\"avalanche_victims\":%llu,"
-               "\"sim_ops_per_sec\":%.3f,\"wall_ms\":%.3f}}",
+               "},\"avalanche_episodes\":%llu,\"avalanche_victims\":%llu,",
                static_cast<unsigned long long>(m.avalanche_episodes),
-               static_cast<unsigned long long>(m.avalanche_victims),
+               static_cast<unsigned long long>(m.avalanche_victims));
+  if (!m.phase_ops.empty()) {
+    std::fprintf(out, "\"phase_ops\":[");
+    for (std::size_t p = 0; p < m.phase_ops.size(); ++p) {
+      std::fprintf(out, "%s%llu", p == 0 ? "" : ",",
+                   static_cast<unsigned long long>(m.phase_ops[p]));
+    }
+    std::fprintf(out, "],");
+  }
+  std::fprintf(out, "\"sim_ops_per_sec\":%.3f,\"wall_ms\":%.3f}}",
                m.sim_ops_per_sec, m.wall_ms);
 }
 
@@ -510,9 +577,40 @@ std::optional<SuiteResult> parse_results_json(
     if (const Value* v = p.find("kind")) {
       rec.def.kind = v->as_string() == "micro"   ? PointKind::kMicro
                      : v->as_string() == "btree" ? PointKind::kBtree
+                     : v->as_string() == "phase" ? PointKind::kPhase
                                                  : PointKind::kRb;
     }
-    if (rec.def.kind == PointKind::kBtree) {
+    if (rec.def.kind == PointKind::kPhase) {
+      if (const Value* v = p.find("lock")) {
+        rec.def.phase.lock = lock_from_name(v->as_string());
+      }
+      if (const Value* v = p.find("scheme")) {
+        if (const auto pol = locks::ElisionPolicy::parse(v->as_string())) {
+          rec.def.phase.scheme = *pol;
+        }
+      }
+      if (const Value* v = p.find("size")) {
+        rec.def.phase.size = static_cast<std::size_t>(v->as_u64());
+      }
+      if (const Value* v = p.find("calm_update_pct")) {
+        rec.def.phase.calm_update_pct = static_cast<int>(v->as_u64());
+      }
+      if (const Value* v = p.find("storm_update_pct")) {
+        rec.def.phase.storm_update_pct = static_cast<int>(v->as_u64());
+      }
+      if (const Value* v = p.find("threads")) {
+        rec.def.phase.threads = static_cast<int>(v->as_u64());
+      }
+      if (const Value* v = p.find("seeds")) {
+        rec.def.phase.seeds = static_cast<int>(v->as_u64());
+      }
+      if (const Value* v = p.find("phase_sec")) {
+        rec.def.phase.phase_sec = v->as_double();
+      }
+      if (const Value* v = p.find("telemetry")) {
+        rec.def.phase.telemetry = v->as_bool();
+      }
+    } else if (rec.def.kind == PointKind::kBtree) {
       if (const Value* v = p.find("lock")) {
         rec.def.bt.lock = v->as_string() == "shared-mcs"
                               ? SharedLockSel::kSharedMcs
@@ -596,6 +694,11 @@ std::optional<SuiteResult> parse_results_json(
     }
     if (const Value* v = metrics->find("avalanche_victims")) {
       m.avalanche_victims = v->as_u64();
+    }
+    if (const Value* v = metrics->find("phase_ops")) {
+      for (const Value& item : v->items()) {
+        m.phase_ops.push_back(item.as_u64());
+      }
     }
     m.sim_ops_per_sec = num("sim_ops_per_sec");
     m.wall_ms = num("wall_ms");
@@ -903,6 +1006,96 @@ std::vector<InvariantResult> check_invariants(const SuiteResult& result) {
                     static_cast<unsigned long long>(
                         p->metrics.avalanche_episodes));
       out.push_back({name, ok, false, buf});
+    }
+  }
+
+  // (9)+(10) The adaptive-elision headline on the phase-shifting point
+  // (docs/adaptive.md): per phase, adaptive must commit at least 90% of the
+  // best static scheme's ops — while each static scheme must itself fall
+  // below that bar in at least one phase (i.e. no static scheme dominates;
+  // only the controller tracks the per-phase winner).
+  {
+    const char* adaptive_id = "ph-s12-u10-100-t16-ttas-adaptive";
+    const char* static_ids[] = {
+        "ph-s12-u10-100-t16-ttas-hle",
+        "ph-s12-u10-100-t16-ttas-hle-scm",
+        "ph-s12-u10-100-t16-ttas-hle-gscm",
+        "ph-s12-u10-100-t16-ttas-standard",
+    };
+    const double bar = 0.9;
+    const auto* ad = point(adaptive_id);
+    bool have_all = ad != nullptr && ad->metrics.phase_ops.size() == 3;
+    std::vector<const PointRecord*> statics;
+    for (const char* id : static_ids) {
+      const auto* p = point(id);
+      if (p == nullptr || p->metrics.phase_ops.size() != 3) have_all = false;
+      statics.push_back(p);
+    }
+    if (!have_all) {
+      out.push_back(skipped("adaptive-tracks-phase-winner",
+                            "phase points not in this tier"));
+      out.push_back(skipped("every-static-scheme-loses-a-phase",
+                            "phase points not in this tier"));
+    } else {
+      // Per-phase best among the static schemes.
+      std::uint64_t best[3] = {0, 0, 0};
+      for (const auto* p : statics) {
+        for (int ph = 0; ph < 3; ++ph) {
+          if (p->metrics.phase_ops[static_cast<std::size_t>(ph)] > best[ph]) {
+            best[ph] = p->metrics.phase_ops[static_cast<std::size_t>(ph)];
+          }
+        }
+      }
+      {
+        const char* name = "adaptive-tracks-phase-winner";
+        bool ok = true;
+        int worst_phase = 0;
+        double worst_ratio = 1e9;
+        for (int ph = 0; ph < 3; ++ph) {
+          const double ratio =
+              best[ph] > 0
+                  ? static_cast<double>(
+                        ad->metrics.phase_ops[static_cast<std::size_t>(ph)]) /
+                        static_cast<double>(best[ph])
+                  : 1.0;
+          if (ratio < worst_ratio) {
+            worst_ratio = ratio;
+            worst_phase = ph;
+          }
+          if (ratio < bar) ok = false;
+        }
+        std::snprintf(buf, sizeof buf,
+                      "worst phase %d: adaptive at %.2fx the best static "
+                      "scheme (want >= %.2fx in every phase)",
+                      worst_phase, worst_ratio, bar);
+        out.push_back({name, ok, false, buf});
+      }
+      {
+        const char* name = "every-static-scheme-loses-a-phase";
+        bool ok = true;
+        std::string detail;
+        for (std::size_t i = 0; i < statics.size(); ++i) {
+          const auto* p = statics[i];
+          bool loses_somewhere = false;
+          for (int ph = 0; ph < 3; ++ph) {
+            const auto ops =
+                p->metrics.phase_ops[static_cast<std::size_t>(ph)];
+            if (static_cast<double>(ops) <
+                bar * static_cast<double>(best[ph])) {
+              loses_somewhere = true;
+              break;
+            }
+          }
+          if (!loses_somewhere) {
+            ok = false;
+            if (!detail.empty()) detail += ", ";
+            detail += static_ids[i];
+            detail += " never drops below 0.9x the per-phase best";
+          }
+        }
+        if (ok) detail = "each static scheme trails in at least one phase";
+        out.push_back({name, ok, false, detail});
+      }
     }
   }
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "harness/bt_workload.hpp"
+#include "harness/phase_workload.hpp"
 #include "harness/rb_workload.hpp"
 #include "support/json.hpp"
 #include "tsx/abort.hpp"
@@ -40,10 +41,11 @@ std::optional<SuiteTier> suite_tier_from_name(const std::string& name);
 
 // What workload a suite point runs: the RB-tree benchmark (fixed virtual
 // duration), the B+tree range-scan benchmark over the two-mode locks
-// (harness/bt_workload.hpp), or the fixed-work engine microbenchmark
+// (harness/bt_workload.hpp), the fixed-work engine microbenchmark
 // (harness/micro_point.hpp) whose sim_ops_per_sec tracks simulator speed
-// itself.
-enum class PointKind { kRb, kMicro, kBtree };
+// itself, or the phase-shifting RB-tree benchmark behind the adaptive
+// headline (harness/phase_workload.hpp).
+enum class PointKind { kRb, kMicro, kBtree, kPhase };
 
 const char* point_kind_name(PointKind k);
 
@@ -54,6 +56,7 @@ struct SuitePoint {
   PointKind kind = PointKind::kRb;
   RbPoint point;       // for kMicro only threads/size/seed are meaningful
   BtPoint bt;          // kBtree only
+  PhasePoint phase;    // kPhase only
 };
 
 // The curated list, smoke points first. Ids are unique.
@@ -78,6 +81,10 @@ struct PointMetrics {
   std::vector<std::uint64_t> aborts_by_cause;
   std::uint64_t avalanche_episodes = 0;
   std::uint64_t avalanche_victims = 0;
+  // kPhase points only: ops committed per phase (empty otherwise). Phases
+  // have equal virtual duration, so these compare like throughputs; the
+  // adaptive invariants below consume them.
+  std::vector<std::uint64_t> phase_ops;
   // Host-side speed: simulated ops completed per host wall second and the
   // point's host wall time. These are the only non-deterministic fields of a
   // point (everything above is virtual-time data, identical per seed).

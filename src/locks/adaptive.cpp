@@ -1,0 +1,101 @@
+#include "locks/adaptive.hpp"
+
+namespace elision::locks {
+
+const char* adaptive_mode_name(AdaptiveMode m) {
+  switch (m) {
+    case AdaptiveMode::kHle: return "hle";
+    case AdaptiveMode::kHleScm: return "hle-scm";
+    case AdaptiveMode::kHleGroupedScm: return "hle-gscm";
+    case AdaptiveMode::kStandard: return "standard";
+  }
+  return "?";
+}
+
+AdaptiveController::AdaptiveController(const AdaptiveParams& params)
+    : p_(params) {
+  if (p_.window < 1) p_.window = 1;
+  if (p_.dwell < 0) p_.dwell = 0;
+}
+
+void AdaptiveController::on_region(std::uint64_t now, bool speculative,
+                                   int attempts) {
+  (void)speculative;
+  const std::uint64_t a =
+      attempts > 0 ? static_cast<std::uint64_t>(attempts) : 1;
+  ++window_regions_;
+  window_attempts_ += a;
+  window_failures_ += a - 1;
+  if (window_regions_ >= p_.window) close_window(now);
+}
+
+void AdaptiveController::close_window(std::uint64_t now) {
+  const int rate =
+      window_attempts_ > 0
+          ? static_cast<int>(100 * window_failures_ / window_attempts_)
+          : 0;
+  window_regions_ = 0;
+  window_attempts_ = 0;
+  window_failures_ = 0;
+  ++windows_closed_;
+  if (windows_since_migration_ < ~std::uint64_t{0}) ++windows_since_migration_;
+
+  const auto up = [](AdaptiveMode m) {
+    return static_cast<AdaptiveMode>(static_cast<int>(m) + 1);
+  };
+  const auto down = [](AdaptiveMode m) {
+    return static_cast<AdaptiveMode>(static_cast<int>(m) - 1);
+  };
+
+  // A probe's verdict arrives with the first window completed in the probed
+  // mode, before any dwell gating: a failed probe re-escalates immediately
+  // (the burned window *is* the probe's cost) and doubles the backoff; a
+  // surviving probe resets it.
+  if (just_probed_) {
+    just_probed_ = false;
+    if (rate >= p_.up_pct) {
+      if (probe_backoff_ < kMaxProbeBackoff) probe_backoff_ *= 2;
+      migrate(now, up(mode_), rate, "probe-failed");
+      return;
+    }
+    probe_backoff_ = 1;
+  }
+
+  // Hysteresis dwell: a fresh mode gets `dwell` full observation windows
+  // before the next migration may fire.
+  if (migrated_once_ &&
+      windows_since_migration_ <= static_cast<std::uint64_t>(p_.dwell)) {
+    return;
+  }
+
+  if (rate >= p_.up_pct && mode_ != AdaptiveMode::kStandard) {
+    migrate(now, up(mode_), rate, "escalate");
+  } else if (rate <= p_.down_pct && mode_ != AdaptiveMode::kHle) {
+    if (mode_ == AdaptiveMode::kStandard) {
+      // kStandard never speculates, so its rate is identically zero:
+      // leaving it is a probe, gated by the exponential backoff.
+      const std::uint64_t hold =
+          static_cast<std::uint64_t>(p_.dwell) *
+          static_cast<std::uint64_t>(probe_backoff_);
+      if (windows_since_migration_ <= hold) return;
+      migrate(now, down(mode_), rate, "probe");
+      just_probed_ = true;
+    } else {
+      migrate(now, down(mode_), rate, "de-escalate");
+    }
+  }
+}
+
+void AdaptiveController::migrate(std::uint64_t now, AdaptiveMode to,
+                                 int rate_pct, const char* reason) {
+  if (decisions_.size() < kMaxStoredDecisions) {
+    decisions_.push_back({now, mode_, to, rate_pct, reason});
+  } else {
+    ++decisions_dropped_;
+  }
+  mode_ = to;
+  windows_since_migration_ = 0;
+  migrated_once_ = true;
+}
+
+}  // namespace elision::locks

@@ -1,0 +1,148 @@
+// AdaptiveController: the per-lock online mode controller behind
+// `policy=adaptive` (ROADMAP item 2; Fissile Locks, arXiv 2003.05025, is the
+// blueprint for composing a fast speculative path with a scalable fallback
+// and migrating between them under contention).
+//
+// No static scheme wins everywhere (Ch. 5): plain HLE wins uncontended,
+// SCM-style conflict management wins under conflict, and not eliding at all
+// wins under avalanche storms. The controller watches the per-region
+// feedback the dispatch layer already produces (RegionResult: attempts and
+// how the region completed) and migrates the lock along a mode ladder
+// ordered from most to least speculative:
+//
+//   kHle  ->  kHleScm  ->  kHleGroupedScm  ->  kStandard
+//
+// Decisions are windowed with hysteresis: every `window` completed regions
+// the controller closes a window, computes the windowed abort rate (failed
+// executions / all executions, in percent), and — if no migration happened
+// within the last `dwell` windows — escalates one step when the rate is at
+// least `up` percent or de-escalates one step when it is at most `down`
+// percent. The dwell keeps a phase boundary from thrashing the mode.
+//
+// kStandard never speculates, so its abort rate is identically zero and
+// carries no information about whether the storm has passed. Leaving
+// kStandard is therefore a *probe*: after holding for `dwell * backoff`
+// windows the controller steps down one mode and watches the next window.
+// If the rate immediately comes back at `up` or more, the probe failed: the
+// controller re-escalates at once (no dwell — the window burned by the probe
+// is the cost) and doubles the backoff, so probes become geometrically rarer
+// while a storm lasts. A surviving probe resets the backoff to 1.
+//
+// The controller is engine-free on purpose: it consumes plain numbers
+// (virtual timestamp, speculative flag, attempt count), so unit tests can
+// drive it with synthetic feeds and any dispatch layer can host it. Within
+// one simulation all regions complete on the single host thread running the
+// fiber scheduler, so the controller needs no synchronization and its
+// decisions are deterministic.
+//
+// Every migration is recorded in a bounded decision trace
+// (tools/trace_dump prints it; docs/adaptive.md documents the format).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace elision::locks {
+
+// The mode ladder, most speculative first. The numeric order is the
+// escalation order.
+enum class AdaptiveMode : std::uint8_t {
+  kHle = 0,
+  kHleScm = 1,
+  kHleGroupedScm = 2,
+  kStandard = 3,
+};
+
+inline constexpr int kAdaptiveModeCount = 4;
+
+const char* adaptive_mode_name(AdaptiveMode m);
+
+// Tuning knobs of the controller, carried by ElisionPolicy and spelled in
+// the policy spec grammar as `adaptive:window=N:up=N:down=N:dwell=N`.
+struct AdaptiveParams {
+  // Completed regions per decision window. Clamped to >= 1 by the
+  // controller.
+  int window = 32;
+  // Escalate (toward kStandard) when the windowed abort rate, in percent,
+  // is >= this. 60% means "most executions fail" (attempts/region >= 2.5):
+  // high enough that plain HLE's healthy-contention churn (~50% on the
+  // contended TTAS points) does not trigger it, low enough that an
+  // avalanche (80%+) does.
+  int up_pct = 60;
+  // De-escalate (toward kHle) when the windowed abort rate is <= this.
+  // 15% is roughly attempts/region <= 1.18 — conflict management has
+  // nothing left to manage.
+  int down_pct = 15;
+  // Windows a fresh mode is held before the next migration may fire.
+  int dwell = 2;
+
+  friend bool operator==(const AdaptiveParams&,
+                         const AdaptiveParams&) = default;
+};
+
+// One recorded migration: when it fired, the edge taken, the windowed abort
+// rate that triggered it, and why.
+struct AdaptiveDecision {
+  std::uint64_t at = 0;  // virtual time of the region that closed the window
+  AdaptiveMode from = AdaptiveMode::kHle;
+  AdaptiveMode to = AdaptiveMode::kHle;
+  int abort_rate_pct = 0;
+  // "escalate", "de-escalate", "probe" (left kStandard speculatively), or
+  // "probe-failed" (immediate re-escalation after a failed probe).
+  const char* reason = "";
+};
+
+class AdaptiveController {
+ public:
+  AdaptiveController() = default;
+  explicit AdaptiveController(const AdaptiveParams& params);
+
+  AdaptiveMode mode() const { return mode_; }
+
+  // Feeds one completed region into the current window: its completion
+  // timestamp (virtual cycles), whether it committed speculatively, and how
+  // many executions it took (RegionResult::attempts; the final one
+  // succeeded, every earlier one aborted or failed to acquire).
+  void on_region(std::uint64_t now, bool speculative, int attempts);
+
+  // Bounded migration trace (oldest first). Migrations past the bound are
+  // counted in decisions_dropped() instead of stored.
+  const std::vector<AdaptiveDecision>& decisions() const {
+    return decisions_;
+  }
+  std::uint64_t decisions_dropped() const { return decisions_dropped_; }
+  std::uint64_t total_migrations() const {
+    return decisions_.size() + decisions_dropped_;
+  }
+  // Decision windows closed so far (test / introspection hook).
+  std::uint64_t windows_closed() const { return windows_closed_; }
+  int probe_backoff() const { return probe_backoff_; }
+
+  static constexpr std::size_t kMaxStoredDecisions = 256;
+
+ private:
+  void close_window(std::uint64_t now);
+  void migrate(std::uint64_t now, AdaptiveMode to, int rate_pct,
+               const char* reason);
+
+  AdaptiveParams p_;
+  AdaptiveMode mode_ = AdaptiveMode::kHle;
+
+  // Current-window accumulators.
+  int window_regions_ = 0;
+  std::uint64_t window_attempts_ = 0;
+  std::uint64_t window_failures_ = 0;
+
+  // Hysteresis state.
+  std::uint64_t windows_closed_ = 0;
+  std::uint64_t windows_since_migration_ = 0;  // saturating count since last
+  bool migrated_once_ = false;
+  bool just_probed_ = false;
+  int probe_backoff_ = 1;
+  static constexpr int kMaxProbeBackoff = 1024;
+
+  std::vector<AdaptiveDecision> decisions_;
+  std::uint64_t decisions_dropped_ = 0;
+};
+
+}  // namespace elision::locks

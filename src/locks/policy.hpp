@@ -25,12 +25,15 @@
 #pragma once
 
 #include <cctype>
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
 #include <string>
 #include <string_view>
 
+#include "locks/adaptive.hpp"
 #include "locks/grouped_scm.hpp"
 #include "locks/region.hpp"
 #include "locks/scm.hpp"
@@ -53,6 +56,7 @@ enum class Scheme {
   kRtmElide,       // RTM-based elision (Fig 3.5 mechanism comparison)
   kHleScmNested,   // Algorithm 3 as designed: HLE nested in RTM
   kHleGroupedScm,  // future-work extension: per-conflict-line aux groups
+  kAdaptive,       // online controller migrating HLE / SCM / gSCM / standard
 };
 
 inline const char* scheme_name(Scheme s) {
@@ -66,6 +70,7 @@ inline const char* scheme_name(Scheme s) {
     case Scheme::kRtmElide: return "RTM-elide";
     case Scheme::kHleScmNested: return "HLE-SCM-nested";
     case Scheme::kHleGroupedScm: return "HLE-gSCM";
+    case Scheme::kAdaptive: return "Adaptive";
     default: return "?";
   }
 }
@@ -84,6 +89,7 @@ inline const char* scheme_slug(Scheme s) {
     case Scheme::kRtmElide: return "rtm-elide";
     case Scheme::kHleScmNested: return "hle-scm-nested";
     case Scheme::kHleGroupedScm: return "hle-gscm";
+    case Scheme::kAdaptive: return "adaptive";
     default: return "?";
   }
 }
@@ -92,6 +98,7 @@ inline constexpr Scheme kAllSchemes[] = {
     Scheme::kStandard,  Scheme::kHle,          Scheme::kHleScm,
     Scheme::kPesSlr,    Scheme::kOptSlr,       Scheme::kOptSlrScm,
     Scheme::kRtmElide,  Scheme::kHleScmNested, Scheme::kHleGroupedScm,
+    Scheme::kAdaptive,
 };
 
 inline constexpr Scheme kAllSixSchemes[] = {
@@ -109,6 +116,7 @@ struct ElisionPolicy {
   ScmParams scm;           // kHleScm / kHleScmNested
   SlrParams slr;           // kPesSlr / kOptSlr / kOptSlrScm
   GroupedScmParams grouped;  // kHleGroupedScm
+  AdaptiveParams adapt;      // kAdaptive controller knobs
 
   ElisionPolicy() = default;
 
@@ -147,6 +155,10 @@ struct ElisionPolicy {
   static ElisionPolicy hle_grouped_scm() {
     return with(Scheme::kHleGroupedScm);
   }
+  // Online mode controller (locks/adaptive.hpp): migrates each lock between
+  // plain HLE, HLE-SCM, grouped SCM and no elision from windowed abort-rate
+  // feedback with hysteresis.
+  static ElisionPolicy adaptive() { return with(Scheme::kAdaptive); }
 
   static ElisionPolicy from_scheme(Scheme s) {
     switch (s) {
@@ -159,6 +171,7 @@ struct ElisionPolicy {
       case Scheme::kRtmElide: return rtm_elide();
       case Scheme::kHleScmNested: return hle_scm_nested();
       case Scheme::kHleGroupedScm: return hle_grouped_scm();
+      case Scheme::kAdaptive: return adaptive();
     }
     return standard();
   }
@@ -193,6 +206,22 @@ struct ElisionPolicy {
       std::snprintf(buf, sizeof buf, ":backoff=%llu",
                     static_cast<unsigned long long>(
                         retry.backoff_base_cycles));
+      out += buf;
+    }
+    if (adapt.window != base.adapt.window) {
+      std::snprintf(buf, sizeof buf, ":window=%d", adapt.window);
+      out += buf;
+    }
+    if (adapt.up_pct != base.adapt.up_pct) {
+      std::snprintf(buf, sizeof buf, ":up=%d", adapt.up_pct);
+      out += buf;
+    }
+    if (adapt.down_pct != base.adapt.down_pct) {
+      std::snprintf(buf, sizeof buf, ":down=%d", adapt.down_pct);
+      out += buf;
+    }
+    if (adapt.dwell != base.adapt.dwell) {
+      std::snprintf(buf, sizeof buf, ":dwell=%d", adapt.dwell);
       out += buf;
     }
     return out;
@@ -236,19 +265,46 @@ struct ElisionPolicy {
       if (eq == std::string_view::npos) return std::nullopt;
       const std::string_view key = knob.substr(0, eq);
       const std::string value(knob.substr(eq + 1));
-      char* end = nullptr;
-      const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
-      if (value.empty() || end == nullptr || *end != '\0') {
+      // Knob values are non-negative decimal integers. Requiring a leading
+      // digit rejects what strtoull would silently accept: a leading '-'
+      // (which wraps — "-1" becomes ULLONG_MAX and a negative retry count
+      // after the int cast), '+', and whitespace.
+      if (value.empty() ||
+          !std::isdigit(static_cast<unsigned char>(value[0]))) {
         return std::nullopt;
       }
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || errno == ERANGE) {
+        return std::nullopt;
+      }
+      // Every knob but backoff is an int: range-check before the cast so an
+      // out-of-range value cannot wrap into a negative count.
+      const bool fits_int = n <= static_cast<unsigned long long>(INT_MAX);
       if (key == "scm-retries") {
+        if (!fits_int) return std::nullopt;
         *out = out->with_scm_retries(static_cast<int>(n));
       } else if (key == "slr-attempts") {
+        if (!fits_int) return std::nullopt;
         *out = out->with_slr_attempts(static_cast<int>(n));
       } else if (key == "spec-attempts") {
+        if (!fits_int) return std::nullopt;
         *out = out->with_max_spec_attempts(static_cast<int>(n));
       } else if (key == "backoff") {
         *out = out->with_backoff(n);
+      } else if (key == "window") {
+        if (!fits_int) return std::nullopt;
+        *out = out->with_adaptive_window(static_cast<int>(n));
+      } else if (key == "up") {
+        if (!fits_int) return std::nullopt;
+        out->adapt.up_pct = static_cast<int>(n);
+      } else if (key == "down") {
+        if (!fits_int) return std::nullopt;
+        out->adapt.down_pct = static_cast<int>(n);
+      } else if (key == "dwell") {
+        if (!fits_int) return std::nullopt;
+        *out = out->with_adaptive_dwell(static_cast<int>(n));
       } else {
         return std::nullopt;
       }
@@ -287,6 +343,23 @@ struct ElisionPolicy {
   ElisionPolicy with_backoff(std::uint64_t base_cycles) const {
     ElisionPolicy p = *this;
     p.retry.backoff_base_cycles = base_cycles;
+    return p;
+  }
+  // Adaptive-controller knobs (kAdaptive; see locks/adaptive.hpp).
+  ElisionPolicy with_adaptive_window(int regions) const {
+    ElisionPolicy p = *this;
+    p.adapt.window = regions;
+    return p;
+  }
+  ElisionPolicy with_adaptive_thresholds(int up_pct, int down_pct) const {
+    ElisionPolicy p = *this;
+    p.adapt.up_pct = up_pct;
+    p.adapt.down_pct = down_pct;
+    return p;
+  }
+  ElisionPolicy with_adaptive_dwell(int windows) const {
+    ElisionPolicy p = *this;
+    p.adapt.dwell = windows;
     return p;
   }
 

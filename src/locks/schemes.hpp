@@ -4,6 +4,7 @@
 // implicitly for existing call sites.
 #pragma once
 
+#include "locks/adaptive.hpp"
 #include "locks/mcs_lock.hpp"
 #include "locks/policy.hpp"
 #include "locks/region.hpp"
@@ -22,12 +23,16 @@ template <typename Lock>
 class CriticalSection {
  public:
   CriticalSection(ElisionPolicy policy, Lock& main)
-      : policy_(policy), main_(main) {}
+      : policy_(policy), main_(main), adaptive_(policy.adapt) {}
 
   Scheme scheme() const { return policy_.scheme; }
   const ElisionPolicy& policy() const { return policy_; }
   Lock& main_lock() { return main_; }
   McsLock& aux_lock() { return aux_; }
+  // The online mode controller consulted by Scheme::kAdaptive dispatch
+  // (mode ladder, hysteresis state, decision trace). Inert under every
+  // other scheme.
+  const AdaptiveController& adaptive() const { return adaptive_; }
 
   // Runs the body under the policy's default access mode (exclusive unless
   // the policy was built with .shared()).
@@ -75,18 +80,50 @@ class CriticalSection {
       case Scheme::kHleGroupedScm:
         return grouped_scm_region(ctx, main_, aux_bank_, policy_.grouped,
                                   body, mode);
+      case Scheme::kAdaptive:
+        return adaptive_region(ctx, body, mode);
     }
     ELISION_CHECK_MSG(false, "unknown scheme");
     return {};
   }
 
  private:
+  // Scheme::kAdaptive: consult the controller's current mode, dispatch to
+  // that mode's region driver, and feed the region's outcome back. Threads
+  // mid-region during a migration simply finish under the mode they
+  // started with — every mode ultimately respects the main lock, so any
+  // mix is as safe as that mode's own fallback path.
+  RegionResult adaptive_region(tsx::Ctx& ctx,
+                               support::FunctionRef<void()> body,
+                               AccessMode mode) {
+    RegionResult r;
+    switch (adaptive_.mode()) {
+      case AdaptiveMode::kHle:
+        r = hle_region(ctx, main_, policy_.retry, body, mode);
+        break;
+      case AdaptiveMode::kHleScm:
+        r = scm_region(ctx, main_, aux_, policy_.scm, body, mode);
+        break;
+      case AdaptiveMode::kHleGroupedScm:
+        r = grouped_scm_region(ctx, main_, aux_bank_, policy_.grouped, body,
+                               mode);
+        break;
+      case AdaptiveMode::kStandard:
+        complete_locked(ctx, main_, r, body, mode);
+        break;
+    }
+    adaptive_.on_region(ctx.thread().now(), r.speculative, r.attempts);
+    return r;
+  }
+
   ElisionPolicy policy_;
   Lock& main_;
   // The auxiliary lock must be starvation-free (Ch. 4): MCS.
   McsLock aux_;
   // Auxiliary lock groups for the grouped-SCM extension.
   AuxLockBank<McsLock, 8> aux_bank_;
+  // Online mode controller for Scheme::kAdaptive.
+  AdaptiveController adaptive_;
 };
 
 }  // namespace elision::locks

@@ -61,6 +61,9 @@ std::vector<locks::ElisionPolicy> all_policies() {
     v.push_back(locks::ElisionPolicy::from_scheme(s));
   }
   v.push_back(locks::ElisionPolicy::rtm_elide());
+  // The mode controller migrates between four of the schemes above
+  // mid-run; a short window makes it actually move within a stress case.
+  v.push_back(locks::ElisionPolicy::adaptive().with_adaptive_window(8));
   return v;
 }
 

@@ -61,10 +61,11 @@ const char* workload_name(Workload w);
 std::vector<Workload> all_workloads();
 
 // Policies covered by "--schemes all": the paper's six evaluated schemes
-// plus the RTM-based elision mechanism, all in exclusive mode — the
-// shared-mode axis is exercised per-operation by the btree workload, not
-// by the policy grid (a `+shared` policy would run read-write bodies as
-// readers, which is a usage error, not a lock bug).
+// plus the RTM-based elision mechanism and the adaptive mode controller
+// (with a short decision window so it migrates within a case), all in
+// exclusive mode — the shared-mode axis is exercised per-operation by the
+// btree workload, not by the policy grid (a `+shared` policy would run
+// read-write bodies as readers, which is a usage error, not a lock bug).
 std::vector<locks::ElisionPolicy> all_policies();
 
 // Per-sweep knobs (shared by every case of a sweep).

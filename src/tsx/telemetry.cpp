@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <unordered_map>
 
 namespace elision::tsx {
 
@@ -123,11 +124,26 @@ std::vector<AvalancheEpisode> detect_avalanches(
     const std::vector<TelemetryEvent>& merged, const AvalancheConfig& cfg) {
   std::vector<AvalancheEpisode> out;
   const std::size_t n = merged.size();
+  // Same-line acquisitions consumed by an already-scanned convoy: line ->
+  // one-past-the-last merged index that episode's window covered. Keeps the
+  // foreign-line re-scan below from re-seeding a convoy that was already
+  // reported.
+  std::unordered_map<support::LineId, std::size_t> consumed_until;
+  // Victim dedup scratch, indexed by thread id (grown on demand — no
+  // 64-thread cap; ROADMAP item 5 targets larger machines).
+  std::vector<std::uint8_t> is_victim;
   std::size_t i = 0;
   while (i < n) {
     if (merged[i].kind != EventKind::kLockAcquire) {
       ++i;
       continue;
+    }
+    if (merged[i].line != 0) {
+      const auto it = consumed_until.find(merged[i].line);
+      if (it != consumed_until.end() && i < it->second) {
+        ++i;  // part of an episode already scanned and reported
+        continue;
+      }
     }
     // A non-speculative acquisition seeds a candidate episode.
     AvalancheEpisode ep;
@@ -135,7 +151,11 @@ std::vector<AvalancheEpisode> detect_avalanches(
     ep.start = merged[i].timestamp;
     ep.end = merged[i].timestamp;
     ep.line = merged[i].line;
-    std::uint64_t victim_mask = 0;
+    is_victim.assign(is_victim.size(), 0);
+    // First kLockAcquire on a *different* lock line skipped inside the
+    // window: a concurrent episode's seed. The scan resumes there instead
+    // of at j, so a second lock's simultaneous avalanche is not swallowed.
+    std::size_t foreign_seed = n;
     std::size_t j = i + 1;
     for (; j < n; ++j) {
       const TelemetryEvent& e = merged[j];
@@ -146,9 +166,10 @@ std::vector<AvalancheEpisode> detect_avalanches(
           // known different lock line belong to another lock's episode.
           if (ep.line != 0 && e.line != 0 && e.line != ep.line) continue;
           ++ep.aborts;
-          if (e.thread != ep.trigger_thread && e.thread >= 0 &&
-              e.thread < 64) {
-            victim_mask |= 1ULL << e.thread;
+          if (e.thread != ep.trigger_thread && e.thread >= 0) {
+            const auto id = static_cast<std::size_t>(e.thread);
+            if (id >= is_victim.size()) is_victim.resize(id + 1, 0);
+            is_victim[id] = 1;
           }
           ep.end = e.timestamp;
           break;
@@ -156,7 +177,12 @@ std::vector<AvalancheEpisode> detect_avalanches(
         case EventKind::kLockRelease:
           // Chained non-speculative activity on the same lock extends the
           // serialized convoy.
-          if (ep.line != 0 && e.line != 0 && e.line != ep.line) continue;
+          if (ep.line != 0 && e.line != 0 && e.line != ep.line) {
+            if (e.kind == EventKind::kLockAcquire && foreign_seed == n) {
+              foreign_seed = j;
+            }
+            continue;
+          }
           if (e.kind == EventKind::kLockRelease) ++ep.serialized_ops;
           ep.end = e.timestamp;
           break;
@@ -166,13 +192,12 @@ std::vector<AvalancheEpisode> detect_avalanches(
           break;
       }
     }
-    while (victim_mask != 0) {
-      const int v = __builtin_ctzll(victim_mask);
-      victim_mask &= victim_mask - 1;
-      ep.victims.push_back(v);
+    for (std::size_t t = 0; t < is_victim.size(); ++t) {
+      if (is_victim[t] != 0) ep.victims.push_back(static_cast<int>(t));
     }
     if (ep.victim_count() >= cfg.min_victims) out.push_back(ep);
-    i = j;
+    if (ep.line != 0) consumed_until[ep.line] = j;
+    i = foreign_seed < j ? foreign_seed : j;
   }
   return out;
 }

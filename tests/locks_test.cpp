@@ -430,7 +430,10 @@ TEST(PolicySpec, NamedConstructorsRoundTrip) {
       ElisionPolicy::opt_slr(),         ElisionPolicy::opt_slr_scm(),
       ElisionPolicy::rtm_elide(),       ElisionPolicy::hle_scm_nested(),
       ElisionPolicy::hle_grouped_scm(), ElisionPolicy::hle().shared(),
-      ElisionPolicy::hle_scm().shared(),
+      ElisionPolicy::hle_scm().shared(), ElisionPolicy::adaptive(),
+      ElisionPolicy::adaptive().with_adaptive_window(16),
+      ElisionPolicy::adaptive().with_adaptive_thresholds(70, 5),
+      ElisionPolicy::adaptive().with_adaptive_dwell(4),
   };
   for (const ElisionPolicy& p : policies) {
     const auto back = ElisionPolicy::parse(p.spec());
@@ -457,6 +460,22 @@ TEST(PolicySpec, KnobsRoundTripAndNonDefaultsOnlyAppear) {
   EXPECT_EQ(back->spec(), spec);
 }
 
+TEST(PolicySpec, AdaptiveKnobsRoundTrip) {
+  const ElisionPolicy p = ElisionPolicy::adaptive()
+                              .with_adaptive_window(64)
+                              .with_adaptive_thresholds(55, 5)
+                              .with_adaptive_dwell(3);
+  const std::string spec = p.spec();
+  EXPECT_EQ(spec, "adaptive:window=64:up=55:down=5:dwell=3");
+  const auto back = ElisionPolicy::parse(spec);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->adapt.window, 64);
+  EXPECT_EQ(back->adapt.up_pct, 55);
+  EXPECT_EQ(back->adapt.down_pct, 5);
+  EXPECT_EQ(back->adapt.dwell, 3);
+  EXPECT_EQ(*back, p);
+}
+
 TEST(PolicySpec, ParseAcceptsLegacyMixedCaseAndSharedSuffix) {
   const auto legacy = ElisionPolicy::parse("HLE-SCM");
   ASSERT_TRUE(legacy.has_value());
@@ -472,6 +491,26 @@ TEST(PolicySpec, ParseRejectsGarbage) {
   EXPECT_FALSE(ElisionPolicy::parse("htm-magic").has_value());
   EXPECT_FALSE(ElisionPolicy::parse("hle:imaginary-knob=3").has_value());
   EXPECT_FALSE(ElisionPolicy::parse("hle+exclusive-ish").has_value());
+}
+
+TEST(PolicySpec, ParseRejectsOutOfRangeKnobValues) {
+  // Negative values must not wrap through strtoull's modular arithmetic
+  // into huge positives.
+  EXPECT_FALSE(ElisionPolicy::parse("hle:spec-attempts=-1").has_value());
+  EXPECT_FALSE(ElisionPolicy::parse("hle:backoff=-7").has_value());
+  EXPECT_FALSE(ElisionPolicy::parse("adaptive:window=-5").has_value());
+  EXPECT_FALSE(ElisionPolicy::parse("adaptive:up=-60").has_value());
+  // Values past INT_MAX must be rejected, not truncated by the int cast.
+  EXPECT_FALSE(ElisionPolicy::parse("hle:spec-attempts=4294967296")
+                   .has_value());
+  EXPECT_FALSE(
+      ElisionPolicy::parse("adaptive:window=99999999999999999999999")
+          .has_value());
+  // Other non-numeric noise in the value position.
+  EXPECT_FALSE(ElisionPolicy::parse("adaptive:window=").has_value());
+  EXPECT_FALSE(ElisionPolicy::parse("adaptive:window=ten").has_value());
+  EXPECT_FALSE(ElisionPolicy::parse("adaptive:window=3x").has_value());
+  EXPECT_FALSE(ElisionPolicy::parse("adaptive:window=+3").has_value());
 }
 
 TEST(PolicySpec, DeprecatedSchemeConversionStillWorks) {

@@ -146,6 +146,78 @@ TEST(AvalancheDetector, IgnoresAbortsOnOtherLockLines) {
   EXPECT_TRUE(episodes.empty());
 }
 
+TEST(AvalancheDetector, ReportsConcurrentEpisodesOnDistinctLockLines) {
+  // Two independent locks avalanche in the same window, interleaved. The
+  // scan seeded by lock A's acquisition must not swallow lock B's seeding
+  // acquisition: both episodes are reported.
+  const support::LineId a = 0x100, b = 0x200;
+  std::vector<TelemetryEvent> trace = {
+      ev(1000, 0, EventKind::kLockAcquire, a),
+      ev(1050, 4, EventKind::kLockAcquire, b),  // foreign seed inside A's scan
+      ev(1100, 1, EventKind::kTxAbort, a, AbortCause::kConflict),
+      ev(1150, 5, EventKind::kTxAbort, b, AbortCause::kConflict),
+      ev(1200, 2, EventKind::kTxAbort, a, AbortCause::kConflict),
+      ev(1250, 6, EventKind::kTxAbort, b, AbortCause::kConflict),
+      ev(1300, 0, EventKind::kLockRelease, a),
+      ev(1350, 4, EventKind::kLockRelease, b),
+  };
+  const auto episodes = detect_avalanches(trace, {});
+  ASSERT_EQ(episodes.size(), 2u);
+  EXPECT_EQ(episodes[0].line, a);
+  EXPECT_EQ(episodes[0].trigger_thread, 0);
+  EXPECT_EQ(episodes[0].victims, (std::vector<int>{1, 2}));
+  EXPECT_EQ(episodes[1].line, b);
+  EXPECT_EQ(episodes[1].trigger_thread, 4);
+  EXPECT_EQ(episodes[1].victims, (std::vector<int>{5, 6}));
+}
+
+TEST(AvalancheDetector, ReScanDoesNotDoubleReportAConsumedEpisode) {
+  // The re-scan from a foreign-line seed must not re-seed the episode it
+  // already consumed: interleaved A/B/A acquisitions yield exactly one
+  // episode per lock line.
+  const support::LineId a = 0x100, b = 0x200;
+  std::vector<TelemetryEvent> trace = {
+      ev(1000, 0, EventKind::kLockAcquire, a),
+      ev(1020, 4, EventKind::kLockAcquire, b),
+      ev(1100, 1, EventKind::kTxAbort, a, AbortCause::kConflict),
+      ev(1150, 5, EventKind::kTxAbort, b, AbortCause::kConflict),
+      // A second acquisition of A inside both scans: part of A's convoy,
+      // not a fresh A episode.
+      ev(1200, 2, EventKind::kLockAcquire, a),
+      ev(1250, 6, EventKind::kTxAbort, b, AbortCause::kConflict),
+      ev(1300, 3, EventKind::kTxAbort, a, AbortCause::kConflict),
+  };
+  const auto episodes = detect_avalanches(trace, {});
+  ASSERT_EQ(episodes.size(), 2u);
+  EXPECT_EQ(episodes[0].line, a);
+  EXPECT_EQ(episodes[1].line, b);
+  EXPECT_EQ(episodes[0].victims, (std::vector<int>{1, 3}));
+  EXPECT_EQ(episodes[1].victims, (std::vector<int>{5, 6}));
+}
+
+TEST(AvalancheDetector, TracksVictimsAboveThread64) {
+  // Victim tracking must not cap at 64 threads (the old uint64_t bitmask).
+  std::vector<TelemetryEvent> trace;
+  trace.push_back(ev(1000, 10, EventKind::kLockAcquire, 0x100));
+  const int kThreads = 200;
+  for (int t = 0; t < kThreads; ++t) {
+    // Every thread except the trigger aborts twice; the duplicate must not
+    // inflate the distinct-victim list.
+    if (t == 10) continue;
+    trace.push_back(ev(1001 + static_cast<std::uint64_t>(t), t,
+                       EventKind::kTxAbort, 0x100, AbortCause::kConflict));
+    trace.push_back(ev(1500 + static_cast<std::uint64_t>(t), t,
+                       EventKind::kTxAbort, 0x100, AbortCause::kConflict));
+  }
+  const auto episodes = detect_avalanches(trace, {});
+  ASSERT_EQ(episodes.size(), 1u);
+  EXPECT_EQ(episodes[0].victim_count(), kThreads - 1);
+  EXPECT_EQ(episodes[0].aborts, 2u * (kThreads - 1));
+  // Victims are reported in ascending thread order, including > 63.
+  EXPECT_EQ(episodes[0].victims.front(), 0);
+  EXPECT_EQ(episodes[0].victims.back(), kThreads - 1);
+}
+
 TEST(RejoinLatencies, PairsEnterWithExitPerThread) {
   std::vector<TelemetryEvent> trace = {
       ev(100, 0, EventKind::kAuxEnter),

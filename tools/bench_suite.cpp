@@ -326,14 +326,25 @@ int main(int argc, char** argv) {
                           "size", "upd%", "thr", "seeds"});
     for (const auto& sp : harness::suite_points_for(o.tier)) {
       const bool rb = sp.kind == harness::PointKind::kRb;
-      table.add_row({sp.id, harness::suite_tier_name(sp.tier), sp.figure,
-                     harness::point_kind_name(sp.kind),
-                     rb ? harness::lock_sel_name(sp.point.lock) : "-",
-                     rb ? sp.point.scheme.name() : "-",
-                     harness::fmt_int(sp.point.size),
-                     rb ? std::to_string(sp.point.update_pct) : "-",
-                     std::to_string(sp.point.threads),
-                     std::to_string(sp.point.seeds)});
+      const bool ph = sp.kind == harness::PointKind::kPhase;
+      // Phase points show their calm/storm mix as "calm-storm".
+      const std::string upd =
+          rb ? std::to_string(sp.point.update_pct)
+             : ph ? std::to_string(sp.phase.calm_update_pct) + "-" +
+                        std::to_string(sp.phase.storm_update_pct)
+                  : "-";
+      table.add_row(
+          {sp.id, harness::suite_tier_name(sp.tier), sp.figure,
+           harness::point_kind_name(sp.kind),
+           rb   ? harness::lock_sel_name(sp.point.lock)
+           : ph ? harness::lock_sel_name(sp.phase.lock)
+                : "-",
+           rb   ? sp.point.scheme.name()
+           : ph ? sp.phase.scheme.name()
+                : "-",
+           harness::fmt_int(ph ? sp.phase.size : sp.point.size), upd,
+           std::to_string(ph ? sp.phase.threads : sp.point.threads),
+           std::to_string(ph ? sp.phase.seeds : sp.point.seeds)});
     }
     table.print();
     return 0;

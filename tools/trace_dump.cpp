@@ -10,8 +10,10 @@
 //              [--all-schemes]
 //
 // Locks: ttas mcs ticket ticket-adj clh clh-adj
-// Schemes: standard hle hle-scm pes-slr opt-slr opt-slr-scm rtm-elide
-//          hle-scm-nested hle-gscm
+// Schemes: any canonical policy spec (ElisionPolicy::parse), including
+//          tuned ones like `hle:retries=4` and the adaptive controller
+//          (`adaptive[:window=N:up=N:down=N:dwell=N]`), whose decision
+//          trace is printed after the run.
 //
 // --all-schemes runs the paper's six schemes (Sec. 5.1) back to back and
 // aggregates all of them into one metrics export; --scheme is ignored.
@@ -68,8 +70,13 @@ struct Options {
       "             [--all-schemes]\n"
       "\n"
       "locks:   ttas mcs ticket ticket-adj clh clh-adj\n"
-      "schemes: standard hle hle-scm pes-slr opt-slr opt-slr-scm rtm-elide\n"
-      "         hle-scm-nested hle-gscm\n");
+      "schemes: any canonical policy spec (locks/policy.hpp), e.g.\n"
+      "         standard hle hle-scm pes-slr opt-slr opt-slr-scm rtm-elide\n"
+      "         hle-scm-nested hle-gscm adaptive hle:retries=4\n"
+      "         adaptive:window=16:up=50:down=10:dwell=4\n"
+      "\n"
+      "an adaptive scheme additionally prints the controller's decision\n"
+      "trace (docs/adaptive.md)\n");
   std::exit(2);
 }
 
@@ -126,22 +133,25 @@ Options parse(int argc, char** argv) {
 }
 
 locks::ElisionPolicy parse_policy(const std::string& s) {
-  using locks::ElisionPolicy;
-  if (s == "standard") return ElisionPolicy::standard();
-  if (s == "hle") return ElisionPolicy::hle();
-  if (s == "hle-scm") return ElisionPolicy::hle_scm();
-  if (s == "pes-slr") return ElisionPolicy::pes_slr();
-  if (s == "opt-slr") return ElisionPolicy::opt_slr();
-  if (s == "opt-slr-scm") return ElisionPolicy::opt_slr_scm();
-  if (s == "rtm-elide") return ElisionPolicy::rtm_elide();
-  if (s == "hle-scm-nested") return ElisionPolicy::hle_scm_nested();
-  if (s == "hle-gscm") return ElisionPolicy::hle_grouped_scm();
-  usage(("unknown scheme " + s).c_str());
+  // The canonical spec grammar: every scheme slug plus optional :knob=N
+  // suffixes, exactly what ElisionPolicy::spec() prints.
+  if (const auto p = locks::ElisionPolicy::parse(s)) return *p;
+  usage(("unknown scheme spec " + s).c_str());
 }
+
+// Adaptive-controller state salvaged from the CriticalSection before
+// run_with tears it down: the bounded decision trace plus the mode the run
+// ended in.
+struct AdaptiveTrace {
+  bool valid = false;
+  std::vector<locks::AdaptiveDecision> decisions;
+  std::uint64_t dropped = 0;
+  locks::AdaptiveMode final_mode = locks::AdaptiveMode::kHle;
+};
 
 template <typename Lock>
 harness::RunStats run_with(const Options& o, locks::ElisionPolicy policy,
-                           tsx::Telemetry* sink) {
+                           tsx::Telemetry* sink, AdaptiveTrace* adaptive) {
   ds::RbTree tree(o.size * 4 + 256);
   support::Xoshiro256 fill(o.seed);
   std::size_t filled = 0;
@@ -162,7 +172,7 @@ harness::RunStats run_with(const Options& o, locks::ElisionPolicy policy,
   cfg.avalanche = o.avalanche;
   const std::uint64_t domain = o.size * 2;
   const int half = o.updates / 2;
-  return harness::run_workload(cfg, [&](tsx::Ctx& ctx) {
+  auto stats = harness::run_workload(cfg, [&](tsx::Ctx& ctx) {
     auto& rng = ctx.thread().rng();
     const std::uint64_t key = rng.next_below(domain);
     const auto dice = static_cast<int>(rng.next_below(100));
@@ -176,21 +186,62 @@ harness::RunStats run_with(const Options& o, locks::ElisionPolicy policy,
       }
     });
   });
+  if (adaptive != nullptr && policy.scheme == locks::Scheme::kAdaptive) {
+    adaptive->valid = true;
+    adaptive->decisions = cs.adaptive().decisions();
+    adaptive->dropped = cs.adaptive().decisions_dropped();
+    adaptive->final_mode = cs.adaptive().mode();
+  }
+  return stats;
 }
 
 harness::RunStats run_policy(const Options& o, locks::ElisionPolicy policy,
-                             tsx::Telemetry* sink) {
-  if (o.lock == "ttas") return run_with<locks::TtasLock>(o, policy, sink);
-  if (o.lock == "mcs") return run_with<locks::McsLock>(o, policy, sink);
-  if (o.lock == "ticket") return run_with<locks::TicketLock>(o, policy, sink);
-  if (o.lock == "ticket-adj") {
-    return run_with<locks::TicketLockAdjusted>(o, policy, sink);
+                             tsx::Telemetry* sink,
+                             AdaptiveTrace* adaptive = nullptr) {
+  if (o.lock == "ttas") {
+    return run_with<locks::TtasLock>(o, policy, sink, adaptive);
   }
-  if (o.lock == "clh") return run_with<locks::ClhLock>(o, policy, sink);
+  if (o.lock == "mcs") {
+    return run_with<locks::McsLock>(o, policy, sink, adaptive);
+  }
+  if (o.lock == "ticket") {
+    return run_with<locks::TicketLock>(o, policy, sink, adaptive);
+  }
+  if (o.lock == "ticket-adj") {
+    return run_with<locks::TicketLockAdjusted>(o, policy, sink, adaptive);
+  }
+  if (o.lock == "clh") {
+    return run_with<locks::ClhLock>(o, policy, sink, adaptive);
+  }
   if (o.lock == "clh-adj") {
-    return run_with<locks::ClhLockAdjusted>(o, policy, sink);
+    return run_with<locks::ClhLockAdjusted>(o, policy, sink, adaptive);
   }
   usage(("unknown lock " + o.lock).c_str());
+}
+
+// Prints the controller's migration history: one line per recorded
+// decision, oldest first (docs/adaptive.md documents the columns).
+void print_adaptive_trace(const locks::ElisionPolicy& policy,
+                          const AdaptiveTrace& t) {
+  if (!t.valid) return;
+  std::printf(
+      "adaptive controller (window=%d up=%d down=%d dwell=%d): "
+      "%llu migration(s), final mode %s\n",
+      policy.adapt.window, policy.adapt.up_pct, policy.adapt.down_pct,
+      policy.adapt.dwell,
+      static_cast<unsigned long long>(t.decisions.size() + t.dropped),
+      locks::adaptive_mode_name(t.final_mode));
+  for (const auto& d : t.decisions) {
+    std::printf("  at=%-12llu %-8s -> %-8s rate=%3d%%  %s\n",
+                static_cast<unsigned long long>(d.at),
+                locks::adaptive_mode_name(d.from),
+                locks::adaptive_mode_name(d.to), d.abort_rate_pct, d.reason);
+  }
+  if (t.dropped != 0) {
+    std::printf("  ... %llu earlier migration(s) beyond the trace bound\n",
+                static_cast<unsigned long long>(t.dropped));
+  }
+  std::printf("\n");
 }
 
 std::FILE* open_or_die(const std::string& path) {
@@ -256,9 +307,11 @@ int main(int argc, char** argv) {
     }
   } else {
     const locks::ElisionPolicy policy = parse_policy(o.scheme);
-    const auto stats = run_policy(o, policy, &telemetry);
+    AdaptiveTrace adaptive;
+    const auto stats = run_policy(o, policy, &telemetry, &adaptive);
     registry.record(policy.name(), lock_display_name(o.lock), stats);
     report_run(o, policy, stats);
+    print_adaptive_trace(policy, adaptive);
     if (!o.events_file.empty()) {
       std::FILE* f = open_or_die(o.events_file);
       if (o.events_format == "json") {
