@@ -24,12 +24,8 @@ class KvStore {
 
   void put(tsx::Ctx& ctx, std::uint64_t key, std::uint64_t value) {
     cs_.run(ctx, [&] {
-      if (index_.insert(ctx, key)) {
-        values_.insert(ctx, key, value);
-      } else {
-        values_.erase(ctx, key);
-        values_.insert(ctx, key, value);
-      }
+      index_.insert(ctx, key);
+      values_.insert_or_assign(ctx, key, value);
     });
   }
 

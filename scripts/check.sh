@@ -8,6 +8,10 @@
 # The adaptive controller gets its own smoke (decision trace printed, at
 # least one migration under a write storm, malformed policy specs rejected)
 # and an end-to-end outcome check on the phase-shifting bench points.
+# The sharded KV service is checked end to end as well: the kv-* smoke
+# points must report the full per-op latency-percentile schema and the
+# hot-shard avalanche signature, and every CLI must reject malformed
+# numeric flag values (strict shared parser, no atoi truncation).
 # Finally runs the bench-suite smoke tier gated against the committed
 # baseline (bench/baseline.json), re-runs it with --jobs 2 (fork mode) and
 # with --jobs 2 --jobs-mode threads --host-threads 2 (in-process pool) to
@@ -222,6 +226,62 @@ assert sum(adaptive["phase_ops"]) > worst, (
 print(f"adaptive: {sum(adaptive['phase_ops'])} total commits vs worst "
       f"static {worst} across the phase shift")
 EOF
+
+# Sharded-KV service end-to-end outcome: the smoke tier carries the kv-*
+# points (docs/service.md). Beyond the suite's own gated invariants
+# (latency series ordered, hot-shard avalanche, hle elides while standard
+# never does), pin the latency schema here: every kv point reports all
+# four op kinds with populated, ordered percentiles, and the hot-shard
+# telemetry point recorded at least one avalanche episode.
+python3 - "$bench_json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+kv = {p["id"]: p["metrics"] for p in doc["points"] if p["kind"] == "kv"}
+assert len(kv) == 4, f"expected 4 kv smoke points, got {sorted(kv)}"
+for pid, m in kv.items():
+    lat = m["latency"]
+    assert sorted(lat) == ["get", "multi_put", "put", "transfer"], (pid, lat)
+    for op, l in lat.items():
+        assert l["samples"] > 0, f"{pid}/{op}: no latency samples"
+        assert (l["p50_cycles"] <= l["p99_cycles"] <= l["p999_cycles"]
+                <= l["max_cycles"]), f"{pid}/{op}: unordered percentiles {l}"
+hot = kv["kv-sh8-k8192-z120-u50-t8-hle"]
+assert hot["avalanche_episodes"] >= 1, (
+    f"hot-shard point saw no avalanche: {hot['avalanche_episodes']}")
+std = kv["kv-sh8-k8192-z99-u30-t8-standard"]
+assert std["spec_fraction"] == 0.0, std["spec_fraction"]
+print(f"kv service: 4 smoke points with full latency schema; hot shard "
+      f"logged {hot['avalanche_episodes']} avalanche episodes")
+EOF
+
+# Strict CLI parsing: every tool now routes numeric flags through
+# support/parse.hpp, so trailing garbage, bare negatives where they make
+# no sense, empty values and overflow must all be *rejected* (exit 2)
+# instead of silently truncated by atoi/atof.
+for cli_bad in \
+    "bench_suite --tier smoke --jobs foo" \
+    "bench_suite --tier smoke --jobs -1" \
+    "bench_suite --tier smoke --jobs 2x" \
+    "bench_suite --tier smoke --host-threads 1.5" \
+    "bench_suite --tier smoke --tol-throughput -0.1" \
+    "bench_suite --tier smoke --plant-regression 0junk" \
+    "elide --threads 8y" \
+    "elide --ms -3" \
+    "elide --size 99999999999999999999999" \
+    "trace_dump --window 0" \
+    "trace_dump --threads ''" \
+    "stress_cli --seeds 1e9junk" \
+    "stress_cli --threads 1x" \
+    "stress_cli --prob 1.5" \
+    "stress_cli --first-seed -2"
+do
+  tool=${cli_bad%% *}
+  args=${cli_bad#* }
+  if eval "\"$BUILD\"/tools/$tool $args" >/dev/null 2>&1; then
+    echo "check: $tool accepted malformed flag value: $args" >&2; exit 1
+  fi
+done
+echo "CLI parsing: all tools reject malformed numeric flag values"
 
 # Parallel execution must reproduce the sequential run exactly: every
 # simulated metric is deterministic per seed, so fanning the points out —

@@ -104,6 +104,23 @@ std::uint64_t HashTable::upsert_add(tsx::Ctx& ctx, std::uint64_t key,
   return delta;
 }
 
+bool HashTable::insert_or_assign(tsx::Ctx& ctx, std::uint64_t key,
+                                 std::uint64_t value) {
+  auto& bucket = buckets_[hash(key) % buckets_.size()];
+  for (Node* n = bucket.load(ctx); n != nullptr; n = n->next.load(ctx)) {
+    if (n->key.load(ctx) == key) {
+      n->value.store(ctx, value);
+      return false;
+    }
+  }
+  Node* n = alloc(ctx);
+  n->key.store(ctx, key);
+  n->value.store(ctx, value);
+  n->next.store(ctx, bucket.load(ctx));
+  bucket.store(ctx, n);
+  return true;
+}
+
 bool HashTable::unsafe_insert(std::uint64_t key, std::uint64_t value) {
   auto& bucket = buckets_[hash(key) % buckets_.size()];
   for (Node* n = bucket.unsafe_get(); n != nullptr; n = n->next.unsafe_get()) {

@@ -36,6 +36,11 @@ class HashTable {
   // Returns the new value.
   std::uint64_t upsert_add(tsx::Ctx& ctx, std::uint64_t key,
                            std::uint64_t delta);
+  // Sets key's value, inserting if absent. Returns true if a new node was
+  // inserted, false if an existing one was assigned. Unlike erase+insert,
+  // assignment touches a single value word, so the transactional write set
+  // stays minimal for the common update-in-place path.
+  bool insert_or_assign(tsx::Ctx& ctx, std::uint64_t key, std::uint64_t value);
 
   std::size_t bucket_count() const { return buckets_.size(); }
 

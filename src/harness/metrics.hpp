@@ -12,12 +12,26 @@
 #include <string>
 #include <vector>
 
+#include "support/check.hpp"
 #include "tsx/stats.hpp"
 #include "tsx/telemetry.hpp"
 
 namespace elision::harness {
 
 struct RunStats;
+
+namespace detail {
+
+// Counters fed per completed region can legitimately approach 2^64 on long
+// simulated runs; a silent wrap would corrupt every derived mean. Debug
+// builds treat overflow as a bug; release builds pin at UINT64_MAX.
+inline std::uint64_t saturating_add(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t s = a + b;
+  ELISION_DCHECK(s >= a);
+  return s >= a ? s : UINT64_MAX;
+}
+
+}  // namespace detail
 
 // Power-of-two-bucketed histogram. Bucket index is std::bit_width(v):
 // bucket 0 holds {0}, bucket 1 holds {1}, bucket 2 holds {2,3}, bucket 3
@@ -29,7 +43,7 @@ class Histogram {
     if (buckets_.size() <= b) buckets_.resize(b + 1, 0);
     ++buckets_[b];
     ++samples_;
-    sum_ += v;
+    sum_ = detail::saturating_add(sum_, v);
     if (v > max_) max_ = v;
   }
 
@@ -41,7 +55,7 @@ class Histogram {
       buckets_[i] += o.buckets_[i];
     }
     samples_ += o.samples_;
-    sum_ += o.sum_;
+    sum_ = detail::saturating_add(sum_, o.sum_);
     if (o.max_ > max_) max_ = o.max_;
   }
 
@@ -71,6 +85,100 @@ class Histogram {
   }
   // "0", "1", "2-3", "4-7", ...
   static std::string bucket_label(std::size_t i);
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t samples_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+// Log-linear (HDR-style) histogram for latency quantiles. `Histogram`'s
+// power-of-two buckets are far too coarse for p999 — one bucket spans a 2x
+// range. Here values below 64 get an exact bucket each, and every octave
+// above is split into 32 linear sub-buckets, bounding the relative error of
+// any reported quantile at 1/32 (~3.1%) while staying a handful of KiB.
+//
+// All counters are integers and quantiles return a bucket's inclusive upper
+// bound (a uint64), so merged results — and any JSON printed from them —
+// are bit-reproducible regardless of merge grouping.
+class QuantileHistogram {
+ public:
+  static constexpr std::size_t kExact = 64;    // buckets 0..63 hold v == i
+  static constexpr std::size_t kSubBits = 5;   // 32 sub-buckets per octave
+  static constexpr std::size_t kSub = std::size_t{1} << kSubBits;
+
+  static std::size_t bucket_index(std::uint64_t v) {
+    if (v < kExact) return static_cast<std::size_t>(v);
+    const auto b = static_cast<std::size_t>(std::bit_width(v));  // >= 7
+    const auto sub = static_cast<std::size_t>(
+        (v - (std::uint64_t{1} << (b - 1))) >> (b - 1 - kSubBits));
+    return kExact + (b - 7) * kSub + sub;
+  }
+
+  // Inclusive value range [lo, hi] of bucket i.
+  static std::uint64_t bucket_lo(std::size_t i) {
+    if (i < kExact) return i;
+    const std::size_t octave = (i - kExact) / kSub;
+    const std::size_t sub = (i - kExact) % kSub;
+    const std::uint64_t width = std::uint64_t{1} << (octave + 1);
+    return (std::uint64_t{1} << (octave + 6)) + sub * width;
+  }
+  static std::uint64_t bucket_hi(std::size_t i) {
+    if (i < kExact) return i;
+    const std::size_t octave = (i - kExact) / kSub;
+    return bucket_lo(i) + (std::uint64_t{1} << (octave + 1)) - 1;
+  }
+
+  void add(std::uint64_t v) {
+    const std::size_t i = bucket_index(v);
+    if (buckets_.size() <= i) buckets_.resize(i + 1, 0);
+    ++buckets_[i];
+    ++samples_;
+    sum_ = detail::saturating_add(sum_, v);
+    if (v > max_) max_ = v;
+  }
+
+  void merge(const QuantileHistogram& o) {
+    if (buckets_.size() < o.buckets_.size()) {
+      buckets_.resize(o.buckets_.size(), 0);
+    }
+    for (std::size_t i = 0; i < o.buckets_.size(); ++i) {
+      buckets_[i] += o.buckets_[i];
+    }
+    samples_ += o.samples_;
+    sum_ = detail::saturating_add(sum_, o.sum_);
+    if (o.max_ > max_) max_ = o.max_;
+  }
+
+  // Value at quantile q in [0,1]: the inclusive upper bound of the bucket
+  // holding the ceil(q * samples)-th smallest sample (rank clamped to
+  // [1, samples]). Exact for values < 64; within 1/32 above. Returns 0 when
+  // empty.
+  std::uint64_t quantile(double q) const {
+    if (samples_ == 0) return 0;
+    double want = q * static_cast<double>(samples_);
+    std::uint64_t rank = static_cast<std::uint64_t>(want);
+    if (static_cast<double>(rank) < want) ++rank;  // ceil
+    if (rank < 1) rank = 1;
+    if (rank > samples_) rank = samples_;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      seen += buckets_[i];
+      if (seen >= rank) return bucket_hi(i) < max_ ? bucket_hi(i) : max_;
+    }
+    return max_;
+  }
+
+  std::uint64_t samples() const { return samples_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return samples_ > 0 ? static_cast<double>(sum_) /
+                              static_cast<double>(samples_)
+                        : 0.0;
+  }
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
 
  private:
   std::vector<std::uint64_t> buckets_;

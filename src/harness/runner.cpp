@@ -83,6 +83,17 @@ void RunStats::accumulate(const RunStats& o) {
   episodes.insert(episodes.end(), o.episodes.begin(), o.episodes.end());
   telemetry_events += o.telemetry_events;
   telemetry_dropped += o.telemetry_dropped;
+  for (const auto& ol : o.op_latency) {
+    latency_series(ol.op)->merge(ol.hist);
+  }
+}
+
+QuantileHistogram* RunStats::latency_series(const std::string& op) {
+  for (auto& ol : op_latency) {
+    if (ol.op == op) return &ol.hist;
+  }
+  op_latency.push_back({op, {}});
+  return &op_latency.back().hist;
 }
 
 RunStats run_workload(const BenchConfig& cfg, const OpFn& op) {

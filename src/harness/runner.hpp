@@ -90,6 +90,16 @@ struct RunStats {
   std::uint64_t telemetry_events = 0;   // recorded into the rings
   std::uint64_t telemetry_dropped = 0;  // lost to ring wrap-around
 
+  // Per-operation-kind virtual-time latency (request arrival -> completion),
+  // recorded by workloads that model request latency (src/service). Entries
+  // keep the workload's registration order; accumulate() merges by name.
+  struct OpLatency {
+    std::string op;
+    QuantileHistogram hist;
+  };
+  std::vector<OpLatency> op_latency;
+  QuantileHistogram* latency_series(const std::string& op);
+
   // Folds another run into this one: every counter, histogram and episode
   // list is merged, and timelines are added slot-wise (resizing to the
   // longer of the two). ghz is taken from the first non-empty run and must

@@ -19,6 +19,7 @@ const char* point_kind_name(PointKind k) {
     case PointKind::kMicro: return "micro";
     case PointKind::kBtree: return "btree";
     case PointKind::kPhase: return "phase";
+    case PointKind::kKv: return "kv";
   }
   return "?";
 }
@@ -99,6 +100,36 @@ SuitePoint make_bt_point(SuiteTier tier, const char* figure, std::size_t size,
           "-c" + std::to_string(scan_pct) + "-l" + std::to_string(scan_len) +
           "-t" + std::to_string(threads) + "-" + shared_lock_sel_name(lock) +
           "-" + policy.spec();
+  return sp;
+}
+
+// Sharded-KV service points. The id encodes the shard/domain/skew/mix shape
+// (z = zipf theta x100) next to the policy, like every other kind.
+SuitePoint make_kv_point(SuiteTier tier, const char* figure, int shards,
+                         std::size_t keys, int clients, double zipf_theta,
+                         int put_pct, int multi_put_pct, int transfer_pct,
+                         int threads, locks::ElisionPolicy policy,
+                         bool telemetry = false) {
+  SuitePoint sp;
+  sp.tier = tier;
+  sp.figure = figure;
+  sp.kind = PointKind::kKv;
+  sp.kv.shards = shards;
+  sp.kv.keys = keys;
+  sp.kv.clients = clients;
+  sp.kv.zipf_theta = zipf_theta;
+  sp.kv.put_pct = put_pct;
+  sp.kv.multi_put_pct = multi_put_pct;
+  sp.kv.transfer_pct = transfer_pct;
+  sp.kv.threads = threads;
+  sp.kv.policy = policy;
+  sp.kv.telemetry = telemetry;
+  sp.kv.duration_sec = 0.003;
+  sp.kv.seeds = threads == 1 ? 1 : 2;
+  sp.id = "kv-sh" + std::to_string(shards) + "-k" + std::to_string(keys) +
+          "-z" + std::to_string(static_cast<int>(zipf_theta * 100 + 0.5)) +
+          "-u" + std::to_string(put_pct + multi_put_pct + transfer_pct) +
+          "-t" + std::to_string(threads) + "-" + scheme_slug(policy);
   return sp;
 }
 
@@ -208,7 +239,32 @@ std::vector<SuitePoint> build_points() {
                                  LockSel::kTtas, pol));
   }
 
+  // Sharded KV service under Zipf-skewed open-loop traffic (ROADMAP item 1:
+  // the production-shaped workload). The headline pair runs the same
+  // moderate-skew mix under per-shard adaptive elision vs the static HLE
+  // baseline (plus plain locking for scale); the hot-shard point cranks the
+  // skew until one shard saturates and — with telemetry on — must show the
+  // avalanche signature there.
+  v.push_back(make_kv_point(S, "kv-service", 8, 8192, 2000, 0.99,
+                            20, 5, 5, 8, ElisionPolicy::standard()));
+  v.push_back(make_kv_point(S, "kv-service", 8, 8192, 2000, 0.99,
+                            20, 5, 5, 8, ElisionPolicy::hle()));
+  v.push_back(make_kv_point(S, "kv-service", 8, 8192, 2000, 0.99,
+                            20, 5, 5, 8, ElisionPolicy::adaptive()));
+  v.push_back(make_kv_point(S, "kv-hot-shard", 8, 8192, 4000, 1.20,
+                            40, 5, 5, 8, ElisionPolicy::hle(),
+                            /*telemetry=*/true));
+
   // --- full tier: wider scheme / size / mix / lock coverage ---
+  // KV coverage: SCM-managed and grouped-SCM service variants on the
+  // standard mix, and a cross-shard-heavy mix exercising the multi-lock
+  // elision region and its ordered fallback.
+  v.push_back(make_kv_point(F, "kv-service", 8, 8192, 2000, 0.99,
+                            20, 5, 5, 8, ElisionPolicy::hle_scm()));
+  v.push_back(make_kv_point(F, "kv-service", 8, 8192, 2000, 0.99,
+                            20, 5, 5, 8, ElisionPolicy::hle_grouped_scm()));
+  v.push_back(make_kv_point(F, "kv-cross-shard", 8, 8192, 2000, 0.99,
+                            10, 25, 25, 8, ElisionPolicy::hle()));
   // Shared-mode coverage: the fair family member, the SCM-managed pair
   // (fallbacks gated through the auxiliary lock never happen on this mix,
   // so the two run identically — speculation already admits everyone), and
@@ -297,6 +353,11 @@ PointMetrics PointMetrics::derive(const RunStats& stats) {
   for (const auto& ep : stats.episodes) {
     m.avalanche_victims += static_cast<std::uint64_t>(ep.victim_count());
   }
+  for (const auto& ol : stats.op_latency) {
+    m.latency.push_back({ol.op, ol.hist.samples(), ol.hist.quantile(0.50),
+                         ol.hist.quantile(0.99), ol.hist.quantile(0.999),
+                         ol.hist.max()});
+  }
   return m;
 }
 
@@ -323,6 +384,8 @@ PointMetrics run_point_metrics(const SuitePoint& sp) {
     stats = run_bt_point(sp.bt);
   } else if (sp.kind == PointKind::kPhase) {
     stats = run_phase_point(sp.phase);
+  } else if (sp.kind == PointKind::kKv) {
+    stats = service::run_kv_point(sp.kv);
   } else {
     stats = run_rb_point(sp.point);
   }
@@ -360,6 +423,7 @@ SuiteResult run_suite(SuiteTier tier, const SuiteRunOptions& opts) {
     sp.point.host_threads = result.host_threads;
     sp.bt.host_threads = result.host_threads;
     sp.phase.host_threads = result.host_threads;
+    sp.kv.host_threads = result.host_threads;
     PointMetrics m = run_point_metrics(sp);
     m.throughput_ops_per_sec *= opts.plant_throughput_factor;
     m.sim_ops_per_sec *= opts.plant_simops_factor;
@@ -377,6 +441,7 @@ PointRecord run_suite_point(const SuitePoint& sp, int host_threads) {
   p.point.host_threads = host_threads > 0 ? host_threads : 1;
   p.bt.host_threads = p.point.host_threads;
   p.phase.host_threads = p.point.host_threads;
+  p.kv.host_threads = p.point.host_threads;
   PointRecord rec{sp, run_point_metrics(p)};
   return rec;
 }
@@ -418,6 +483,23 @@ void write_point_json(const PointRecord& r, std::FILE* out) {
         d.phase.seeds, d.phase.phase_sec,
         static_cast<unsigned long long>(d.phase.seed),
         d.phase.telemetry ? "true" : "false");
+  } else if (d.kind == PointKind::kKv) {
+    std::fprintf(
+        out,
+        "    {\"id\":\"%s\",\"tier\":\"%s\",\"figure\":\"%s\","
+        "\"kind\":\"%s\",\"scheme\":\"%s\",\"shards\":%d,\"keys\":%zu,"
+        "\"clients\":%d,\"client_rate_hz\":%g,\"zipf_theta\":%g,"
+        "\"put_pct\":%d,\"multi_put_pct\":%d,\"transfer_pct\":%d,"
+        "\"multi_put_keys\":%d,\"threads\":%d,\"seeds\":%d,"
+        "\"duration_sec\":%g,\"seed\":%llu,\"telemetry\":%s,\n",
+        support::json::escape(d.id).c_str(), suite_tier_name(d.tier),
+        support::json::escape(d.figure).c_str(), point_kind_name(d.kind),
+        support::json::escape(d.kv.policy.spec()).c_str(), d.kv.shards,
+        d.kv.keys, d.kv.clients, d.kv.client_rate_hz, d.kv.zipf_theta,
+        d.kv.put_pct, d.kv.multi_put_pct, d.kv.transfer_pct,
+        d.kv.multi_put_keys, d.kv.threads, d.kv.seeds, d.kv.duration_sec,
+        static_cast<unsigned long long>(d.kv.seed),
+        d.kv.telemetry ? "true" : "false");
   } else {
     std::fprintf(
         out,
@@ -465,6 +547,23 @@ void write_point_json(const PointRecord& r, std::FILE* out) {
                    static_cast<unsigned long long>(m.phase_ops[p]));
     }
     std::fprintf(out, "],");
+  }
+  if (!m.latency.empty()) {
+    std::fprintf(out, "\"latency\":{");
+    for (std::size_t l = 0; l < m.latency.size(); ++l) {
+      const auto& ol = m.latency[l];
+      std::fprintf(out,
+                   "%s\"%s\":{\"samples\":%llu,\"p50_cycles\":%llu,"
+                   "\"p99_cycles\":%llu,\"p999_cycles\":%llu,"
+                   "\"max_cycles\":%llu}",
+                   l == 0 ? "" : ",", support::json::escape(ol.op).c_str(),
+                   static_cast<unsigned long long>(ol.samples),
+                   static_cast<unsigned long long>(ol.p50_cycles),
+                   static_cast<unsigned long long>(ol.p99_cycles),
+                   static_cast<unsigned long long>(ol.p999_cycles),
+                   static_cast<unsigned long long>(ol.max_cycles));
+    }
+    std::fprintf(out, "},");
   }
   std::fprintf(out, "\"sim_ops_per_sec\":%.3f,\"wall_ms\":%.3f}}",
                m.sim_ops_per_sec, m.wall_ms);
@@ -578,6 +677,7 @@ std::optional<SuiteResult> parse_results_json(
       rec.def.kind = v->as_string() == "micro"   ? PointKind::kMicro
                      : v->as_string() == "btree" ? PointKind::kBtree
                      : v->as_string() == "phase" ? PointKind::kPhase
+                     : v->as_string() == "kv"    ? PointKind::kKv
                                                  : PointKind::kRb;
     }
     if (rec.def.kind == PointKind::kPhase) {
@@ -642,6 +742,51 @@ std::optional<SuiteResult> parse_results_json(
       if (const Value* v = p.find("telemetry")) {
         rec.def.bt.telemetry = v->as_bool();
       }
+    } else if (rec.def.kind == PointKind::kKv) {
+      if (const Value* v = p.find("scheme")) {
+        if (const auto pol = locks::ElisionPolicy::parse(v->as_string())) {
+          rec.def.kv.policy = *pol;
+        }
+      }
+      if (const Value* v = p.find("shards")) {
+        rec.def.kv.shards = static_cast<int>(v->as_u64());
+      }
+      if (const Value* v = p.find("keys")) {
+        rec.def.kv.keys = static_cast<std::size_t>(v->as_u64());
+      }
+      if (const Value* v = p.find("clients")) {
+        rec.def.kv.clients = static_cast<int>(v->as_u64());
+      }
+      if (const Value* v = p.find("client_rate_hz")) {
+        rec.def.kv.client_rate_hz = v->as_double();
+      }
+      if (const Value* v = p.find("zipf_theta")) {
+        rec.def.kv.zipf_theta = v->as_double();
+      }
+      if (const Value* v = p.find("put_pct")) {
+        rec.def.kv.put_pct = static_cast<int>(v->as_u64());
+      }
+      if (const Value* v = p.find("multi_put_pct")) {
+        rec.def.kv.multi_put_pct = static_cast<int>(v->as_u64());
+      }
+      if (const Value* v = p.find("transfer_pct")) {
+        rec.def.kv.transfer_pct = static_cast<int>(v->as_u64());
+      }
+      if (const Value* v = p.find("multi_put_keys")) {
+        rec.def.kv.multi_put_keys = static_cast<int>(v->as_u64());
+      }
+      if (const Value* v = p.find("threads")) {
+        rec.def.kv.threads = static_cast<int>(v->as_u64());
+      }
+      if (const Value* v = p.find("seeds")) {
+        rec.def.kv.seeds = static_cast<int>(v->as_u64());
+      }
+      if (const Value* v = p.find("duration_sec")) {
+        rec.def.kv.duration_sec = v->as_double();
+      }
+      if (const Value* v = p.find("telemetry")) {
+        rec.def.kv.telemetry = v->as_bool();
+      }
     } else {
       if (const Value* v = p.find("lock")) {
         rec.def.point.lock = lock_from_name(v->as_string());
@@ -698,6 +843,28 @@ std::optional<SuiteResult> parse_results_json(
     if (const Value* v = metrics->find("phase_ops")) {
       for (const Value& item : v->items()) {
         m.phase_ops.push_back(item.as_u64());
+      }
+    }
+    if (const Value* lat = metrics->find("latency")) {
+      for (const auto& mem : lat->members()) {
+        PointMetrics::OpLatencySummary s;
+        s.op = mem.key;
+        if (const Value* v = mem.value.find("samples")) {
+          s.samples = v->as_u64();
+        }
+        if (const Value* v = mem.value.find("p50_cycles")) {
+          s.p50_cycles = v->as_u64();
+        }
+        if (const Value* v = mem.value.find("p99_cycles")) {
+          s.p99_cycles = v->as_u64();
+        }
+        if (const Value* v = mem.value.find("p999_cycles")) {
+          s.p999_cycles = v->as_u64();
+        }
+        if (const Value* v = mem.value.find("max_cycles")) {
+          s.max_cycles = v->as_u64();
+        }
+        m.latency.push_back(std::move(s));
       }
     }
     m.sim_ops_per_sec = num("sim_ops_per_sec");
@@ -808,6 +975,10 @@ GateReport compare_to_baseline(const SuiteResult& current,
 
     const bool cur_telemetry = cur.def.kind == PointKind::kBtree
                                    ? cur.def.bt.telemetry
+                               : cur.def.kind == PointKind::kPhase
+                                   ? cur.def.phase.telemetry
+                               : cur.def.kind == PointKind::kKv
+                                   ? cur.def.kv.telemetry
                                    : cur.def.point.telemetry;
     if (current.telemetry_compiled && baseline.telemetry_compiled &&
         cur_telemetry &&
@@ -1096,6 +1267,88 @@ std::vector<InvariantResult> check_invariants(const SuiteResult& result) {
         if (ok) detail = "each static scheme trails in at least one phase";
         out.push_back({name, ok, false, detail});
       }
+    }
+  }
+
+  // (11) Every KV service point must report populated, ordered latency
+  // percentiles for every op kind: samples > 0 (each op has non-zero mix
+  // share on every kv point) and p50 <= p99 <= p999 <= max. This is the
+  // schema guarantee downstream dashboards key on.
+  {
+    const char* name = "kv-latency-percentiles-ordered";
+    int kv_points = 0;
+    bool ok = true;
+    std::string detail;
+    for (const auto& rec : result.points) {
+      if (rec.def.kind != PointKind::kKv) continue;
+      ++kv_points;
+      const auto& lat = rec.metrics.latency;
+      if (lat.size() != static_cast<std::size_t>(service::kKvOpKinds)) {
+        ok = false;
+        detail = rec.def.id + " reports " + std::to_string(lat.size()) +
+                 " latency series (want " +
+                 std::to_string(service::kKvOpKinds) + ")";
+        break;
+      }
+      for (const auto& ol : lat) {
+        if (ol.samples == 0 || ol.p50_cycles > ol.p99_cycles ||
+            ol.p99_cycles > ol.p999_cycles ||
+            ol.p999_cycles > ol.max_cycles) {
+          ok = false;
+          detail = rec.def.id + " op " + ol.op +
+                   ": percentiles missing or unordered";
+          break;
+        }
+      }
+      if (!ok) break;
+    }
+    if (kv_points == 0) {
+      out.push_back(skipped(name, "no kv points in this tier"));
+    } else {
+      if (ok) {
+        detail = std::to_string(kv_points) +
+                 " kv point(s): all op latencies populated and ordered";
+      }
+      out.push_back({name, ok, false, detail});
+    }
+  }
+
+  // (12) The hot-shard point (zipf theta 1.2, write-heavy) concentrates
+  // enough conflicting traffic on one shard's lock that plain HLE exhibits
+  // the avalanche there — the service-scale rendition of Fig 3.3.
+  {
+    const char* name = "kv-hot-shard-avalanche-detected";
+    const auto* p = point("kv-sh8-k8192-z120-u50-t8-hle");
+    if (p == nullptr) {
+      out.push_back(skipped(name, "required point not in this tier"));
+    } else if (!result.telemetry_compiled) {
+      out.push_back(skipped(name, "telemetry compiled out"));
+    } else {
+      const bool ok = p->metrics.avalanche_episodes >= 1;
+      std::snprintf(buf, sizeof buf, "%llu avalanche episodes (want >= 1)",
+                    static_cast<unsigned long long>(
+                        p->metrics.avalanche_episodes));
+      out.push_back({name, ok, false, buf});
+    }
+  }
+
+  // (13) The KV service actually elides: under the moderate-skew service
+  // mix the per-shard locks are mostly uncontended, so the HLE point must
+  // run overwhelmingly speculatively while the standard point never does.
+  {
+    const char* name = "kv-service-elides";
+    const auto* hle = point("kv-sh8-k8192-z99-u30-t8-hle");
+    const auto* std_ = point("kv-sh8-k8192-z99-u30-t8-standard");
+    if (hle == nullptr || std_ == nullptr) {
+      out.push_back(skipped(name, "required points not in this tier"));
+    } else {
+      const bool ok = hle->metrics.spec_fraction >= 0.5 &&
+                      std_->metrics.spec_fraction == 0.0;
+      std::snprintf(buf, sizeof buf,
+                    "hle spec fraction %.4f (want >= 0.5), standard %.4f "
+                    "(want 0)",
+                    hle->metrics.spec_fraction, std_->metrics.spec_fraction);
+      out.push_back({name, ok, false, buf});
     }
   }
 

@@ -27,6 +27,7 @@
 #include "harness/bt_workload.hpp"
 #include "harness/phase_workload.hpp"
 #include "harness/rb_workload.hpp"
+#include "service/kv_workload.hpp"
 #include "support/json.hpp"
 #include "tsx/abort.hpp"
 
@@ -43,9 +44,10 @@ std::optional<SuiteTier> suite_tier_from_name(const std::string& name);
 // duration), the B+tree range-scan benchmark over the two-mode locks
 // (harness/bt_workload.hpp), the fixed-work engine microbenchmark
 // (harness/micro_point.hpp) whose sim_ops_per_sec tracks simulator speed
-// itself, or the phase-shifting RB-tree benchmark behind the adaptive
-// headline (harness/phase_workload.hpp).
-enum class PointKind { kRb, kMicro, kBtree, kPhase };
+// itself, the phase-shifting RB-tree benchmark behind the adaptive
+// headline (harness/phase_workload.hpp), or the sharded KV service under
+// Zipf-skewed open-loop traffic (service/kv_workload.hpp).
+enum class PointKind { kRb, kMicro, kBtree, kPhase, kKv };
 
 const char* point_kind_name(PointKind k);
 
@@ -57,6 +59,7 @@ struct SuitePoint {
   RbPoint point;       // for kMicro only threads/size/seed are meaningful
   BtPoint bt;          // kBtree only
   PhasePoint phase;    // kPhase only
+  service::KvPoint kv; // kKv only
 };
 
 // The curated list, smoke points first. Ids are unique.
@@ -85,6 +88,19 @@ struct PointMetrics {
   // have equal virtual duration, so these compare like throughputs; the
   // adaptive invariants below consume them.
   std::vector<std::uint64_t> phase_ops;
+  // Virtual-time request-latency percentiles per op kind (empty unless the
+  // workload records RunStats::op_latency — currently the kKv points). All
+  // cycle values are integers (QuantileHistogram bucket bounds), so they
+  // are byte-identical across host parallelism settings.
+  struct OpLatencySummary {
+    std::string op;
+    std::uint64_t samples = 0;
+    std::uint64_t p50_cycles = 0;
+    std::uint64_t p99_cycles = 0;
+    std::uint64_t p999_cycles = 0;
+    std::uint64_t max_cycles = 0;
+  };
+  std::vector<OpLatencySummary> latency;
   // Host-side speed: simulated ops completed per host wall second and the
   // point's host wall time. These are the only non-deterministic fields of a
   // point (everything above is virtual-time data, identical per seed).

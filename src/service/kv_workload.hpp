@@ -1,0 +1,63 @@
+// Benchmark driver for the sharded KV service: Zipf-skewed open-loop
+// traffic against ShardedKv, measuring virtual-time request latency
+// (arrival -> completion, so queueing delay counts) per op kind alongside
+// the usual throughput/speculation metrics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "locks/policy.hpp"
+
+namespace elision::service {
+
+struct KvPoint {
+  int shards = 8;
+  std::size_t keys = 8192;  // key domain [0, keys), half prefilled
+
+  // Open-loop offered load: `clients` independent Poisson request streams
+  // of `client_rate_hz` requests per virtual second each, partitioned over
+  // `threads` workers (superposed per worker, so client count only scales
+  // the rate — see service/traffic.hpp).
+  int clients = 2000;
+  double client_rate_hz = 1000.0;
+  double zipf_theta = 0.99;  // key-popularity skew (YCSB default)
+
+  // Op mix, percent: put / multi_put / transfer, remainder point gets.
+  int put_pct = 20;
+  int multi_put_pct = 5;
+  int transfer_pct = 5;
+  int multi_put_keys = 4;  // keys per multi_put (<= ShardedKv::kMaxOpShards)
+
+  int threads = 8;
+  locks::ElisionPolicy policy = locks::ElisionPolicy::hle();
+  double duration_sec = 0.003;
+  bool telemetry = false;
+  tsx::AvalancheConfig avalanche;
+  int seeds = 2;
+  std::uint64_t timeline_slot_cycles = 0;
+  std::uint64_t seed = 42;
+  // Host threads for the multi-seed fan-out; never affects simulated
+  // results (see RbPoint::host_threads).
+  int host_threads = 1;
+
+  // Out-param: completed requests routed to each shard (summed over seeds).
+  // Under Zipf skew the distribution is lopsided — the hot-shard signature.
+  std::vector<std::uint64_t>* shard_requests = nullptr;
+};
+
+// Latency series names registered (in this order) in RunStats::op_latency.
+inline constexpr const char* kKvOpNames[] = {"get", "put", "multi_put",
+                                             "transfer"};
+inline constexpr int kKvOpKinds = 4;
+
+// Builds and prefills the service, then drives it for the configured
+// virtual duration, once.
+harness::RunStats run_kv_point_once(const KvPoint& p);
+
+// Accumulates `p.seeds` independent runs, merged in seed order
+// (byte-identical across host_threads values).
+harness::RunStats run_kv_point(const KvPoint& p);
+
+}  // namespace elision::service

@@ -1,0 +1,40 @@
+#include "service/traffic.hpp"
+
+namespace elision::service {
+
+namespace {
+
+double zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  ELISION_CHECK_MSG(n >= 1, "ZipfGenerator needs a non-empty domain");
+  ELISION_CHECK_MSG(theta > 0.0 && theta < 10.0 && theta != 1.0,
+                    "ZipfGenerator theta must be positive and != 1");
+  zetan_ = zeta(n_, theta_);
+  const double zeta2 = zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+  half_pow_theta_ = std::pow(0.5, theta_);
+}
+
+std::uint64_t ZipfGenerator::next(support::Xoshiro256& rng) const {
+  const double u = rng.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (n_ >= 2 && uz < 1.0 + half_pow_theta_) return 1;
+  const auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank < n_ ? rank : n_ - 1;
+}
+
+}  // namespace elision::service

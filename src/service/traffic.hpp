@@ -1,0 +1,86 @@
+// Open-loop traffic for the sharded KV service.
+//
+// Key popularity is Zipf-distributed (the YCSB / Gray et al. "scrambled"
+// request pattern every serving benchmark uses): rank r is requested with
+// probability proportional to 1/r^theta, so a handful of keys — and, through
+// ShardedKv::shard_of, a handful of shards — absorb most of the load.
+//
+// Arrivals are open-loop: each simulated worker drains a Poisson request
+// stream whose arrival times are drawn independently of service completion
+// (the superposition of its clients' individual Poisson streams, which is
+// itself Poisson — so thousands of clients cost nothing to simulate). When
+// the service falls behind, requests queue and latency grows by the wait —
+// exactly the tail-latency behaviour closed-loop benchmarks hide.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace elision::service {
+
+// Gray et al.'s approximate Zipf sampler over ranks [0, n). The zeta
+// normalizer is computed in the constructor (O(n), no caching — every
+// generator built from the same (n, theta) behaves identically, keeping
+// multi-seed fan-out deterministic).
+class ZipfGenerator {
+ public:
+  explicit ZipfGenerator(std::uint64_t n, double theta = 0.99);
+
+  // Next rank in [0, n), rank 0 most popular.
+  std::uint64_t next(support::Xoshiro256& rng) const;
+
+  double theta() const { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double half_pow_theta_;
+};
+
+// One exponentially-distributed interarrival gap, >= 1 cycle.
+inline std::uint64_t exponential_cycles(support::Xoshiro256& rng,
+                                        double mean_cycles) {
+  ELISION_DCHECK(mean_cycles > 0.0);
+  const double u = rng.next_double();  // [0, 1)
+  const double gap = -std::log1p(-u) * mean_cycles;
+  if (gap < 1.0) return 1;
+  // Clamp far beyond any plausible virtual run length; keeps the cast
+  // defined for a pathological mean.
+  if (gap > 1e18) return static_cast<std::uint64_t>(1e18);
+  return static_cast<std::uint64_t>(gap);
+}
+
+// The per-worker open-loop arrival clock. `mean_cycles` is the worker's
+// aggregate interarrival mean: clients_per_worker streams of rate
+// 1/client_mean superpose to rate clients_per_worker/client_mean.
+class OpenLoopClock {
+ public:
+  // Schedules the first arrival relative to `now`.
+  void prime(support::Xoshiro256& rng, std::uint64_t now,
+             double mean_cycles) {
+    next_arrival_ = now + exponential_cycles(rng, mean_cycles);
+    primed_ = true;
+  }
+  bool primed() const { return primed_; }
+
+  // Consumes the pending arrival and schedules the next one. Returns the
+  // consumed arrival time — the request's latency epoch, whether or not
+  // the worker is running behind it.
+  std::uint64_t pop(support::Xoshiro256& rng, double mean_cycles) {
+    const std::uint64_t arrival = next_arrival_;
+    next_arrival_ = arrival + exponential_cycles(rng, mean_cycles);
+    return arrival;
+  }
+
+ private:
+  std::uint64_t next_arrival_ = 0;
+  bool primed_ = false;
+};
+
+}  // namespace elision::service

@@ -5,6 +5,7 @@
 #include "ds/btree.hpp"
 #include "ds/hashtable.hpp"
 #include "harness/runner.hpp"
+#include "service/sharded_kv.hpp"
 #include "locks/clh_lock.hpp"
 #include "locks/mcs_lock.hpp"
 #include "locks/schemes.hpp"
@@ -47,12 +48,14 @@ const char* workload_name(Workload w) {
     case Workload::kCounter: return "counter";
     case Workload::kHashTable: return "hashtable";
     case Workload::kBtree: return "btree";
+    case Workload::kShardedKv: return "sharded-kv";
   }
   return "?";
 }
 
 std::vector<Workload> all_workloads() {
-  return {Workload::kCounter, Workload::kHashTable, Workload::kBtree};
+  return {Workload::kCounter, Workload::kHashTable, Workload::kBtree,
+          Workload::kShardedKv};
 }
 
 std::vector<locks::ElisionPolicy> all_policies() {
@@ -353,12 +356,101 @@ RunOutcome run_btree(const StressOptions& o, const StressCase& c) {
   return out;
 }
 
+// Sharded KV service: the single-shard mix plus the cross-shard
+// transactions (multi_put across up to three shards, transfer between two).
+// Every completed mutation's committed delta — reported by the service's
+// out-params, so retried attempts don't double-count — feeds a host-side
+// ledger of the expected summed stored value. A cross-shard region that
+// tears (one shard's half commits, the other's is lost) conserves each
+// shard's *internal* consistency, so only this end-to-end ledger catches
+// it; transfer is value-conserving by construction and so contributes
+// nothing, making lost transfer halves directly visible. On top of that,
+// unsafe_validate audits per-shard structure, key routing, and the
+// track_totals in-region totals.
+template <typename Lock>
+RunOutcome run_sharded_kv(const StressOptions& o, const StressCase& c) {
+  harness::BenchConfig cfg = base_config(o, c);
+  typename service::ShardedKvT<Lock>::Config kcfg;
+  kcfg.shards = o.kv_shards;
+  kcfg.keys = static_cast<std::size_t>(o.kv_key_domain);
+  kcfg.threads = o.threads;
+  kcfg.policy = cfg.policy;
+  kcfg.track_totals = true;
+  service::ShardedKvT<Lock> kv(kcfg);
+  std::int64_t ledger = 0;
+  for (std::uint64_t k = 0; k < o.kv_key_domain; k += 2) {
+    if (kv.unsafe_put(k, k + 5)) ledger += static_cast<std::int64_t>(k + 5);
+  }
+  kv.unsafe_distribute_free_lists(o.threads);
+  StarvationWatchdog dog(o.threads, o.starvation_gap_cycles,
+                         o.starvation_min_other_ops);
+  cfg.on_region_complete = [&dog](tsx::Ctx& ctx, const locks::RegionResult&) {
+    dog.note_completion(ctx.id(), ctx.thread().now());
+  };
+  const harness::RunStats stats =
+      harness::run_workload(cfg, [&](tsx::Ctx& ctx) {
+        auto& rng = ctx.thread().rng();
+        const std::uint64_t key = rng.next_below(o.kv_key_domain);
+        const std::uint64_t dice = rng.next_below(100);
+        if (dice < 20) {
+          const std::uint64_t value = 1 + rng.next_below(100);
+          std::uint64_t old = 0;
+          const auto r = kv.put(ctx, key, value, nullptr, &old);
+          ledger += static_cast<std::int64_t>(value) -
+                    static_cast<std::int64_t>(old);
+          return r;
+        }
+        if (dice < 30) {
+          bool hit = false;
+          std::uint64_t old = 0;
+          const auto r = kv.erase(ctx, key, &hit, &old);
+          if (hit) ledger -= static_cast<std::int64_t>(old);
+          return r;
+        }
+        if (dice < 40) {
+          service::KvPair pairs[3];
+          for (auto& p : pairs) {
+            p.key = rng.next_below(o.kv_key_domain);
+            p.value = 1 + rng.next_below(100);
+          }
+          std::int64_t d = 0;
+          const auto r = kv.multi_put(ctx, pairs, 3, &d);
+          ledger += d;
+          return r;
+        }
+        if (dice < 60) {
+          const std::uint64_t to = rng.next_below(o.kv_key_domain);
+          return kv.transfer(ctx, key, to, 1 + rng.next_below(50));
+        }
+        std::uint64_t v = 0;
+        return kv.get(ctx, key, &v);
+      });
+  dog.finish(stats.elapsed_cycles);
+
+  RunOutcome out;
+  fill_outcome(stats, &out);
+  std::string why;
+  if (!kv.unsafe_validate(&why)) {
+    out.violations.push_back("sharded-kv structure: " + why);
+  }
+  const auto total = static_cast<std::int64_t>(kv.unsafe_total_value());
+  if (total != ledger) {
+    out.violations.push_back(
+        "sharded-kv lost update: stored values sum to " +
+        std::to_string(total) + " but the committed-op ledger expects " +
+        std::to_string(ledger));
+  }
+  append_watchdog(dog, &out);
+  return out;
+}
+
 template <typename Lock>
 RunOutcome run_with(const StressOptions& o, const StressCase& c) {
   switch (c.workload) {
     case Workload::kCounter: return run_counter<Lock>(o, c);
     case Workload::kHashTable: return run_hashtable<Lock>(o, c);
     case Workload::kBtree: return run_btree<Lock>(o, c);
+    case Workload::kShardedKv: return run_sharded_kv<Lock>(o, c);
   }
   ELISION_CHECK_MSG(false, "unknown workload");
   return {};

@@ -55,6 +55,10 @@ enum class Workload {
   kHashTable,  // mixed insert/erase/lookup; checks structure + net size
   kBtree,      // B+tree mix; reads run shared on two-mode locks; checks
                // structure, net size, rw-mutex and role lockout
+  kShardedKv,  // sharded KV service; single-shard + cross-shard
+               // (multi_put/transfer) mix; checks per-shard structure and
+               // the cross-shard value ledger (a torn multi-lock region
+               // shows up as a lost update)
 };
 
 const char* workload_name(Workload w);
@@ -111,6 +115,11 @@ struct StressOptions {
   int btree_scan_pct = 30;
   std::size_t btree_scan_len = 8;
   std::uint64_t btree_read_dwell_cycles = 0;
+
+  // Sharded-KV workload sizing: few shards + a small key domain keep the
+  // cross-shard regions (multi_put/transfer) genuinely conflicting.
+  int kv_shards = 4;
+  std::uint64_t kv_key_domain = 48;
   // 0: every thread rolls the update die per op. > 0: threads with id below
   // this are dedicated writers (update mix only) and the rest are pure
   // readers — the role split the lockout hazards need (a mixed-duty thread

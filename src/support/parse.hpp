@@ -1,0 +1,52 @@
+// Strict numeric parsing for CLI flags. The tools used to run atoi/atof on
+// user input, which silently turns "--jobs foo" into 0 and accepts
+// negatives and overflow; these helpers follow the same whole-string policy
+// as ELISION_BENCH_SCALE and ElisionPolicy::parse — the entire argument must
+// be a number in range, otherwise std::nullopt (callers print usage and
+// exit non-zero).
+#pragma once
+
+#include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace elision::support {
+
+// Non-negative decimal integer, digits only (no sign, no whitespace, no
+// trailing junk), value <= UINT64_MAX.
+inline std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno == ERANGE || end != s.c_str() + s.size()) return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+// Non-negative decimal integer that fits in int.
+inline std::optional<int> parse_int(const std::string& s) {
+  const auto v = parse_u64(s);
+  if (!v || *v > static_cast<std::uint64_t>(INT_MAX)) return std::nullopt;
+  return static_cast<int>(*v);
+}
+
+// Finite double covering the whole string (strtod syntax, so "0.5", "1e-3"
+// and "2" all parse; "", "x", "1x" and "inf" do not).
+inline std::optional<double> parse_double(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || !std::isfinite(v)) return std::nullopt;
+  return v;
+}
+
+}  // namespace elision::support

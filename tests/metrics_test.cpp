@@ -3,15 +3,19 @@
 // an abort-cause matrix and attempts histogram for every scheme.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "harness/metrics.hpp"
 #include "harness/runner.hpp"
 #include "locks/schemes.hpp"
 #include "locks/ttas_lock.hpp"
 #include "support/json.hpp"
+#include "support/rng.hpp"
 #include "tsx/shared.hpp"
 
 namespace elision::harness {
@@ -78,6 +82,105 @@ TEST(Histogram, MergeAddsBucketwise) {
   EXPECT_EQ(a.sum(), 104u);
   EXPECT_EQ(a.max(), 100u);
   EXPECT_EQ(a.buckets()[2], 1u);
+}
+
+TEST(QuantileHistogram, SmallValuesAreExact) {
+  QuantileHistogram h;
+  for (std::uint64_t v = 0; v < 64; ++v) h.add(v);
+  EXPECT_EQ(h.samples(), 64u);
+  EXPECT_EQ(h.sum(), 64u * 63u / 2);
+  EXPECT_EQ(h.max(), 63u);
+  // Values below kExact land in exact buckets, so every quantile is the
+  // true order statistic.
+  EXPECT_EQ(h.quantile(0.50), 31u);
+  EXPECT_EQ(h.quantile(0.99), 63u);
+  EXPECT_EQ(h.quantile(1.0), 63u);
+  QuantileHistogram one;
+  one.add(7);
+  EXPECT_EQ(one.quantile(0.0), 7u);  // rank clamps to [1, samples]
+  EXPECT_EQ(one.quantile(1.0), 7u);
+  EXPECT_EQ(QuantileHistogram().quantile(0.5), 0u);  // empty
+}
+
+TEST(QuantileHistogram, BucketRangesPartitionTheValueLine) {
+  // Each bucket's lo must be the previous bucket's hi + 1, and every value
+  // must index into a bucket containing it.
+  for (std::size_t i = 1; i < 64 + 10 * QuantileHistogram::kSub; ++i) {
+    EXPECT_EQ(QuantileHistogram::bucket_lo(i),
+              QuantileHistogram::bucket_hi(i - 1) + 1)
+        << i;
+  }
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{63}, std::uint64_t{64},
+        std::uint64_t{127}, std::uint64_t{128}, std::uint64_t{1000},
+        std::uint64_t{123456789}, std::uint64_t{1} << 62}) {
+    const std::size_t i = QuantileHistogram::bucket_index(v);
+    EXPECT_GE(v, QuantileHistogram::bucket_lo(i)) << v;
+    EXPECT_LE(v, QuantileHistogram::bucket_hi(i)) << v;
+  }
+}
+
+// Acceptance for the latency-percentile machinery: against a sorted
+// reference over a heavy-tailed sample, every reported quantile is >= the
+// true order statistic and within the documented 1/32 relative error.
+TEST(QuantileHistogram, QuantilesMatchSortedReferenceWithinSubBucketError) {
+  support::Xoshiro256 rng(2024);
+  QuantileHistogram h;
+  std::vector<std::uint64_t> ref;
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform spread over ~6 decades, like queueing latencies.
+    const std::uint64_t v =
+        rng.next_below(std::uint64_t{1} << (3 + rng.next_below(20)));
+    h.add(v);
+    ref.push_back(v);
+  }
+  std::sort(ref.begin(), ref.end());
+  for (const double q : {0.10, 0.50, 0.90, 0.99, 0.999}) {
+    const auto rank =
+        static_cast<std::size_t>(std::ceil(q * static_cast<double>(ref.size())));
+    const std::uint64_t exact = ref[rank - 1];
+    const std::uint64_t approx = h.quantile(q);
+    EXPECT_GE(approx, exact) << q;  // bucket_hi never under-reports
+    EXPECT_LE(static_cast<double>(approx - exact),
+              static_cast<double>(exact) / 32.0 + 1.0)
+        << q;
+  }
+  EXPECT_EQ(h.quantile(1.0), ref.back());  // max is tracked exactly
+}
+
+TEST(QuantileHistogram, MergeMatchesSingleHistogramOverTheUnion) {
+  support::Xoshiro256 rng(7);
+  QuantileHistogram a, b, all;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.next_below(1 << 20);
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.samples(), all.samples());
+  EXPECT_EQ(a.sum(), all.sum());
+  EXPECT_EQ(a.max(), all.max());
+  EXPECT_EQ(a.buckets(), all.buckets());
+  for (const double q : {0.5, 0.99, 0.999}) {
+    EXPECT_EQ(a.quantile(q), all.quantile(q)) << q;
+  }
+}
+
+// Regression (satellite): Histogram::add and merge used to wrap sum_ on
+// overflow, corrupting mean() in long aggregations. They must saturate.
+TEST(Histogram, SumSaturatesInsteadOfWrapping) {
+  Histogram h;
+  h.add(UINT64_MAX);
+  h.add(UINT64_MAX);
+  EXPECT_EQ(h.sum(), UINT64_MAX);
+  Histogram other;
+  other.add(UINT64_MAX);
+  h.merge(other);
+  EXPECT_EQ(h.sum(), UINT64_MAX);
+  QuantileHistogram q;
+  q.add(UINT64_MAX);
+  q.add(UINT64_MAX);
+  EXPECT_EQ(q.sum(), UINT64_MAX);
 }
 
 TEST(MetricsRegistry, SeriesAreKeyedAndOrdered) {

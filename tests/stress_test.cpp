@@ -24,7 +24,7 @@ TEST(Stress, SweepAllSchemesAllLocksHoldsInvariants) {
   const SweepStats s = sweep(quick_options(), all_policies(), all_locks(),
                              all_workloads(), /*first_seed=*/1,
                              /*n_seeds=*/2);
-  EXPECT_EQ(s.runs, 8 * 8 * 3 * 2);  // 8 policies incl. the adaptive one
+  EXPECT_EQ(s.runs, 8 * 8 * 4 * 2);  // 8 policies incl. the adaptive one
   EXPECT_GT(s.total_ops, 0u);
   for (const FailureReport& f : s.failures) {
     ADD_FAILURE() << case_name(f.c) << ": " << f.outcome.violations.front();

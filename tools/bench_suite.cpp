@@ -47,6 +47,7 @@
 #include "harness/report.hpp"
 #include "harness/suite.hpp"
 #include "support/parallel.hpp"
+#include "support/parse.hpp"
 
 namespace {
 
@@ -104,19 +105,18 @@ Options parse(int argc, char** argv) {
     } else if (a == "--point") {
       o.point_id = next();
     } else if (a == "--jobs") {
-      o.jobs = std::atoi(next().c_str());
-      if (o.jobs < 1) usage("--jobs must be >= 1");
+      const auto v = support::parse_int(next());
+      if (!v || *v < 1) usage("--jobs must be a decimal integer >= 1");
+      o.jobs = *v;
     } else if (a == "--jobs-mode") {
       o.jobs_mode = next();
       if (o.jobs_mode != "fork" && o.jobs_mode != "threads") {
         usage("--jobs-mode must be fork or threads");
       }
     } else if (a == "--host-threads") {
-      o.host_threads = std::atoi(next().c_str());
-      if (o.host_threads < 0) usage("--host-threads must be >= 0");
-      if (o.host_threads == 0) {
-        o.host_threads = support::host_hardware_threads();
-      }
+      const auto v = support::parse_int(next());
+      if (!v) usage("--host-threads must be a decimal integer >= 0");
+      o.host_threads = *v != 0 ? *v : support::host_hardware_threads();
     } else if (a == "--gate") {
       o.gate = true;
     } else if (a == "--list") {
@@ -126,19 +126,29 @@ Options parse(int argc, char** argv) {
     } else if (a == "--no-invariants") {
       o.invariants = false;
     } else if (a == "--plant-regression") {
-      o.plant_factor = std::atof(next().c_str());
-      if (o.plant_factor <= 0) usage("--plant-regression must be > 0");
+      const auto v = support::parse_double(next());
+      if (!v || *v <= 0) usage("--plant-regression must be a number > 0");
+      o.plant_factor = *v;
     } else if (a == "--plant-slowdown") {
-      o.plant_simops = std::atof(next().c_str());
-      if (o.plant_simops <= 0) usage("--plant-slowdown must be > 0");
+      const auto v = support::parse_double(next());
+      if (!v || *v <= 0) usage("--plant-slowdown must be a number > 0");
+      o.plant_simops = *v;
     } else if (a == "--tol-throughput") {
-      o.tol.throughput_rel = std::atof(next().c_str());
+      const auto v = support::parse_double(next());
+      if (!v || *v < 0) usage("--tol-throughput must be a number >= 0");
+      o.tol.throughput_rel = *v;
     } else if (a == "--tol-attempts") {
-      o.tol.attempts_rel = std::atof(next().c_str());
+      const auto v = support::parse_double(next());
+      if (!v || *v < 0) usage("--tol-attempts must be a number >= 0");
+      o.tol.attempts_rel = *v;
     } else if (a == "--tol-fraction") {
-      o.tol.fraction_abs = std::atof(next().c_str());
+      const auto v = support::parse_double(next());
+      if (!v || *v < 0) usage("--tol-fraction must be a number >= 0");
+      o.tol.fraction_abs = *v;
     } else if (a == "--tol-simops") {
-      o.tol.simops_rel = std::atof(next().c_str());
+      const auto v = support::parse_double(next());
+      if (!v || *v < 0) usage("--tol-simops must be a number >= 0");
+      o.tol.simops_rel = *v;
     } else {
       usage(("unknown argument " + a).c_str());
     }
@@ -327,24 +337,37 @@ int main(int argc, char** argv) {
     for (const auto& sp : harness::suite_points_for(o.tier)) {
       const bool rb = sp.kind == harness::PointKind::kRb;
       const bool ph = sp.kind == harness::PointKind::kPhase;
-      // Phase points show their calm/storm mix as "calm-storm".
+      const bool kv = sp.kind == harness::PointKind::kKv;
+      // Phase points show their calm/storm mix as "calm-storm"; kv points
+      // show the total update share (put + multi_put + transfer).
       const std::string upd =
-          rb ? std::to_string(sp.point.update_pct)
-             : ph ? std::to_string(sp.phase.calm_update_pct) + "-" +
-                        std::to_string(sp.phase.storm_update_pct)
-                  : "-";
+          rb   ? std::to_string(sp.point.update_pct)
+          : ph ? std::to_string(sp.phase.calm_update_pct) + "-" +
+                     std::to_string(sp.phase.storm_update_pct)
+          : kv ? std::to_string(sp.kv.put_pct + sp.kv.multi_put_pct +
+                                sp.kv.transfer_pct)
+               : "-";
       table.add_row(
           {sp.id, harness::suite_tier_name(sp.tier), sp.figure,
            harness::point_kind_name(sp.kind),
            rb   ? harness::lock_sel_name(sp.point.lock)
            : ph ? harness::lock_sel_name(sp.phase.lock)
+           : kv ? "ttas"
                 : "-",
            rb   ? sp.point.scheme.name()
            : ph ? sp.phase.scheme.name()
+           : kv ? sp.kv.policy.name()
                 : "-",
-           harness::fmt_int(ph ? sp.phase.size : sp.point.size), upd,
-           std::to_string(ph ? sp.phase.threads : sp.point.threads),
-           std::to_string(ph ? sp.phase.seeds : sp.point.seeds)});
+           harness::fmt_int(ph   ? sp.phase.size
+                            : kv ? sp.kv.keys
+                                 : sp.point.size),
+           upd,
+           std::to_string(ph   ? sp.phase.threads
+                          : kv ? sp.kv.threads
+                               : sp.point.threads),
+           std::to_string(ph   ? sp.phase.seeds
+                          : kv ? sp.kv.seeds
+                               : sp.point.seeds)});
     }
     table.print();
     return 0;

@@ -27,6 +27,7 @@
 #include "locks/ticket_lock.hpp"
 #include "locks/ttas_lock.hpp"
 #include "stamp/common.hpp"
+#include "support/parse.hpp"
 #include "tsx/trace.hpp"
 
 namespace {
@@ -78,15 +79,25 @@ Options parse(int argc, char** argv, int first, std::string* positional) {
     } else if (a == "--scheme") {
       o.scheme = next();
     } else if (a == "--threads") {
-      o.threads = std::atoi(next().c_str());
+      const auto v = support::parse_int(next());
+      if (!v) usage("--threads must be a decimal integer");
+      o.threads = *v;
     } else if (a == "--size") {
-      o.size = static_cast<std::size_t>(std::atoll(next().c_str()));
+      const auto v = support::parse_u64(next());
+      if (!v || *v < 1) usage("--size must be a decimal integer >= 1");
+      o.size = static_cast<std::size_t>(*v);
     } else if (a == "--updates") {
-      o.updates = std::atoi(next().c_str());
+      const auto v = support::parse_int(next());
+      if (!v) usage("--updates must be a decimal integer");
+      o.updates = *v;
     } else if (a == "--ms") {
-      o.ms = std::atof(next().c_str());
+      const auto v = support::parse_double(next());
+      if (!v || *v <= 0) usage("--ms must be a number > 0");
+      o.ms = *v;
     } else if (a == "--scale") {
-      o.scale = std::atof(next().c_str());
+      const auto v = support::parse_double(next());
+      if (!v || *v <= 0) usage("--scale must be a number > 0");
+      o.scale = *v;
     } else if (a == "--hwext") {
       o.hwext = true;
     } else if (a == "--trace") {

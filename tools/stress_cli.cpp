@@ -23,6 +23,7 @@
 #include "locks/policy.hpp"
 #include "stress/stress.hpp"
 #include "support/parallel.hpp"
+#include "support/parse.hpp"
 
 namespace {
 
@@ -35,7 +36,7 @@ using namespace elision::stress;
       stderr,
       "usage: stress_cli [--schemes all|SPEC[,SPEC...]]\n"
       "                  [--locks all|NAME[,NAME...]]\n"
-      "                  [--workloads all|counter|hashtable|btree]\n"
+      "                  [--workloads all|counter|hashtable|btree|sharded-kv]\n"
       "                  [--seeds N] [--first-seed S] [--threads N]\n"
       "                  [--host-threads N] [--duration-ms MS] [--prob P]\n"
       "                  [--max-delay CYCLES] [--no-minimize] [--telemetry]\n"
@@ -108,6 +109,8 @@ std::vector<Workload> parse_workloads(const std::string& arg) {
       out.push_back(Workload::kHashTable);
     } else if (name == workload_name(Workload::kBtree)) {
       out.push_back(Workload::kBtree);
+    } else if (name == workload_name(Workload::kShardedKv)) {
+      out.push_back(Workload::kShardedKv);
     } else {
       usage_error("unknown workload '" + name + "'");
     }
@@ -223,23 +226,36 @@ int main(int argc, char** argv) {
     } else if (a == "--workloads") {
       workloads = parse_workloads(value());
     } else if (a == "--seeds") {
-      n_seeds = std::atoi(value().c_str());
+      const auto v = elision::support::parse_int(value());
+      if (!v) usage_error("--seeds must be a decimal integer");
+      n_seeds = *v;
     } else if (a == "--first-seed") {
-      first_seed = std::strtoull(value().c_str(), nullptr, 10);
+      const auto v = elision::support::parse_u64(value());
+      if (!v) usage_error("--first-seed must be a decimal integer");
+      first_seed = *v;
     } else if (a == "--threads") {
-      o.threads = std::atoi(value().c_str());
+      const auto v = elision::support::parse_int(value());
+      if (!v) usage_error("--threads must be a decimal integer");
+      o.threads = *v;
     } else if (a == "--host-threads") {
-      o.host_threads = std::atoi(value().c_str());
-      if (o.host_threads == 0) {
-        o.host_threads = elision::support::host_hardware_threads();
-      }
-      if (o.host_threads < 0) usage_error("--host-threads must be >= 0");
+      const auto v = elision::support::parse_int(value());
+      if (!v) usage_error("--host-threads must be a decimal integer >= 0");
+      o.host_threads =
+          *v != 0 ? *v : elision::support::host_hardware_threads();
     } else if (a == "--duration-ms") {
-      o.duration_ms = std::atof(value().c_str());
+      const auto v = elision::support::parse_double(value());
+      if (!v || *v <= 0) usage_error("--duration-ms must be a number > 0");
+      o.duration_ms = *v;
     } else if (a == "--prob") {
-      o.perturb_probability = std::atof(value().c_str());
+      const auto v = elision::support::parse_double(value());
+      if (!v || *v < 0 || *v > 1) {
+        usage_error("--prob must be a number in [0,1]");
+      }
+      o.perturb_probability = *v;
     } else if (a == "--max-delay") {
-      o.perturb_max_delay_cycles = std::strtoull(value().c_str(), nullptr, 10);
+      const auto v = elision::support::parse_u64(value());
+      if (!v) usage_error("--max-delay must be a decimal integer");
+      o.perturb_max_delay_cycles = *v;
     } else if (a == "--no-minimize") {
       o.minimize = false;
     } else if (a == "--telemetry") {

@@ -28,6 +28,7 @@
 #include "ds/rbtree.hpp"
 #include "harness/metrics.hpp"
 #include "harness/report.hpp"
+#include "support/parse.hpp"
 #include "harness/runner.hpp"
 #include "locks/clh_lock.hpp"
 #include "locks/mcs_lock.hpp"
@@ -93,20 +94,33 @@ Options parse(int argc, char** argv) {
     } else if (a == "--scheme") {
       o.scheme = next();
     } else if (a == "--threads") {
-      o.threads = std::atoi(next().c_str());
+      const auto v = support::parse_int(next());
+      if (!v) usage("--threads must be a decimal integer");
+      o.threads = *v;
     } else if (a == "--size") {
-      o.size = static_cast<std::size_t>(std::atoll(next().c_str()));
+      const auto v = support::parse_u64(next());
+      if (!v || *v < 1) usage("--size must be a decimal integer >= 1");
+      o.size = static_cast<std::size_t>(*v);
     } else if (a == "--updates") {
-      o.updates = std::atoi(next().c_str());
+      const auto v = support::parse_int(next());
+      if (!v) usage("--updates must be a decimal integer");
+      o.updates = *v;
     } else if (a == "--ms") {
-      o.ms = std::atof(next().c_str());
+      const auto v = support::parse_double(next());
+      if (!v || *v <= 0) usage("--ms must be a number > 0");
+      o.ms = *v;
     } else if (a == "--seed") {
-      o.seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+      const auto v = support::parse_u64(next());
+      if (!v) usage("--seed must be a decimal integer");
+      o.seed = *v;
     } else if (a == "--window") {
-      o.avalanche.window_cycles =
-          static_cast<std::uint64_t>(std::atoll(next().c_str()));
+      const auto v = support::parse_u64(next());
+      if (!v || *v < 1) usage("--window must be a decimal integer >= 1");
+      o.avalanche.window_cycles = *v;
     } else if (a == "--min-victims") {
-      o.avalanche.min_victims = std::atoi(next().c_str());
+      const auto v = support::parse_int(next());
+      if (!v || *v < 1) usage("--min-victims must be a decimal integer >= 1");
+      o.avalanche.min_victims = *v;
     } else if (a == "--events") {
       o.events_file = next();
     } else if (a == "--events-format") {
