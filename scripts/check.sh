@@ -23,7 +23,14 @@
 # engine's fiber switches annotated via the TSan fiber API.
 # The ASan+UBSan ctest pass includes line_table_test's randomized
 # differential fuzz of the open-addressing LineTable against a
-# std::unordered_map reference.
+# std::unordered_map reference, plus the wide-thread-mask paths
+# (thread_set_test, line_table_test's 256-thread mutation fuzz) and the
+# ready-queue differential fuzz (ready_queue_test) behind the O(log N)
+# scheduler.
+# The bench-suite smoke gate carries both simulator-speed canaries:
+# micro-engine-rtm-t8 (the paper's 8-hyperthread machine) and
+# micro-engine-rtm-t64 (64 threads on 32 cores), so a host-side regression
+# on either end of the machine-size range fails the gate.
 # Uses its own build trees (build-check*/) so it never dirties build/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -200,7 +207,11 @@ for p in doc["points"]:
                 "avalanche_episodes", "sim_ops_per_sec", "wall_ms"):
         assert key in m, f"{p['id']} missing {key}"
     assert m["sim_ops_per_sec"] > 0, f"{p['id']} has no simulator speed"
-print(f"bench suite: {len(doc['points'])} smoke points, schema valid")
+ids = {p["id"] for p in doc["points"]}
+for canary in ("micro-engine-rtm-t8", "micro-engine-rtm-t64"):
+    assert canary in ids, f"simulator-speed canary {canary} missing"
+print(f"bench suite: {len(doc['points'])} smoke points, schema valid,"
+      f" both sim-speed canaries present")
 EOF
 
 # Adaptive end-to-end outcome: the smoke tier carries the phase-shifting

@@ -7,10 +7,17 @@
 
 namespace elision::ds {
 
-BplusTree::BplusTree(std::size_t capacity) : arena_(capacity) {
+BplusTree::BplusTree(std::size_t capacity, int max_threads)
+    : arena_(capacity),
+      n_free_lists_(max_threads + 1),
+      free_(static_cast<std::size_t>(max_threads) + 1) {
   ELISION_CHECK_MSG(capacity >= 1, "BplusTree needs at least a root node");
+  ELISION_CHECK_MSG(
+      max_threads >= 1 && max_threads <= tsx::kMaxThreads,
+      "node pool max_threads must be in [1, tsx::kMaxThreads]");
+
   // Node 0 is the initial (empty leaf) root; the rest thread onto the
-  // setup/global free list (slot kFreeLists-1).
+  // setup/global free list (slot n_free_lists_-1).
   Node& root = arena_[0];
   root.leaf.unsafe_set(1);
   root.count.unsafe_set(0);
@@ -21,13 +28,13 @@ BplusTree::BplusTree(std::size_t capacity) : arena_(capacity) {
     arena_[i].next.unsafe_set(head);
     head = &arena_[i];
   }
-  free_[kFreeLists - 1].value.unsafe_set(head);
+  free_[n_free_lists_ - 1].value.unsafe_set(head);
 }
 
 void BplusTree::unsafe_distribute_free_lists(int n_threads) {
-  ELISION_CHECK(n_threads >= 1 && n_threads < kFreeLists);
-  Node* n = free_[kFreeLists - 1].value.unsafe_get();
-  free_[kFreeLists - 1].value.unsafe_set(nullptr);
+  ELISION_CHECK(n_threads >= 1 && n_threads < n_free_lists_);
+  Node* n = free_[n_free_lists_ - 1].value.unsafe_get();
+  free_[n_free_lists_ - 1].value.unsafe_set(nullptr);
   int slot = 0;
   while (n != nullptr) {
     Node* next = n->next.unsafe_get();
@@ -47,7 +54,7 @@ BplusTree::Node* BplusTree::alloc(tsx::Ctx& ctx) {
   if (n != nullptr) {
     own.store(ctx, n->next.load(ctx));
   } else {
-    for (int i = kFreeLists - 1; i >= 0 && n == nullptr; --i) {
+    for (int i = n_free_lists_ - 1; i >= 0 && n == nullptr; --i) {
       auto& other = free_[i].value;
       n = other.load(ctx);
       if (n != nullptr) other.store(ctx, n->next.load(ctx));
@@ -224,7 +231,7 @@ std::size_t BplusTree::range_sum(tsx::Ctx& ctx, std::uint64_t lo,
 // ---------------------------------------------------------------------------
 
 BplusTree::Node* BplusTree::unsafe_alloc() {
-  for (int i = kFreeLists - 1; i >= 0; --i) {
+  for (int i = n_free_lists_ - 1; i >= 0; --i) {
     auto& list = free_[i].value;
     Node* n = list.unsafe_get();
     if (n != nullptr) {

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <array>
+#include <vector>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -44,7 +45,10 @@ class BplusTree {
   // `capacity` bounds the number of nodes ever in use. Splits are the only
   // allocation and nothing is ever freed, so 2 * (key-domain size) / 2 + a
   // root is always enough; the workloads size it from their key domain.
-  explicit BplusTree(std::size_t capacity);
+  // `max_threads` sizes the per-thread free lists (see n_free_lists_
+  // below); the default preserves the historical 64-thread pool layout.
+  explicit BplusTree(std::size_t capacity,
+                     int max_threads = tsx::kDefaultPoolThreads);
 
   BplusTree(const BplusTree&) = delete;
   BplusTree& operator=(const BplusTree&) = delete;
@@ -99,9 +103,13 @@ class BplusTree {
   tsx::Shared<Node*> root_;
   // Per-thread free lists (threaded through `next`), as in RbTree: without
   // thread caching every split would conflict on one allocator word. Slot
-  // kFreeLists-1 is the setup/global list.
-  static constexpr int kFreeLists = tsx::kMaxThreads + 1;
-  std::array<support::CacheAligned<tsx::Shared<Node*>>, kFreeLists> free_;
+  // One free list per supported simulated thread + one setup/global list
+  // (slot n_free_lists_ - 1). Sized at construction: the alloc() fallback
+  // scan performs a simulated load per list, so the count is part of the
+  // simulated workload and defaults to the historical 64-thread sizing
+  // (tsx::kDefaultPoolThreads) rather than tracking kMaxThreads.
+  const int n_free_lists_;
+  std::vector<support::CacheAligned<tsx::Shared<Node*>>> free_;
 };
 
 }  // namespace elision::ds

@@ -6,9 +6,16 @@
 
 namespace elision::ds {
 
-HashTable::HashTable(std::size_t buckets, std::size_t capacity, int n_threads)
-    : arena_(capacity), buckets_(buckets) {
-  ELISION_CHECK(n_threads >= 1 && n_threads < kFreeLists);
+HashTable::HashTable(std::size_t buckets, std::size_t capacity, int n_threads,
+                     int max_threads)
+    : arena_(capacity),
+      buckets_(buckets),
+      n_free_lists_(max_threads + 1),
+      free_(static_cast<std::size_t>(max_threads) + 1) {
+  ELISION_CHECK_MSG(
+      max_threads >= 1 && max_threads <= tsx::kMaxThreads,
+      "node pool max_threads must be in [1, tsx::kMaxThreads]");
+  ELISION_CHECK(n_threads >= 1 && n_threads < n_free_lists_);
   // Distribute nodes round-robin over the per-thread caches.
   int slot = 0;
   for (auto& node : arena_) {
@@ -25,7 +32,7 @@ HashTable::Node* HashTable::alloc(tsx::Ctx& ctx) {
     own.store(ctx, n->next.load(ctx));
     return n;
   }
-  for (int i = kFreeLists - 1; i >= 0; --i) {
+  for (int i = n_free_lists_ - 1; i >= 0; --i) {
     auto& other = free_[i].value;
     n = other.load(ctx);
     if (n != nullptr) {

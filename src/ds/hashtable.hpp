@@ -3,7 +3,7 @@
 // Caller provides serialization (global lock / elision scheme).
 #pragma once
 
-#include <array>
+#include <vector>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -17,7 +17,12 @@ namespace elision::ds {
 class HashTable {
  public:
   // Free nodes are distributed over `n_threads` thread caches.
-  HashTable(std::size_t buckets, std::size_t capacity, int n_threads = 8);
+  // `n_threads` spreads the initial nodes over that many per-thread
+  // caches; `max_threads` sizes the free-list array itself (see
+  // n_free_lists_ below — the default preserves the historical 64-thread
+  // pool layout).
+  HashTable(std::size_t buckets, std::size_t capacity, int n_threads = 8,
+            int max_threads = tsx::kDefaultPoolThreads);
 
   HashTable(const HashTable&) = delete;
   HashTable& operator=(const HashTable&) = delete;
@@ -80,9 +85,13 @@ class HashTable {
   tsx::SharedArray<Node*> buckets_;
   // Per-thread free lists (thread-caching allocator; see RbTree). Slot 64 is
   // the setup/global list.
-  // One free list per possible simulated thread + one setup/global list.
-  static constexpr int kFreeLists = tsx::kMaxThreads + 1;
-  std::array<support::CacheAligned<tsx::Shared<Node*>>, kFreeLists> free_;
+  // One free list per supported simulated thread + one setup/global list
+  // (slot n_free_lists_ - 1). Sized at construction: the alloc() fallback
+  // scan performs a simulated load per list, so the count is part of the
+  // simulated workload and defaults to the historical 64-thread sizing
+  // (tsx::kDefaultPoolThreads) rather than tracking kMaxThreads.
+  const int n_free_lists_;
+  std::vector<support::CacheAligned<tsx::Shared<Node*>>> free_;
 };
 
 }  // namespace elision::ds

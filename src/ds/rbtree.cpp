@@ -7,25 +7,31 @@
 
 namespace elision::ds {
 
-RbTree::RbTree(std::size_t capacity) : arena_(capacity) {
+RbTree::RbTree(std::size_t capacity, int max_threads)
+    : arena_(capacity),
+      n_free_lists_(max_threads + 1),
+      free_(static_cast<std::size_t>(max_threads) + 1) {
+  ELISION_CHECK_MSG(
+      max_threads >= 1 && max_threads <= tsx::kMaxThreads,
+      "node pool max_threads must be in [1, tsx::kMaxThreads]");
   nil_.red.unsafe_set(0);
   nil_.left.unsafe_set(&nil_);
   nil_.right.unsafe_set(&nil_);
   nil_.parent.unsafe_set(&nil_);
   root_.unsafe_set(&nil_);
-  // Thread all nodes onto the setup/global list (slot kFreeLists-1).
+  // Thread all nodes onto the setup/global list (slot n_free_lists_-1).
   Node* head = nullptr;
   for (auto it = arena_.rbegin(); it != arena_.rend(); ++it) {
     it->left.unsafe_set(head);
     head = &*it;
   }
-  free_[kFreeLists - 1].value.unsafe_set(head);
+  free_[n_free_lists_ - 1].value.unsafe_set(head);
 }
 
 void RbTree::unsafe_distribute_free_lists(int n_threads) {
-  ELISION_CHECK(n_threads >= 1 && n_threads < kFreeLists);
-  Node* n = free_[kFreeLists - 1].value.unsafe_get();
-  free_[kFreeLists - 1].value.unsafe_set(nullptr);
+  ELISION_CHECK(n_threads >= 1 && n_threads < n_free_lists_);
+  Node* n = free_[n_free_lists_ - 1].value.unsafe_get();
+  free_[n_free_lists_ - 1].value.unsafe_set(nullptr);
   int slot = 0;
   while (n != nullptr) {
     Node* next = n->left.unsafe_get();
@@ -45,7 +51,7 @@ RbTree::Node* RbTree::alloc(tsx::Ctx& ctx, std::uint64_t key) {
   if (n != nullptr) {
     own.store(ctx, n->left.load(ctx));
   } else {
-    for (int i = kFreeLists - 1; i >= 0 && n == nullptr; --i) {
+    for (int i = n_free_lists_ - 1; i >= 0 && n == nullptr; --i) {
       auto& other = free_[i].value;
       n = other.load(ctx);
       if (n != nullptr) other.store(ctx, n->left.load(ctx));
@@ -337,9 +343,9 @@ bool RbTree::unsafe_insert(std::uint64_t key) {
     if (key == k) return false;
     cur = key < k ? cur->left.unsafe_get() : cur->right.unsafe_get();
   }
-  Node* z = free_[kFreeLists - 1].value.unsafe_get();
+  Node* z = free_[n_free_lists_ - 1].value.unsafe_get();
   ELISION_CHECK_MSG(z != nullptr, "RbTree node pool exhausted");
-  free_[kFreeLists - 1].value.unsafe_set(z->left.unsafe_get());
+  free_[n_free_lists_ - 1].value.unsafe_set(z->left.unsafe_get());
   z->key.unsafe_set(key);
   z->left.unsafe_set(&nil_);
   z->right.unsafe_set(&nil_);

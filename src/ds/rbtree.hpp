@@ -12,7 +12,6 @@
 // studies.
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -24,8 +23,11 @@ namespace elision::ds {
 
 class RbTree {
  public:
-  // `capacity` bounds the number of live nodes.
-  explicit RbTree(std::size_t capacity);
+  // `capacity` bounds the number of live nodes. `max_threads` sizes the
+  // per-thread free lists (see n_free_lists_ below); the default preserves
+  // the historical 64-thread pool layout.
+  explicit RbTree(std::size_t capacity,
+                  int max_threads = tsx::kDefaultPoolThreads);
 
   RbTree(const RbTree&) = delete;
   RbTree& operator=(const RbTree&) = delete;
@@ -76,9 +78,13 @@ class RbTree {
   // thread-caching allocator (jemalloc) the paper's benchmarks use: without
   // it every mutation would conflict on a single allocator word, which the
   // real system does not do. Slot 64 is the setup/global list.
-  // One free list per possible simulated thread + one setup/global list.
-  static constexpr int kFreeLists = tsx::kMaxThreads + 1;
-  std::array<support::CacheAligned<tsx::Shared<Node*>>, kFreeLists> free_;
+  // One free list per supported simulated thread + one setup/global list
+  // (slot n_free_lists_ - 1). Sized at construction: the alloc() fallback
+  // scan performs a simulated load per list, so the count is part of the
+  // simulated workload and defaults to the historical 64-thread sizing
+  // (tsx::kDefaultPoolThreads) rather than tracking kMaxThreads.
+  const int n_free_lists_;
+  std::vector<support::CacheAligned<tsx::Shared<Node*>>> free_;
 };
 
 }  // namespace elision::ds

@@ -4,8 +4,15 @@
 
 namespace elision::ds {
 
-SkipList::SkipList(std::size_t capacity, std::uint64_t seed)
-    : arena_(capacity), setup_rng_(seed) {
+SkipList::SkipList(std::size_t capacity, std::uint64_t seed, int max_threads)
+    : arena_(capacity),
+      n_free_lists_(max_threads + 1),
+      free_(static_cast<std::size_t>(max_threads) + 1),
+      setup_rng_(seed) {
+  ELISION_CHECK_MSG(
+      max_threads >= 1 && max_threads <= tsx::kMaxThreads,
+      "node pool max_threads must be in [1, tsx::kMaxThreads]");
+
   head_.level.unsafe_set(kMaxLevel);
   for (auto& n : head_.next) n.unsafe_set(nullptr);
   // All nodes start on the setup/global free list, threaded through next[0].
@@ -14,13 +21,13 @@ SkipList::SkipList(std::size_t capacity, std::uint64_t seed)
     it->next[0].unsafe_set(head);
     head = &*it;
   }
-  free_[kFreeLists - 1].value.unsafe_set(head);
+  free_[n_free_lists_ - 1].value.unsafe_set(head);
 }
 
 void SkipList::unsafe_distribute_free_lists(int n_threads) {
-  ELISION_CHECK(n_threads >= 1 && n_threads < kFreeLists);
-  Node* n = free_[kFreeLists - 1].value.unsafe_get();
-  free_[kFreeLists - 1].value.unsafe_set(nullptr);
+  ELISION_CHECK(n_threads >= 1 && n_threads < n_free_lists_);
+  Node* n = free_[n_free_lists_ - 1].value.unsafe_get();
+  free_[n_free_lists_ - 1].value.unsafe_set(nullptr);
   int slot = 0;
   while (n != nullptr) {
     Node* next = n->next[0].unsafe_get();
@@ -44,7 +51,7 @@ SkipList::Node* SkipList::alloc(tsx::Ctx& ctx, std::uint64_t key, int level) {
   if (n != nullptr) {
     own.store(ctx, n->next[0].load(ctx));
   } else {
-    for (int i = kFreeLists - 1; i >= 0 && n == nullptr; --i) {
+    for (int i = n_free_lists_ - 1; i >= 0 && n == nullptr; --i) {
       auto& other = free_[i].value;
       n = other.load(ctx);
       if (n != nullptr) other.store(ctx, n->next[0].load(ctx));
@@ -139,9 +146,9 @@ bool SkipList::unsafe_insert(std::uint64_t key) {
   Node* at = pred->next[0].unsafe_get();
   if (at != nullptr && at->key.unsafe_get() == key) return false;
   const int level = random_level(setup_rng_);
-  Node* n = free_[kFreeLists - 1].value.unsafe_get();
+  Node* n = free_[n_free_lists_ - 1].value.unsafe_get();
   ELISION_CHECK_MSG(n != nullptr, "SkipList node pool exhausted");
-  free_[kFreeLists - 1].value.unsafe_set(n->next[0].unsafe_get());
+  free_[n_free_lists_ - 1].value.unsafe_set(n->next[0].unsafe_get());
   n->key.unsafe_set(key);
   n->level.unsafe_set(static_cast<std::uint64_t>(level));
   for (int lvl = 0; lvl < level; ++lvl) {

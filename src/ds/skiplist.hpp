@@ -9,6 +9,7 @@
 #pragma once
 
 #include <array>
+#include <vector>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -25,7 +26,10 @@ class SkipList {
   static constexpr int kMaxLevel = 16;
 
   // `capacity` bounds the number of live nodes.
-  explicit SkipList(std::size_t capacity, std::uint64_t seed = 99);
+  // `max_threads` sizes the per-thread free lists (see n_free_lists_
+  // below); the default preserves the historical 64-thread pool layout.
+  explicit SkipList(std::size_t capacity, std::uint64_t seed = 99,
+                    int max_threads = tsx::kDefaultPoolThreads);
 
   SkipList(const SkipList&) = delete;
   SkipList& operator=(const SkipList&) = delete;
@@ -58,9 +62,13 @@ class SkipList {
 
   std::vector<Node> arena_;
   Node head_;  // full-height sentinel; key unused
-  // One free list per possible simulated thread + one setup/global list.
-  static constexpr int kFreeLists = tsx::kMaxThreads + 1;
-  std::array<support::CacheAligned<tsx::Shared<Node*>>, kFreeLists> free_;
+  // One free list per supported simulated thread + one setup/global list
+  // (slot n_free_lists_ - 1). Sized at construction: the alloc() fallback
+  // scan performs a simulated load per list, so the count is part of the
+  // simulated workload and defaults to the historical 64-thread sizing
+  // (tsx::kDefaultPoolThreads) rather than tracking kMaxThreads.
+  const int n_free_lists_;
+  std::vector<support::CacheAligned<tsx::Shared<Node*>>> free_;
   support::Xoshiro256 setup_rng_;
 };
 

@@ -5,13 +5,22 @@
 #include "sim/machine_config.hpp"
 #include "sim/scheduler.hpp"
 #include "support/align.hpp"
+#include "support/check.hpp"
 #include "tsx/engine.hpp"
 
 namespace elision::harness {
 
 RunStats run_micro_point(const MicroPoint& p) {
+  ELISION_CHECK_MSG(
+      p.shared_period != 0 && (p.shared_period & (p.shared_period - 1)) == 0,
+      "MicroPoint::shared_period must be a power of two");
   sim::MachineConfig machine;
   machine.seed = p.seed;
+  if (p.n_cores != 0) machine.n_cores = p.n_cores;
+  if (p.smt_per_core != 0) machine.smt_per_core = p.smt_per_core;
+  if (p.yield_slack_cycles != 0) {
+    machine.yield_slack_cycles = p.yield_slack_cycles;
+  }
   sim::Scheduler sched(machine);
   tsx::Engine engine(sched);
 
@@ -48,7 +57,7 @@ RunStats run_micro_point(const MicroPoint& p) {
       PerThread& a = acc[static_cast<std::size_t>(t)];
       const std::size_t base = static_cast<std::size_t>(t) * stripe;
       for (std::uint64_t op = 0; op < p.ops_per_thread; ++op) {
-        const bool shared = (op & 15) == 0;
+        const bool shared = (op & (p.shared_period - 1)) == 0;
         const std::size_t lo = shared ? 0 : base;
         const std::size_t span = shared ? p.array_words : stripe;
         const std::size_t start = lo + rng.next_below(span);

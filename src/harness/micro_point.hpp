@@ -20,7 +20,17 @@ struct MicroPoint {
   int threads = 8;
   std::uint64_t ops_per_thread = 25000;
   std::size_t array_words = 1024;  // shared array the transactions touch
+  // Every `shared_period`-th op touches the shared hot region instead of the
+  // thread's own stripe (power of two). Big-machine points use a sparser
+  // period: 64 threads hammering one line every 16th op is all aborts, which
+  // measures the retry loop rather than the engine hot path.
+  std::uint64_t shared_period = 16;
   std::uint64_t seed = 42;
+  // Machine-shape overrides for big-machine scaling points; 0 keeps the
+  // MachineConfig default (the paper's 4-core / 2-SMT i7).
+  unsigned n_cores = 0;
+  unsigned smt_per_core = 0;
+  std::uint64_t yield_slack_cycles = 0;
 };
 
 // Runs the fixed-work microbenchmark once; fully deterministic per seed.

@@ -39,6 +39,11 @@ RunStats run_rb_with_lock(const RbPoint& p, ds::RbTree& tree) {
   cfg.duration_scale = env_duration_scale();
   cfg.tsx.hardware_extension = p.hardware_extension;
   cfg.machine.seed = p.seed;
+  if (p.n_cores != 0) cfg.machine.n_cores = p.n_cores;
+  if (p.smt_per_core != 0) cfg.machine.smt_per_core = p.smt_per_core;
+  if (p.yield_slack_cycles != 0) {
+    cfg.machine.yield_slack_cycles = p.yield_slack_cycles;
+  }
   cfg.timeline_slot_cycles = p.timeline_slot_cycles;
   cfg.policy = p.scheme;
   cfg.telemetry = p.telemetry;

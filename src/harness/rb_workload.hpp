@@ -35,6 +35,19 @@ struct RbPoint {
   std::uint64_t timeline_slot_cycles = 0;
   std::uint64_t seed = 42;
 
+  // Machine-shape overrides for big-machine scaling points; 0 keeps the
+  // MachineConfig default (the paper's 4-core / 2-SMT i7). The suite emits
+  // these into results JSON only when set, so historical baseline lines are
+  // byte-identical.
+  unsigned n_cores = 0;
+  unsigned smt_per_core = 0;
+  std::uint64_t yield_slack_cycles = 0;
+  // kMicro suite points only (the suite stores their shape in an RbPoint):
+  // fixed op count per thread and shared-line period overrides, 0 = the
+  // MicroPoint defaults.
+  std::uint64_t micro_ops = 0;
+  std::uint64_t micro_shared_period = 0;
+
   // Host threads the multi-seed fan-out may use (support/parallel.hpp).
   // Each seed is an independent simulation; results are merged in seed
   // order, so any value produces byte-identical RunStats to host_threads=1

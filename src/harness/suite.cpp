@@ -205,6 +205,29 @@ std::vector<SuitePoint> build_points() {
     sp.point.duration_sec = 0.0;  // fixed work, not fixed virtual time
     v.push_back(sp);
   }
+  // Big-machine simulator-speed canary: 64 threads on a 32-core / 2-SMT
+  // machine, striped stripes with a sparser shared-line period (every 64th
+  // op) and a little yield slack so the scheduler runs long bursts — the
+  // configuration the O(log N) ready queue exists for. Gated like the t8
+  // canary; the two together pin both ends of the machine-size range.
+  {
+    SuitePoint sp;
+    sp.tier = S;
+    sp.figure = "sim-speed";
+    sp.kind = PointKind::kMicro;
+    sp.id = "micro-engine-rtm-t64";
+    sp.point.threads = 64;
+    sp.point.size = 16384;  // array words
+    sp.point.update_pct = 0;
+    sp.point.seeds = 1;
+    sp.point.duration_sec = 0.0;
+    sp.point.micro_ops = 8000;
+    sp.point.micro_shared_period = 64;
+    sp.point.n_cores = 32;
+    sp.point.smt_per_core = 2;
+    sp.point.yield_slack_cycles = 200;
+    v.push_back(sp);
+  }
 
   // Two-mode B+tree points (shared-mode elision). The read-mostly pair is
   // the headline comparison: identical mix and lock, reads exclusive vs
@@ -309,6 +332,22 @@ std::vector<SuitePoint> build_points() {
                          ElisionPolicy::hle_scm_nested()));
   v.push_back(make_point(F, "abl-grouped-scm", 64, 20, 8, LockSel::kTtas,
                          ElisionPolicy::hle_grouped_scm()));
+  // Big-machine scaling point: the fig5.1 shape at 64 threads on a 32-core /
+  // 2-SMT machine — the regime Fissile Locks / the HTM tree template report
+  // from and the reason the scheduler grew an O(log N) ready queue. A bit of
+  // yield slack keeps the 64-way interleaving from degenerating into
+  // access-granularity round-robin. The -m32x2 suffix encodes the machine
+  // shape in the id so future shapes at the same (size, threads) stay
+  // distinct.
+  {
+    SuitePoint sp = make_point(F, "fig5.1-big", 64, 20, 64, LockSel::kTtas,
+                               ElisionPolicy::hle_scm());
+    sp.point.n_cores = 32;
+    sp.point.smt_per_core = 2;
+    sp.point.yield_slack_cycles = 200;
+    sp.id += "-m32x2";
+    v.push_back(sp);
+  }
   return v;
 }
 
@@ -379,6 +418,13 @@ PointMetrics run_point_metrics(const SuitePoint& sp) {
     mp.threads = sp.point.threads;
     mp.array_words = sp.point.size;
     mp.seed = sp.point.seed;
+    if (sp.point.micro_ops != 0) mp.ops_per_thread = sp.point.micro_ops;
+    if (sp.point.micro_shared_period != 0) {
+      mp.shared_period = sp.point.micro_shared_period;
+    }
+    mp.n_cores = sp.point.n_cores;
+    mp.smt_per_core = sp.point.smt_per_core;
+    mp.yield_slack_cycles = sp.point.yield_slack_cycles;
     stats = run_micro_point(mp);
   } else if (sp.kind == PointKind::kBtree) {
     stats = run_bt_point(sp.bt);
@@ -515,6 +561,33 @@ void write_point_json(const PointRecord& r, std::FILE* out) {
         d.point.duration_sec,
         static_cast<unsigned long long>(d.point.seed),
         d.point.telemetry ? "true" : "false");
+    // Machine-shape / micro-shape overrides of the big-machine points,
+    // emitted only when set: pre-existing baseline lines must stay
+    // byte-identical across this addition.
+    if (d.point.n_cores != 0 || d.point.smt_per_core != 0 ||
+        d.point.yield_slack_cycles != 0 || d.point.micro_ops != 0 ||
+        d.point.micro_shared_period != 0) {
+      std::fprintf(out, "     ");
+      if (d.point.n_cores != 0) {
+        std::fprintf(out, "\"n_cores\":%u,", d.point.n_cores);
+      }
+      if (d.point.smt_per_core != 0) {
+        std::fprintf(out, "\"smt_per_core\":%u,", d.point.smt_per_core);
+      }
+      if (d.point.yield_slack_cycles != 0) {
+        std::fprintf(out, "\"yield_slack_cycles\":%llu,",
+                     static_cast<unsigned long long>(d.point.yield_slack_cycles));
+      }
+      if (d.point.micro_ops != 0) {
+        std::fprintf(out, "\"micro_ops\":%llu,",
+                     static_cast<unsigned long long>(d.point.micro_ops));
+      }
+      if (d.point.micro_shared_period != 0) {
+        std::fprintf(out, "\"micro_shared_period\":%llu,",
+                     static_cast<unsigned long long>(d.point.micro_shared_period));
+      }
+      std::fprintf(out, "\n");
+    }
   }
   std::fprintf(
       out,
@@ -805,6 +878,21 @@ std::optional<SuiteResult> parse_results_json(
       }
       if (const Value* v = p.find("telemetry")) {
         rec.def.point.telemetry = v->as_bool();
+      }
+      if (const Value* v = p.find("n_cores")) {
+        rec.def.point.n_cores = static_cast<unsigned>(v->as_u64());
+      }
+      if (const Value* v = p.find("smt_per_core")) {
+        rec.def.point.smt_per_core = static_cast<unsigned>(v->as_u64());
+      }
+      if (const Value* v = p.find("yield_slack_cycles")) {
+        rec.def.point.yield_slack_cycles = v->as_u64();
+      }
+      if (const Value* v = p.find("micro_ops")) {
+        rec.def.point.micro_ops = v->as_u64();
+      }
+      if (const Value* v = p.find("micro_shared_period")) {
+        rec.def.point.micro_shared_period = v->as_u64();
       }
     }
     auto& m = rec.metrics;

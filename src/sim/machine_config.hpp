@@ -10,9 +10,13 @@
 namespace elision::sim {
 
 // Hard cap on simulated threads per Scheduler. The TSX layer identifies
-// readers with a 64-bit thread mask (tsx::kMaxThreads aliases this), so the
-// cap is load-bearing, not just a sizing hint.
-inline constexpr int kMaxSimThreads = 64;
+// readers with a fixed-width thread mask (tsx::kMaxThreads aliases this and
+// tsx::ThreadSet sizes its word array from it), and the scheduler's ready
+// queue indexes two tournament levels of 16, so the cap is load-bearing,
+// not just a sizing hint. 256 covers the big-machine scaling studies
+// (64-plus logical CPUs) with headroom; past it the ready queue would need
+// a third level.
+inline constexpr int kMaxSimThreads = 256;
 
 // Schedule-exploration knobs (src/stress). When `probability` is nonzero,
 // every simulated memory access becomes a *perturbation point*: with that

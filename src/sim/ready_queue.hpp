@@ -1,0 +1,227 @@
+// Incrementally-maintained min/argmin index over per-thread virtual clocks.
+//
+// The scheduler needs, once per simulated memory access, the smallest clock
+// among runnable threads and the id of its first holder (lowest tid wins
+// ties). The seed implementation swept all N clocks per access with a
+// data-dependent argmin branch — O(N) work and a mispredict-heavy loop that
+// dominated the profile on big simulated machines.
+//
+// This is a flat array-backed tournament tree of arity kGroupSize (16):
+// clocks live in one dense array padded to a multiple of the group size
+// with the finished sentinel; each group of 16 consecutive tids caches its
+// (min, argmin) pair, and the root caches the winner across groups. An
+// update rescans only the updated thread's group and the per-group minima —
+// two short contiguous scans with independent compares (at most
+// 16 + ceil(N/16) steps, so 32 for the 256-thread cap) instead of one long
+// serial sweep — and the root query is O(1).
+//
+// Machines of at most one group (<= 16 threads, which covers the paper's
+// 8-hyperthread i7 and every historical bench point) skip the cached levels
+// entirely: set() is a plain store and min_entry() is the seed's fused
+// min/argmin sweep, computed on demand. At that size the sweep costs the
+// same as maintaining the caches would, and running the seed's exact
+// instruction sequence keeps the small-machine canaries at seed throughput.
+//
+// Tie-break equivalence: the group scan keeps the first (lowest-index)
+// holder of the group minimum, and the root scan keeps the first group
+// holding the overall minimum. Lowest group of the winners + lowest index
+// within the winning group is exactly the first-index-wins answer of the
+// seed's linear sweep, so schedules are preserved bit-for-bit.
+//
+// Finished threads (and padding slots beyond size()) hold kFinishedClock,
+// so they lose every comparison against a live thread and min_clock()
+// degrades to the sentinel when nothing is runnable.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/inline.hpp"
+
+namespace elision::sim {
+
+class ReadyQueue {
+ public:
+  static constexpr std::uint64_t kFinishedClock =
+      std::numeric_limits<std::uint64_t>::max();
+  static constexpr std::size_t kGroupShift = 4;
+  static constexpr std::size_t kGroupSize = 1u << kGroupShift;  // tree arity
+  // Two levels of arity-16 nodes index up to 256 threads; a third level
+  // would be needed beyond that (see kMaxSimThreads in machine_config.hpp).
+  static constexpr std::size_t kMaxIndexable = kGroupSize * kGroupSize;
+
+  // Registers the next thread id (clock 0) and returns it.
+  int add_thread() {
+    const int tid = static_cast<int>(size_);
+    ELISION_CHECK_MSG(size_ < kMaxIndexable,
+                      "ReadyQueue indexes at most kMaxIndexable threads");
+    ++size_;
+    if (clocks_.size() < size_) {
+      clocks_.resize(clocks_.size() + kGroupSize, kFinishedClock);
+      group_min_.push_back(kFinishedClock);
+      group_tid_.push_back(tid);
+    }
+    clocks_[static_cast<std::size_t>(tid)] = 0;
+    // Rebuild every cached level from scratch: set() maintains only the
+    // levels above the updated tid and, on a one-level machine, skips the
+    // group caches entirely — growing the machine (including across the
+    // one-level/two-level boundary) must leave all of them coherent.
+    rebuild();
+    return tid;
+  }
+
+  // Updates tid's clock and the cached tournament levels above it.
+  //
+  // Scheduler clocks are monotonic, which buys the O(1) fast path: when a
+  // clock moves up and its holder was not the cached argmin of its level,
+  // no cached winner can change and the update is two compares. Rescans
+  // happen only while the updated thread actually holds a minimum — i.e.
+  // right after it was scheduled — so a thread running ahead of the pack
+  // (yield slack, SMT penalty) updates in O(1) per access. Decreasing a
+  // clock (rebuilds, unit tests) takes the full rescan path.
+  // Must compile into SimThread::advance() (and from there into the engine's
+  // charge functions) the way the seed's open-coded sweep did; the two-level
+  // rescan stays out of line so it does not drag the caller over the
+  // inliner's size budget. On a one-group machine there are no cached
+  // levels and this is a plain store.
+  ELISION_ALWAYS_INLINE void set(int tid, std::uint64_t clock) {
+    ELISION_DCHECK(static_cast<std::size_t>(tid) < size_);
+    const std::size_t ti = static_cast<std::size_t>(tid);
+    if (size_ <= kGroupSize) {
+      clocks_[ti] = clock;
+      return;
+    }
+    const bool moved_up = clock >= clocks_[ti];
+    clocks_[ti] = clock;
+    const std::size_t g = ti >> kGroupShift;
+    if (moved_up && group_tid_[g] != tid) return;
+    rescan_from_group(g, moved_up);
+  }
+
+  // The (min clock, lowest holder tid) pair over all registered threads —
+  // what the tick path reads once per simulated access. Two-level machines
+  // read the cached root in O(1); one-group machines run the seed's fused
+  // min/argmin sweep (first index wins ties) on demand. tid is only
+  // meaningful while some thread is live (otherwise it names an arbitrary
+  // finished/padding slot).
+  struct Entry {
+    std::uint64_t clock;
+    std::int32_t tid;
+  };
+  ELISION_ALWAYS_INLINE Entry min_entry() const {
+    ELISION_DCHECK(size_ > 0);
+    if (size_ <= kGroupSize) return min_entry_single();
+    return {root_min_, root_tid_};
+  }
+
+  // Smallest clock over all registered threads (kFinishedClock if none is
+  // live).
+  std::uint64_t min_clock() const {
+    if (size_ == 0) return kFinishedClock;
+    return min_entry().clock;
+  }
+
+  // Lowest tid holding min_clock(). Only meaningful while some thread is
+  // live.
+  int min_tid() const { return min_entry().tid; }
+
+  std::uint64_t clock_of(int tid) const {
+    return clocks_[static_cast<std::size_t>(tid)];
+  }
+
+  std::size_t size() const { return size_; }
+
+ private:
+  // Two-level slow path of set(): rescans tid's group and, when the root
+  // could have changed, the per-group minima.
+  ELISION_NOINLINE void rescan_from_group(std::size_t g, bool moved_up) {
+    // Rescan the group: min pass without the data-dependent index (a
+    // straight-line reduction), then first-index-of-min for the tie-break.
+    // Padding sentinels never win, so scanning the full group is exact.
+    const std::uint64_t* const base = clocks_.data() + (g << kGroupShift);
+    std::uint64_t m = base[0];
+    for (std::size_t i = 1; i < kGroupSize; ++i) {
+      if (base[i] < m) m = base[i];
+    }
+    std::size_t mi = 0;
+    while (base[mi] != m) ++mi;
+    const std::int32_t gtid = static_cast<std::int32_t>((g << kGroupShift) + mi);
+    if (m == group_min_[g] && gtid == group_tid_[g] && moved_up) return;
+    group_min_[g] = m;
+    group_tid_[g] = gtid;
+    // The root must be rescanned when this group held it (its min moved) or
+    // on a decrease (this group may now win). A group whose min only grew
+    // cannot take the root from another group — including ties, because
+    // first-group-wins already preferred any equal earlier group.
+    if (moved_up && static_cast<std::size_t>(root_tid_) >> kGroupShift != g) {
+      return;
+    }
+    const std::size_t groups = group_min_.size();
+    std::uint64_t rm = group_min_[0];
+    for (std::size_t i = 1; i < groups; ++i) {
+      if (group_min_[i] < rm) rm = group_min_[i];
+    }
+    std::size_t rg = 0;
+    while (group_min_[rg] != rm) ++rg;
+    root_min_ = rm;
+    root_tid_ = group_tid_[rg];
+  }
+
+  // One-group fused min/argmin sweep of the live clocks (first index wins
+  // ties) — the seed scheduler's exact loop. At <= kGroupSize elements the
+  // fused loop beats the split min-then-find-first form used for full
+  // groups.
+  Entry min_entry_single() const {
+    std::uint64_t m = clocks_[0];
+    std::size_t mi = 0;
+    for (std::size_t i = 1; i < size_; ++i) {
+      if (clocks_[i] < m) {
+        m = clocks_[i];
+        mi = i;
+      }
+    }
+    return {m, static_cast<std::int32_t>(mi)};
+  }
+
+  // Recomputes every cached level from the clocks alone. One-group machines
+  // have no cached levels (min_entry() sweeps on demand), so only the
+  // two-level shape does work here.
+  void rebuild() {
+    if (size_ <= kGroupSize) return;
+    const std::size_t groups = group_min_.size();
+    for (std::size_t g = 0; g < groups; ++g) {
+      const std::uint64_t* const base = clocks_.data() + (g << kGroupShift);
+      std::uint64_t m = base[0];
+      for (std::size_t i = 1; i < kGroupSize; ++i) {
+        if (base[i] < m) m = base[i];
+      }
+      std::size_t mi = 0;
+      while (base[mi] != m) ++mi;
+      group_min_[g] = m;
+      group_tid_[g] = static_cast<std::int32_t>((g << kGroupShift) + mi);
+    }
+    std::uint64_t rm = group_min_[0];
+    for (std::size_t i = 1; i < groups; ++i) {
+      if (group_min_[i] < rm) rm = group_min_[i];
+    }
+    std::size_t rg = 0;
+    while (group_min_[rg] != rm) ++rg;
+    root_min_ = rm;
+    root_tid_ = group_tid_[rg];
+  }
+
+  // clocks_[tid] for tid < size_; padding entries hold kFinishedClock so
+  // they never beat a live thread.
+  std::vector<std::uint64_t> clocks_;
+  // Cached (min, argmin) per group of kGroupSize consecutive tids, plus the
+  // root winner across groups. group_tid_ holds absolute tids.
+  std::vector<std::uint64_t> group_min_;
+  std::vector<std::int32_t> group_tid_;
+  std::uint64_t root_min_ = kFinishedClock;
+  std::int32_t root_tid_ = -1;
+  std::size_t size_ = 0;  // registered thread count
+};
+
+}  // namespace elision::sim

@@ -1,5 +1,6 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <limits>
 
@@ -33,6 +34,22 @@ void SimThread::entry(void* self) {
 
 void SimThread::yield() { sched_.yield_from(*this); }
 
+void SimThread::advance_slow(std::uint64_t cycles) {
+  const double scaled =
+      static_cast<double>(cycles) * sched_.core_penalty_[core_];
+  std::uint64_t delta;
+  if (scaled >= 18446744073709551616.0 /* 2^64 */) {
+    delta = Scheduler::kFinishedClock;
+  } else {
+    delta = static_cast<std::uint64_t>(scaled);
+  }
+  if (delta >= Scheduler::kFinishedClock - 1 - vclock_) {
+    vclock_ = Scheduler::kFinishedClock - 1;
+  } else {
+    vclock_ += delta;
+  }
+}
+
 void SimThread::maybe_perturb() {
   const PerturbConfig& p = sched_.config().perturb;
   if (!perturb_rng_.next_bool(p.probability)) return;
@@ -45,6 +62,15 @@ void SimThread::maybe_perturb() {
 
 Scheduler::Scheduler(MachineConfig config) : config_(config) {
   ELISION_CHECK(config_.n_cores >= 1);
+  // Fast-path bound for advance(): any cycles below it scale to a delta
+  // under 2^53 even at the worst per-core multiplier, so together with a
+  // clock below 2^63 the unchecked addition cannot overflow or touch the
+  // finished sentinel. The product rounds to nearest, so cap the quotient
+  // at 2^53 and leave one bit of headroom.
+  const double worst = std::max(1.0, config_.smt_slowdown);
+  const double bound = 9007199254740992.0 /* 2^53 */ / worst;
+  advance_fast_cycles_ = static_cast<std::uint64_t>(
+      std::min(bound, 9007199254740992.0 / 2.0));
   core_active_.assign(config_.n_cores, 0);
   core_penalty_.assign(config_.n_cores, 1.0);
 }
@@ -66,7 +92,8 @@ SimThread& Scheduler::spawn(std::function<void(SimThread&)> body) {
   threads_.push_back(std::make_unique<SimThread>(
       *this, tid, config_.seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL * (tid + 1),
       std::move(body), config_.fiber_stack_bytes));
-  clocks_.push_back(0);
+  const int ready_tid = ready_.add_thread();
+  ELISION_CHECK(ready_tid == tid);
   ++runnable_;
   SimThread& t = *threads_.back();
   ++core_active_[t.core_];
@@ -76,23 +103,7 @@ SimThread& Scheduler::spawn(std::function<void(SimThread&)> body) {
 
 SimThread* Scheduler::pick_next() const {
   if (runnable_ == 0) return nullptr;
-  std::uint64_t best = clocks_[0];
-  std::size_t best_i = 0;
-  for (std::size_t i = 1; i < clocks_.size(); ++i) {
-    if (clocks_[i] < best) {
-      best = clocks_[i];
-      best_i = i;
-    }
-  }
-  return threads_[best_i].get();
-}
-
-std::uint64_t Scheduler::elapsed_cycles() const {
-  std::uint64_t best = 0;
-  for (const auto& t : threads_) {
-    if (t->vclock_ > best) best = t->vclock_;
-  }
-  return best;
+  return threads_[static_cast<std::size_t>(ready_.min_tid())].get();
 }
 
 void Scheduler::yield_from(SimThread& t) {
@@ -110,7 +121,7 @@ void Scheduler::yield_from(SimThread& t) {
 
 void Scheduler::finish_from(SimThread& t) {
   t.finished_ = true;
-  clocks_[t.tid_] = kFinishedClock;
+  ready_.set(t.tid_, kFinishedClock);
   --runnable_;
   --core_active_[t.core_];
   update_core_penalty(t.core_);

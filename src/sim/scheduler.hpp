@@ -9,11 +9,13 @@
 //
 // Hot-path layout: the tick path (advance + maybe_yield) runs once per
 // simulated memory access, tens of millions of times per benchmark point, so
-// its state is kept flat. Runnable clocks live in a dense per-tid array
-// (finished threads hold a max-uint64 sentinel) so the min/argmin scan is a
-// contiguous sweep instead of a pointer chase, and the hyperthreading
-// multiplier is a per-core value maintained at spawn/finish instead of an
-// O(threads) sibling scan per advance.
+// its state is kept flat. Per-tid clocks (finished threads hold a max-uint64
+// sentinel) live in a ReadyQueue — a flat arity-16 tournament tree whose
+// cached (min, argmin) levels advance() repairs with two short contiguous
+// scans and maybe_yield() reads from the root in O(1), instead of the O(N)
+// mispredict-heavy sweep per access that made big simulated machines
+// quadratic. The hyperthreading multiplier is a per-core value maintained
+// at spawn/finish instead of an O(threads) sibling scan per advance.
 //
 // Usage:
 //   Scheduler sched(config);
@@ -29,6 +31,8 @@
 
 #include "sim/fiber.hpp"
 #include "sim/machine_config.hpp"
+#include "sim/ready_queue.hpp"
+#include "support/inline.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 
@@ -54,13 +58,15 @@ class SimThread {
   support::Xoshiro256& rng() { return rng_; }
 
   // Advances this thread's virtual clock by `cycles` scaled by the
-  // hyperthreading model (a live sibling slows both siblings down).
-  // Defined below Scheduler (touches its flat clock array).
-  void advance(std::uint64_t cycles);
+  // hyperthreading model (a live sibling slows both siblings down),
+  // saturating at the largest live clock instead of wrapping past the
+  // finished sentinel. Defined below Scheduler (touches its flat clock
+  // array).
+  ELISION_ALWAYS_INLINE void advance(std::uint64_t cycles);
 
   // Yields if this thread has run ahead of the earliest runnable thread by
   // more than the configured slack. Defined below Scheduler.
-  void maybe_yield();
+  ELISION_ALWAYS_INLINE void maybe_yield();
 
   // Unconditionally yields to the scheduler.
   void yield();
@@ -70,7 +76,7 @@ class SimThread {
   // perturbation point of the schedule-exploration stress subsystem
   // (src/stress): with PerturbConfig enabled, a random extra delay may be
   // injected here before the yield decision.
-  void tick(std::uint64_t cycles) {
+  ELISION_ALWAYS_INLINE void tick(std::uint64_t cycles) {
     advance(cycles);
     if (sched_perturb_enabled_) maybe_perturb();
     maybe_yield();
@@ -90,6 +96,10 @@ class SimThread {
   // Slow path of tick(): draws from the perturbation RNG and, budget
   // permitting, jumps this thread's clock forward by a random delay.
   void maybe_perturb();
+
+  // Saturating slow path of advance(): full-range SMT scaling with overflow
+  // checks on both the double->uint64 conversion and the clock addition.
+  ELISION_NOINLINE void advance_slow(std::uint64_t cycles);
 
   Scheduler& sched_;
   const int tid_;
@@ -124,7 +134,9 @@ class Scheduler {
   SimThread& thread(std::size_t i) { return *threads_[i]; }
 
   // Largest virtual clock reached by any thread: the simulated wall time.
-  std::uint64_t elapsed_cycles() const;
+  // Maintained incrementally by advance() (clocks are monotonic), so this is
+  // O(1) rather than a rescan of every thread.
+  std::uint64_t elapsed_cycles() const { return max_clock_; }
 
   std::uint64_t deadline() const { return deadline_; }
   std::uint64_t switch_count() const { return switches_; }
@@ -147,14 +159,8 @@ class Scheduler {
   SimThread* current() { return current_; }
 
   // Smallest clock among runnable threads (max uint64 if none). Finished
-  // threads hold the sentinel in clocks_, so a plain sweep suffices.
-  std::uint64_t min_runnable_clock() const {
-    std::uint64_t best = kFinishedClock;
-    for (std::uint64_t c : clocks_) {
-      if (c < best) best = c;
-    }
-    return best;
-  }
+  // threads hold the sentinel in the ready queue, so this is the root read.
+  std::uint64_t min_runnable_clock() const { return ready_.min_clock(); }
 
   // --- internal, used by SimThread ---
   void yield_from(SimThread& t);
@@ -168,8 +174,7 @@ class Scheduler {
  private:
   friend class SimThread;
 
-  static constexpr std::uint64_t kFinishedClock =
-      std::numeric_limits<std::uint64_t>::max();
+  static constexpr std::uint64_t kFinishedClock = ReadyQueue::kFinishedClock;
 
   SimThread* pick_next() const;  // earliest-clock runnable thread
   // Counted switch directly to a known next thread (the fused tick path has
@@ -195,10 +200,18 @@ class Scheduler {
 
   MachineConfig config_;
   std::vector<std::unique_ptr<SimThread>> threads_;
-  // clocks_[tid] mirrors threads_[tid]->vclock_ while the thread is runnable
-  // and holds kFinishedClock once it finishes: the dense array the tick path
-  // scans for min/argmin without touching the SimThread objects.
-  std::vector<std::uint64_t> clocks_;
+  // ready_.clock_of(tid) mirrors threads_[tid]->vclock_ while the thread is
+  // runnable and holds kFinishedClock once it finishes; the tournament tree
+  // over those clocks is the single min/argmin implementation every consumer
+  // (tick path, pick_next, min_runnable_clock) reads.
+  ReadyQueue ready_;
+  // Running max of every clock ever set: elapsed_cycles() without a rescan.
+  std::uint64_t max_clock_ = 0;
+  // Largest `cycles` advance() may scale without any overflow risk: with
+  // cycles below this bound the SMT-scaled delta stays under 2^53 and a
+  // clock below 2^63 cannot reach the finished sentinel, so the fast path
+  // needs no saturation checks at all. Computed once from smt_slowdown.
+  std::uint64_t advance_fast_cycles_ = 0;
   // Live threads per core / resulting advance() multiplier, maintained at
   // spawn and finish so the per-tick cost is one array load.
   std::vector<unsigned> core_active_;
@@ -214,31 +227,38 @@ class Scheduler {
 
 // --- SimThread tick-path inlines (need the Scheduler definition) ---
 
-inline void SimThread::advance(std::uint64_t cycles) {
-  // The multiplier is exactly 1.0 with no live sibling, and the
-  // double round-trip is exact for per-access cycle counts, so this is
-  // bit-identical to the unscaled addition in that case.
-  vclock_ += static_cast<std::uint64_t>(static_cast<double>(cycles) *
-                                        sched_.core_penalty_[core_]);
-  sched_.clocks_[tid_] = vclock_;
+ELISION_ALWAYS_INLINE void SimThread::advance(std::uint64_t cycles) {
+  // Saturate instead of wrapping: casting a double >= 2^64 to uint64_t is
+  // undefined, and a wrapped clock near kFinishedClock (reachable through a
+  // perturbation jump) would re-sort this thread to the front of the
+  // schedule; a live thread also must never hold the finished sentinel
+  // itself. Per-access cycle counts sit far below the precomputed bound and
+  // live clocks far below 2^63, so the two checks cost two always-predicted
+  // integer branches and the fast path is the seed's unchecked arithmetic
+  // (the multiplier is exactly 1.0 with no live sibling, and the double
+  // round-trip is exact for per-access cycle counts, so this is
+  // bit-identical to the unscaled addition in that case).
+  if (cycles >= sched_.advance_fast_cycles_ ||
+      static_cast<std::int64_t>(vclock_) < 0) [[unlikely]] {
+    advance_slow(cycles);
+  } else {
+    vclock_ += static_cast<std::uint64_t>(
+        static_cast<double>(cycles) * sched_.core_penalty_[core_]);
+  }
+  sched_.ready_.set(tid_, vclock_);
+  if (vclock_ > sched_.max_clock_) sched_.max_clock_ = vclock_;
 }
 
-inline void SimThread::maybe_yield() {
-  // One fused sweep finds both the minimum runnable clock (the yield
-  // condition) and its first holder (the thread to resume; first index wins
-  // ties, which preserves the lowest-tid tie-break of pick_next()).
-  const std::vector<std::uint64_t>& clocks = sched_.clocks_;
-  std::uint64_t best = clocks[0];
-  std::size_t best_i = 0;
-  for (std::size_t i = 1; i < clocks.size(); ++i) {
-    if (clocks[i] < best) {
-      best = clocks[i];
-      best_i = i;
-    }
-  }
-  if (vclock_ > best + sched_.config_.yield_slack_cycles) {
-    // best < vclock_ and clocks[tid_] == vclock_, so best_i != tid_.
-    sched_.switch_counted(*this, *sched_.threads_[best_i]);
+ELISION_ALWAYS_INLINE void SimThread::maybe_yield() {
+  // The ready queue hands back the minimum runnable clock (the yield
+  // condition) and its lowest-tid holder (the thread to resume) — the same
+  // (min, argmin) the old fused sweep produced.
+  const ReadyQueue::Entry best = sched_.ready_.min_entry();
+  if (vclock_ > best.clock + sched_.config_.yield_slack_cycles) {
+    // best.clock < vclock_ and clock_of(tid_) == vclock_, so best.tid is
+    // never this thread.
+    sched_.switch_counted(
+        *this, *sched_.threads_[static_cast<std::size_t>(best.tid)]);
   }
 }
 

@@ -1,0 +1,17 @@
+// Inlining control for per-access hot paths.
+//
+// The simulator charges every simulated memory access through
+// SimThread::tick(); at tens of millions of calls per benchmark point, the
+// difference between that path compiling into its engine callers and being
+// an out-of-line call is visible in end-to-end throughput. These annotations
+// pin the decision instead of leaving it to the inliner's size heuristics,
+// which flip as the functions evolve.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define ELISION_ALWAYS_INLINE inline __attribute__((always_inline))
+#define ELISION_NOINLINE __attribute__((noinline))
+#else
+#define ELISION_ALWAYS_INLINE inline
+#define ELISION_NOINLINE
+#endif

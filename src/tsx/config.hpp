@@ -9,12 +9,20 @@
 namespace elision::tsx {
 
 // Maximum simulated threads the TSX layer supports. The line table tracks
-// readers with one bit per thread in a 64-bit mask (TxContext::bit()), so
-// this equals — and must never exceed — the scheduler's own cap. Lock
-// implementations size their per-thread slot arrays from this constant and
-// bounds-check thread ids against it.
+// readers and cached copies with one bit per thread in a ThreadSet (a fixed
+// array of 64-bit words sized from this constant), so this equals — and
+// must never exceed — the scheduler's own cap. Lock implementations size
+// their per-thread slot arrays from this constant and bounds-check thread
+// ids against it.
 inline constexpr int kMaxThreads = sim::kMaxSimThreads;
-static_assert(kMaxThreads <= 64, "thread ids must fit a 64-bit reader mask");
+
+// Default thread capacity of the ds/ node pools' per-thread free lists.
+// The list count is workload-visible, not just a sizing hint: the pools'
+// alloc() fallback scan performs one simulated load per list, so changing
+// it perturbs schedules. It therefore stays at the historical 64-thread
+// sizing independent of kMaxThreads; workloads on wider machines pass
+// their own thread count to the pool constructors.
+inline constexpr int kDefaultPoolThreads = 64;
 
 // Conflict-management policy of the simulated TM.
 //

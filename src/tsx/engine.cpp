@@ -38,9 +38,8 @@ TxStats Engine::total_stats() const {
 // ---------------------------------------------------------------------------
 
 void Engine::charge_read(Ctx& ctx, LineRecord& rec) {
-  const std::uint64_t b = ctx.bit();
   std::uint64_t cost;
-  if (rec.copies & b) {
+  if (rec.copies.test(ctx.id())) {
     cost = cost_.l1_hit;
   } else if (rec.dirty_owner != kNoThread && rec.dirty_owner != ctx.id()) {
     cost = cost_.remote_transfer;
@@ -48,21 +47,20 @@ void Engine::charge_read(Ctx& ctx, LineRecord& rec) {
   } else {
     cost = cost_.llc_hit;
   }
-  rec.copies |= b;
+  rec.copies.set(ctx.id());
   ctx.thread().tick(cost + cost_.access_compute);
 }
 
 void Engine::charge_write(Ctx& ctx, LineRecord& rec, bool is_rmw) {
-  const std::uint64_t b = ctx.bit();
   std::uint64_t cost;
-  if (rec.copies == b && rec.dirty_owner == ctx.id()) {
+  if (rec.copies.is_only(ctx.id()) && rec.dirty_owner == ctx.id()) {
     cost = cost_.l1_hit;  // already exclusive and dirty
-  } else if ((rec.copies & ~b) == 0 && rec.dirty_owner == kNoThread) {
+  } else if (!rec.copies.any_other(ctx.id()) && rec.dirty_owner == kNoThread) {
     cost = cost_.llc_hit;  // upgrade, no other sharers
   } else {
     cost = cost_.remote_transfer;  // invalidate other copies
   }
-  rec.copies = b;
+  rec.copies.assign_only(ctx.id());
   rec.dirty_owner = ctx.id();
   ctx.thread().tick(cost + cost_.access_compute +
                     (is_rmw ? cost_.rmw_extra : 0));
@@ -93,7 +91,7 @@ LineRecord* Engine::ref_find(const LineTable::Ref& ref) {
 
 void Engine::release_ownership(Ctx& ctx) {
   for (const LineTable::Ref& ref : ctx.read_lines_) {
-    if (LineRecord* rec = ref_find(ref)) rec->readers &= ~ctx.bit();
+    if (LineRecord* rec = ref_find(ref)) rec->readers.reset(ctx.id());
   }
   for (const LineTable::Ref& ref : ctx.write_lines_) {
     LineRecord* rec = ref_find(ref);
@@ -110,7 +108,7 @@ void Engine::rollback_and_throw(Ctx& ctx, AbortCause cause,
   // hardware abort invalidates them.
   for (const LineTable::Ref& ref : ctx.write_lines_) {
     if (LineRecord* rec = ref_find(ref)) {
-      rec->copies &= ~ctx.bit();
+      rec->copies.reset(ctx.id());
       if (rec->dirty_owner == ctx.id()) rec->dirty_owner = kNoThread;
     }
   }
@@ -176,7 +174,7 @@ void Engine::abort_remote(int victim_id, AbortCause cause,
   // granularity — the difference is at most one non-memory instruction).
   for (const LineTable::Ref& ref : victim.write_lines_) {
     if (LineRecord* rec = ref_find(ref)) {
-      rec->copies &= ~victim.bit();
+      rec->copies.reset(victim.id());
       if (rec->dirty_owner == victim.id()) rec->dirty_owner = kNoThread;
     }
   }
@@ -199,21 +197,21 @@ bool Engine::requester_must_yield(Ctx& requester, const TxContext& owner)
 
 void Engine::abort_readers(LineRecord& rec, LineId line, int except_id,
                            int requester_id) {
-  std::uint64_t mask = rec.readers;
-  if (except_id >= 0) mask &= ~(1ULL << except_id);
-  while (mask != 0) {
-    const int r = __builtin_ctzll(mask);
-    mask &= mask - 1;
+  // Iterate a snapshot in ascending id order: tearing a victim down clears
+  // its reader bits in `rec` itself.
+  ThreadSet victims = rec.readers;
+  if (except_id >= 0) victims.reset(except_id);
+  victims.for_each([&](int r) {
     TxContext& victim = *contexts_[r];
     if (config_.hardware_extension && victim.elided_ &&
         victim.elided_line_ == line && !victim.lock_line_data_accessed_) {
       // Chapter 7: a conflict on the elided lock's line is a synchronization
       // signal, not a data conflict — the speculator survives and will
       // suspend if it needs to grow its footprint while the lock is held.
-      continue;
+      return;
     }
     abort_remote(r, AbortCause::kConflict, line, requester_id);
-  }
+  });
 }
 
 void Engine::read_set_admit(Ctx& ctx, LineId /*line*/) {
@@ -282,9 +280,9 @@ std::uint64_t Engine::tx_load(Ctx& ctx, const void* addr) {
   // hwext wait, which yields and re-fetches (other threads may have grown
   // the table meanwhile).
   LineRecord* rec = &table_.record(line, ctx.line_cache_);
-  const bool in_rset = (rec->readers & ctx.bit()) != 0;
+  const bool in_rset = rec->readers.test(ctx.id());
   const bool in_wset = rec->writer == ctx.id();
-  const bool in_footprint = in_rset || in_wset || (rec->copies & ctx.bit());
+  const bool in_footprint = in_rset || in_wset || rec->copies.test(ctx.id());
   if (config_.hardware_extension && ctx.elided_ && !in_footprint) {
     hwext_wait_for_new_line(ctx, *rec);
     rec = &table_.record(line, ctx.line_cache_);
@@ -299,7 +297,7 @@ std::uint64_t Engine::tx_load(Ctx& ctx, const void* addr) {
     abort_remote(rec->writer, AbortCause::kConflict, line, ctx.id());
   }
   if (!in_rset) {
-    rec->readers |= ctx.bit();
+    rec->readers.set(ctx.id());
     ctx.read_lines_.push_back({line, ctx.line_cache_.slot});
     read_set_admit(ctx, line);  // may abort self
   }
@@ -319,8 +317,8 @@ void Engine::tx_store(Ctx& ctx, void* addr, std::uint64_t value) {
   LineRecord* rec = &table_.record(line, ctx.line_cache_);
   const bool in_wset = rec->writer == ctx.id();
   if (!in_wset) {
-    const bool in_rset = (rec->readers & ctx.bit()) != 0;
-    const bool in_footprint = in_rset || (rec->copies & ctx.bit());
+    const bool in_rset = rec->readers.test(ctx.id());
+    const bool in_footprint = in_rset || rec->copies.test(ctx.id());
     if (config_.hardware_extension && ctx.elided_ && !in_footprint) {
       hwext_wait_for_new_line(ctx, *rec);
       rec = &table_.record(line, ctx.line_cache_);
@@ -333,15 +331,15 @@ void Engine::tx_store(Ctx& ctx, void* addr, std::uint64_t value) {
                    ctx.id());  // write-write
     }
     if (config_.conflict_policy == ConflictPolicy::kOldestWins) {
-      // Defer to the oldest conflicting reader, if any is older than us.
-      std::uint64_t mask = rec->readers & ~ctx.bit();
-      while (mask != 0) {
-        const int r = __builtin_ctzll(mask);
-        mask &= mask - 1;
+      // Defer to the oldest conflicting reader, if any is older than us
+      // (abort_self throws, exiting the scan like the break it replaces).
+      ThreadSet older = rec->readers;
+      older.reset(ctx.id());
+      older.for_each([&](int r) {
         if (requester_must_yield(ctx, *contexts_[r])) {
           abort_self(ctx, AbortCause::kConflict);
         }
-      }
+      });
     }
     // Our write request (RFO) invalidates the line everywhere; transactions
     // holding it in their read set abort.
@@ -549,8 +547,8 @@ void Engine::elide_begin(Ctx& ctx, void* addr, std::uint64_t illusion_value) {
     }
     abort_remote(rec.writer, AbortCause::kConflict, line, ctx.id());
   }
-  if ((rec.readers & ctx.bit()) == 0) {
-    rec.readers |= ctx.bit();
+  if (!rec.readers.test(ctx.id())) {
+    rec.readers.set(ctx.id());
     ctx.read_lines_.push_back({line, ctx.line_cache_.slot});
     read_set_admit(ctx, line);
   }

@@ -24,6 +24,7 @@
 
 #include "support/align.hpp"
 #include "support/hash.hpp"
+#include "tsx/thread_set.hpp"
 
 namespace elision::tsx {
 
@@ -31,11 +32,11 @@ inline constexpr int kNoThread = -1;
 
 struct LineRecord {
   // --- transactional conflict detection ---
-  std::uint64_t readers = 0;  // bitmask of tx ids with this line in read set
+  ThreadSet readers;          // tx ids with this line in their read set
   int writer = kNoThread;     // tx id with this line in its (buffered) write set
 
   // --- cache sharing model ---
-  std::uint64_t copies = 0;      // threads whose simulated cache holds the line
+  ThreadSet copies;              // threads whose simulated cache holds the line
   int dirty_owner = kNoThread;   // thread holding the line modified, if any
 };
 

@@ -1,0 +1,110 @@
+// Fixed-width set of simulated thread ids, used for the per-line reader and
+// copies masks in the line table.
+//
+// The seed tracked both as a single uint64_t, which hard-capped the machine
+// at 64 threads. This widens the mask to kMaxThreads bits as a flat array
+// of words while keeping the per-access cost profile of the old code:
+//
+//   - single-id operations (test/set/reset — the loads' and stores' hot
+//     path) index one word and are O(1), identical to the old shift-and-AND
+//     on a uint64_t up to the extra id >> 6;
+//   - whole-set predicates (any_other/is_only — the write-upgrade path) and
+//     iteration read all kWords words, a short fixed-trip loop the compiler
+//     unrolls (4 words at the 256-thread cap);
+//   - value semantics and zero-initialization match the old plain integer,
+//     so LineRecord stays trivially copyable and LineTable's slot recycling
+//     (rec = LineRecord{}) keeps working unchanged.
+//
+// Iteration order is ascending thread id (lowest word first, ctz within a
+// word) — the same order the old __builtin_ctzll(mask) loop produced, which
+// conflict-abort propagation relies on for deterministic schedules.
+#pragma once
+
+#include <cstdint>
+
+#include "support/check.hpp"
+#include "tsx/config.hpp"
+
+namespace elision::tsx {
+
+class ThreadSet {
+ public:
+  static constexpr int kBitsPerWord = 64;
+  static constexpr int kWords =
+      (kMaxThreads + kBitsPerWord - 1) / kBitsPerWord;
+  static_assert(kWords * kBitsPerWord >= kMaxThreads,
+                "ThreadSet must cover every simulated thread id");
+
+  constexpr bool test(int id) const {
+    return (w_[word(id)] & bit(id)) != 0;
+  }
+
+  constexpr void set(int id) { w_[word(id)] |= bit(id); }
+
+  constexpr void reset(int id) { w_[word(id)] &= ~bit(id); }
+
+  constexpr bool any() const {
+    std::uint64_t acc = 0;
+    for (int w = 0; w < kWords; ++w) acc |= w_[w];
+    return acc != 0;
+  }
+
+  constexpr bool none() const { return !any(); }
+
+  // Any member besides `id` (which may or may not be present itself).
+  constexpr bool any_other(int id) const {
+    std::uint64_t acc = w_[word(id)] & ~bit(id);
+    for (int w = 0; w < kWords; ++w) {
+      if (w != word(id)) acc |= w_[w];
+    }
+    return acc != 0;
+  }
+
+  // Exactly {id}.
+  constexpr bool is_only(int id) const {
+    std::uint64_t acc = w_[word(id)] ^ bit(id);
+    for (int w = 0; w < kWords; ++w) {
+      if (w != word(id)) acc |= w_[w];
+    }
+    return acc == 0;
+  }
+
+  constexpr void assign_only(int id) {
+    for (int w = 0; w < kWords; ++w) w_[w] = 0;
+    set(id);
+  }
+
+  constexpr void clear() {
+    for (int w = 0; w < kWords; ++w) w_[w] = 0;
+  }
+
+  friend constexpr bool operator==(const ThreadSet&, const ThreadSet&) =
+      default;
+
+  // Calls f(id) for every member in ascending id order. Callers that mutate
+  // this set from inside f iterate over a copy (the conflict-abort paths
+  // do: tearing a victim down clears its reader bits).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (int w = 0; w < kWords; ++w) {
+      std::uint64_t m = w_[w];
+      while (m != 0) {
+        f(w * kBitsPerWord + __builtin_ctzll(m));
+        m &= m - 1;
+      }
+    }
+  }
+
+ private:
+  static constexpr int word(int id) {
+    ELISION_DCHECK(id >= 0 && id < kMaxThreads);
+    return id >> 6;
+  }
+  static constexpr std::uint64_t bit(int id) {
+    return 1ULL << (id & (kBitsPerWord - 1));
+  }
+
+  std::uint64_t w_[kWords] = {};
+};
+
+}  // namespace elision::tsx

@@ -40,23 +40,17 @@ class TxContext {
  public:
   TxContext(Engine& engine, sim::SimThread& thread)
       : engine_(&engine), thread_(&thread), id_(thread.tid()) {
-    // bit() shifts 1ULL by id_; an id at or past the mask width would be
-    // undefined behaviour and silently corrupt conflict detection for some
-    // other thread. Mirrors the lock slot-array bounds checks.
+    // The line table indexes ThreadSet words by id; an id at or past
+    // kMaxThreads would corrupt conflict detection for some other thread.
+    // Mirrors the lock slot-array bounds checks.
     ELISION_CHECK_MSG(id_ >= 0 && id_ < kMaxThreads,
-                      "thread id out of range for the 64-bit reader mask "
+                      "thread id out of range for the reader mask "
                       "(tsx::kMaxThreads)");
   }
 
   Engine& engine() { return *engine_; }
   sim::SimThread& thread() { return *thread_; }
   int id() const { return id_; }
-  std::uint64_t bit() const {
-    static_assert(kMaxThreads <= 64,
-                  "TxContext::bit() packs thread ids into a 64-bit mask; "
-                  "tsx::kMaxThreads must not exceed 64");
-    return 1ULL << id_;
-  }
 
   bool in_tx() const { return state_ != TxState::kInactive; }
 

@@ -26,18 +26,25 @@ bool same_record(const LineRecord& a, const LineRecord& b) {
 }
 
 void mutate(LineRecord& rec, std::mt19937_64& rng) {
+  // Ids span the full widened range so the differential run exercises every
+  // ThreadSet word, not just the old 64-bit one.
+  const int id = static_cast<int>(rng() % kMaxThreads);
   switch (rng() % 4) {
     case 0:
-      rec.readers |= std::uint64_t{1} << (rng() % 64);
+      rec.readers.set(id);
       break;
     case 1:
-      rec.writer = static_cast<int>(rng() % 64);
+      rec.writer = id;
       break;
     case 2:
-      rec.copies ^= std::uint64_t{1} << (rng() % 64);
+      if (rec.copies.test(id)) {
+        rec.copies.reset(id);
+      } else {
+        rec.copies.set(id);
+      }
       break;
     default:
-      rec.dirty_owner = static_cast<int>(rng() % 64) - 1;
+      rec.dirty_owner = id - 1;
       break;
   }
 }
@@ -146,7 +153,7 @@ TEST(LineTable, ClearIsGenerationBump) {
   LineTable t(2);
   const std::uint64_t gen0 = t.generation();
   t.record(7).writer = 3;
-  t.record(8).readers = 1;
+  t.record(8).readers.set(0);
   EXPECT_EQ(t.size(), 2u);
   t.clear();
   EXPECT_EQ(t.generation(), gen0 + 1);

@@ -1,0 +1,292 @@
+// Unit tests for the scheduler's tournament-tree ready queue plus the
+// schedule-equivalence suite: golden switch counts recorded from the seed's
+// O(N) linear-sweep scheduler on a grid of machine shapes, which the
+// ready-queue scheduler must reproduce exactly (the tie-break and yield
+// decisions are the schedule, and every byte-identity guarantee downstream
+// rests on them).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine_config.hpp"
+#include "sim/ready_queue.hpp"
+#include "sim/scheduler.hpp"
+#include "support/rng.hpp"
+
+namespace elision::sim {
+namespace {
+
+constexpr std::uint64_t kFin = ReadyQueue::kFinishedClock;
+
+// Reference the queue is checked against: the seed scheduler's fused
+// min/argmin sweep, first index wins ties.
+ReadyQueue::Entry linear_min(const std::vector<std::uint64_t>& clocks) {
+  std::uint64_t m = clocks[0];
+  std::size_t mi = 0;
+  for (std::size_t i = 1; i < clocks.size(); ++i) {
+    if (clocks[i] < m) {
+      m = clocks[i];
+      mi = i;
+    }
+  }
+  return {m, static_cast<std::int32_t>(mi)};
+}
+
+TEST(ReadyQueue, SingleThread) {
+  ReadyQueue q;
+  EXPECT_EQ(q.min_clock(), kFin);  // empty queue degrades to the sentinel
+  EXPECT_EQ(q.add_thread(), 0);
+  EXPECT_EQ(q.min_clock(), 0u);
+  EXPECT_EQ(q.min_tid(), 0);
+  q.set(0, 500);
+  EXPECT_EQ(q.min_clock(), 500u);
+}
+
+TEST(ReadyQueue, TiesGoToLowestTid) {
+  for (int n : {2, 5, 16, 17, 40, 256}) {
+    ReadyQueue q;
+    for (int t = 0; t < n; ++t) q.add_thread();
+    // All clocks equal: the lowest tid must win at every size, on both the
+    // single-level and the two-level path.
+    for (int t = 0; t < n; ++t) q.set(t, 77);
+    EXPECT_EQ(q.min_tid(), 0) << "n=" << n;
+    // Tie between a middle pair only.
+    for (int t = 0; t < n; ++t) q.set(t, 100 + t);
+    if (n >= 4) {
+      q.set(n - 1, 50);
+      q.set(n - 2, 50);
+      EXPECT_EQ(q.min_clock(), 50u) << "n=" << n;
+      EXPECT_EQ(q.min_tid(), n - 2) << "n=" << n;
+    }
+  }
+}
+
+TEST(ReadyQueue, FinishSentinelLosesToLiveThreads) {
+  ReadyQueue q;
+  for (int t = 0; t < 20; ++t) q.add_thread();
+  for (int t = 0; t < 20; ++t) q.set(t, 10 + t);
+  // Finish the current minimum repeatedly: the next-lowest live thread must
+  // surface each time.
+  for (int t = 0; t < 19; ++t) {
+    EXPECT_EQ(q.min_tid(), t);
+    q.set(t, kFin);
+  }
+  EXPECT_EQ(q.min_tid(), 19);
+  EXPECT_EQ(q.min_clock(), 29u);
+  q.set(19, kFin);
+  EXPECT_EQ(q.min_clock(), kFin);
+}
+
+TEST(ReadyQueue, UpdateInPlaceKeepsCachesCoherent) {
+  ReadyQueue q;
+  for (int t = 0; t < 48; ++t) q.add_thread();
+  std::vector<std::uint64_t> ref(48, 0);
+  // Monotonic updates that alternate between the argmin (forcing rescans)
+  // and threads far from it (taking the O(1) early-out).
+  std::uint64_t clk = 1;
+  for (int round = 0; round < 200; ++round) {
+    const int tid = round % 2 == 0 ? q.min_tid() : (round * 7) % 48;
+    ref[static_cast<std::size_t>(tid)] = clk;
+    q.set(tid, clk);
+    ++clk;
+    const auto want = linear_min(ref);
+    EXPECT_EQ(q.min_clock(), want.clock);
+    EXPECT_EQ(q.min_tid(), want.tid);
+  }
+}
+
+TEST(ReadyQueue, GroupBoundaryGrowth) {
+  // Crossing the one-group/two-group boundary (16 -> 17) must rebuild the
+  // cached levels; a stale cache here is a schedule bug, not a crash.
+  ReadyQueue q;
+  std::vector<std::uint64_t> ref;
+  for (int t = 0; t < 16; ++t) {
+    q.add_thread();
+    ref.push_back(0);
+    q.set(t, static_cast<std::uint64_t>(100 - t));
+    ref[static_cast<std::size_t>(t)] = static_cast<std::uint64_t>(100 - t);
+  }
+  EXPECT_EQ(q.min_tid(), 15);
+  q.add_thread();  // 17th: two-level mode from here on
+  ref.push_back(0);
+  EXPECT_EQ(q.min_tid(), 16);
+  EXPECT_EQ(q.min_clock(), 0u);
+  q.set(16, 200);
+  ref[16] = 200;
+  const auto want = linear_min(ref);
+  EXPECT_EQ(q.min_clock(), want.clock);
+  EXPECT_EQ(q.min_tid(), want.tid);
+}
+
+TEST(ReadyQueue, DifferentialFuzzAgainstLinearSweep) {
+  support::Xoshiro256 rng(12345);
+  for (const int n : {1, 3, 16, 17, 31, 64, 65, 200, 256}) {
+    ReadyQueue q;
+    std::vector<std::uint64_t> ref;
+    for (int t = 0; t < n; ++t) {
+      q.add_thread();
+      ref.push_back(0);
+    }
+    for (int step = 0; step < 3000; ++step) {
+      const int tid = static_cast<int>(rng.next_below(
+          static_cast<std::uint64_t>(n)));
+      std::uint64_t clock;
+      switch (rng.next_below(8)) {
+        case 0:
+          clock = kFin;  // finish
+          break;
+        case 1:
+          // Decrease (rebuild-style update): exercises the full rescan.
+          clock = ref[static_cast<std::size_t>(tid)] / 2;
+          break;
+        default:
+          clock = ref[static_cast<std::size_t>(tid)] == kFin
+                      ? kFin
+                      : ref[static_cast<std::size_t>(tid)] +
+                            rng.next_below(1000);
+          break;
+      }
+      ref[static_cast<std::size_t>(tid)] = clock;
+      q.set(tid, clock);
+      const auto want = linear_min(ref);
+      ASSERT_EQ(q.min_clock(), want.clock) << "n=" << n << " step=" << step;
+      if (want.clock != kFin) {
+        ASSERT_EQ(q.min_tid(), want.tid) << "n=" << n << " step=" << step;
+      }
+    }
+  }
+}
+
+TEST(ReadyQueueDeath, RejectsMoreThanIndexable) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ReadyQueue q;
+  for (std::size_t t = 0; t < ReadyQueue::kMaxIndexable; ++t) q.add_thread();
+  EXPECT_DEATH(q.add_thread(), "kMaxIndexable");
+}
+
+// --- schedule equivalence vs the seed scheduler ---
+
+struct GoldenShape {
+  int threads;
+  unsigned cores;
+  std::uint64_t per_thread;
+  std::uint64_t tick;
+  std::uint64_t slack;
+  std::uint64_t switches;  // recorded from the seed's O(N)-sweep scheduler
+  std::uint64_t elapsed;
+};
+
+// Golden values recorded by running this exact loop against the seed
+// scheduler (linear sweep, 64-thread cap). Context-switch counts are the
+// most schedule-sensitive observable there is: one different yield or
+// tie-break decision anywhere diverges them permanently.
+constexpr GoldenShape kGolden[] = {
+    {1, 4u, 50000ull, 3ull, 0ull, 2ull, 150000ull},
+    {2, 4u, 50000ull, 3ull, 0ull, 50003ull, 150000ull},
+    {8, 4u, 200000ull, 3ull, 0ull, 1400009ull, 600000ull},
+    {8, 4u, 100000ull, 7ull, 200ull, 26931ull, 800000ull},
+    {16, 8u, 50000ull, 3ull, 0ull, 750017ull, 150000ull},
+    {17, 8u, 50000ull, 3ull, 0ull, 800018ull, 150000ull},
+    {33, 16u, 30000ull, 5ull, 0ull, 960034ull, 180000ull},
+    {64, 32u, 50000ull, 3ull, 0ull, 3150065ull, 150000ull},
+    {64, 32u, 50000ull, 3ull, 200ull, 47063ull, 150000ull},
+};
+
+TEST(ScheduleEquivalence, MatchesSeedSchedulerGoldenSwitchCounts) {
+  for (const GoldenShape& g : kGolden) {
+    MachineConfig m;
+    m.n_cores = g.cores;
+    m.smt_per_core = 2;
+    m.seed = 1;
+    m.yield_slack_cycles = g.slack;
+    Scheduler s(m);
+    for (int t = 0; t < g.threads; ++t) {
+      s.spawn([&g](SimThread& st) {
+        for (std::uint64_t i = 0; i < g.per_thread; ++i) st.tick(g.tick);
+      });
+    }
+    s.run();
+    EXPECT_EQ(s.switch_count(), g.switches)
+        << "t" << g.threads << "/" << g.cores << "c slack=" << g.slack;
+    EXPECT_EQ(s.elapsed_cycles(), g.elapsed)
+        << "t" << g.threads << "/" << g.cores << "c slack=" << g.slack;
+  }
+}
+
+TEST(ScheduleEquivalence, BigMachineShapesRunDeterministically) {
+  // Past the seed's 64-thread cap there is no seed schedule to compare
+  // against; pin determinism instead (two identical runs, identical switch
+  // counts) at shapes that exercise many groups including the 256 cap.
+  for (const int threads : {100, 256}) {
+    std::uint64_t first = 0;
+    for (int rep = 0; rep < 2; ++rep) {
+      MachineConfig m;
+      m.n_cores = 64;
+      m.smt_per_core = 4;
+      m.seed = 9;
+      Scheduler s(m);
+      for (int t = 0; t < threads; ++t) {
+        s.spawn([](SimThread& st) {
+          for (int i = 0; i < 3000; ++i) st.tick(3);
+        });
+      }
+      s.run();
+      EXPECT_GT(s.switch_count(), static_cast<std::uint64_t>(threads));
+      if (rep == 0) {
+        first = s.switch_count();
+      } else {
+        EXPECT_EQ(s.switch_count(), first) << "threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(Scheduler, AdvanceSaturatesInsteadOfWrapping) {
+  // A perturbation-sized clock jump near the finished sentinel used to wrap
+  // (the SMT-scaled double round-trip overflows uint64), re-sorting the
+  // thread to the front of the schedule. It must saturate just below the
+  // sentinel and stay monotonic instead.
+  MachineConfig m;
+  m.n_cores = 1;
+  m.smt_per_core = 2;  // two live siblings: the 1.25 multiplier is active
+  Scheduler s(m);
+  std::vector<std::uint64_t> seen;
+  s.spawn([&seen](SimThread& st) {
+    for (int i = 0; i < 4; ++i) {
+      st.advance(std::uint64_t{1} << 62);
+      seen.push_back(st.now());
+    }
+    st.advance(UINT64_MAX);  // the largest possible jump, from saturation
+    seen.push_back(st.now());
+  });
+  s.spawn([](SimThread& st) { st.advance(1); });  // keeps the sibling live
+  s.run();
+  ASSERT_EQ(seen.size(), 5u);
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_GE(seen[i], seen[i - 1]) << "clock moved backwards at step " << i;
+  }
+  for (const std::uint64_t c : seen) {
+    EXPECT_LT(c, ReadyQueue::kFinishedClock)
+        << "live thread reached the finished sentinel";
+  }
+  EXPECT_EQ(seen.back(), ReadyQueue::kFinishedClock - 1);
+}
+
+TEST(Scheduler, SpawnsUpToMaxSimThreads) {
+  MachineConfig m;
+  m.n_cores = 128;
+  Scheduler s(m);
+  std::uint64_t done = 0;
+  for (int t = 0; t < kMaxSimThreads; ++t) {
+    s.spawn([&done](SimThread& st) {
+      st.tick(5);
+      ++done;
+    });
+  }
+  s.run();
+  EXPECT_EQ(done, static_cast<std::uint64_t>(kMaxSimThreads));
+}
+
+}  // namespace
+}  // namespace elision::sim

@@ -32,18 +32,31 @@ TEST(SuitePoints, SmokeIsNonTrivialSubsetOfFull) {
   }
 }
 
-TEST(SuitePoints, MicroEnginePointIsRegisteredInSmoke) {
+TEST(SuitePoints, MicroEngineCanariesAreRegisteredInSmoke) {
+  // Both simulator-speed canaries: the paper's 8-hyperthread machine and
+  // the big 64-thread / 32-core machine behind the O(log N) ready queue.
   const auto smoke = suite_points_for(SuiteTier::kSmoke);
-  const SuitePoint* micro = nullptr;
+  const SuitePoint* t8 = nullptr;
+  const SuitePoint* t64 = nullptr;
+  int micros = 0;
   for (const auto& sp : smoke) {
-    if (sp.kind == PointKind::kMicro) {
-      EXPECT_EQ(micro, nullptr) << "more than one micro point in smoke";
-      micro = &sp;
-    }
+    if (sp.kind != PointKind::kMicro) continue;
+    ++micros;
+    EXPECT_STREQ(point_kind_name(sp.kind), "micro");
+    if (sp.id == "micro-engine-rtm-t8") t8 = &sp;
+    if (sp.id == "micro-engine-rtm-t64") t64 = &sp;
   }
-  ASSERT_NE(micro, nullptr);
-  EXPECT_EQ(micro->id, "micro-engine-rtm-t8");
-  EXPECT_STREQ(point_kind_name(micro->kind), "micro");
+  EXPECT_EQ(micros, 2);
+  ASSERT_NE(t8, nullptr);
+  ASSERT_NE(t64, nullptr);
+  // The t8 canary keeps the seed's machine shape (no overrides emitted, so
+  // its baseline line is byte-identical to the pre-ready-queue one).
+  EXPECT_EQ(t8->point.n_cores, 0u);
+  EXPECT_EQ(t8->point.micro_ops, 0u);
+  // The t64 canary runs the 32-core / 2-SMT big machine.
+  EXPECT_EQ(t64->point.threads, 64);
+  EXPECT_EQ(t64->point.n_cores, 32u);
+  EXPECT_EQ(t64->point.smt_per_core, 2u);
 }
 
 // The micro point is the simulator-speed canary: its simulated metrics must
@@ -189,6 +202,15 @@ TEST(SuiteJson, ResultsRoundTrip) {
     const auto& b = parsed->points[i];
     EXPECT_EQ(b.def.id, a.def.id);  // insertion order preserved
     EXPECT_EQ(b.def.tier, a.def.tier);
+    // Machine-shape / micro-shape overrides survive the round trip (emitted
+    // only when set; the t64 canary in this grid sets all of them).
+    EXPECT_EQ(b.def.point.n_cores, a.def.point.n_cores) << a.def.id;
+    EXPECT_EQ(b.def.point.smt_per_core, a.def.point.smt_per_core) << a.def.id;
+    EXPECT_EQ(b.def.point.yield_slack_cycles, a.def.point.yield_slack_cycles)
+        << a.def.id;
+    EXPECT_EQ(b.def.point.micro_ops, a.def.point.micro_ops) << a.def.id;
+    EXPECT_EQ(b.def.point.micro_shared_period, a.def.point.micro_shared_period)
+        << a.def.id;
     EXPECT_NEAR(b.metrics.throughput_ops_per_sec,
                 a.metrics.throughput_ops_per_sec, 1.0);
     EXPECT_NEAR(b.metrics.nonspec_fraction, a.metrics.nonspec_fraction, 1e-6);

@@ -1,0 +1,99 @@
+// Unit tests for the widened per-line thread mask (tsx::ThreadSet): the
+// word-boundary bits the old single-uint64 mask could not represent, the
+// ascending iteration order abort propagation depends on, and the whole-set
+// predicates the engine's write-upgrade path uses.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tsx/config.hpp"
+#include "tsx/thread_set.hpp"
+
+namespace elision::tsx {
+namespace {
+
+TEST(ThreadSet, CoversFullThreadRange) {
+  static_assert(ThreadSet::kWords * ThreadSet::kBitsPerWord >= kMaxThreads);
+  ASSERT_GE(kMaxThreads, 256);  // the ids below must all be representable
+}
+
+TEST(ThreadSet, WordBoundaryBits) {
+  // Bit 0 and 63 live in the old inline word; 64 is the first spilled bit;
+  // 255 is the last representable id.
+  for (const int id : {0, 63, 64, 255}) {
+    ThreadSet s;
+    EXPECT_FALSE(s.test(id));
+    EXPECT_TRUE(s.none());
+    s.set(id);
+    EXPECT_TRUE(s.test(id)) << id;
+    EXPECT_TRUE(s.any()) << id;
+    EXPECT_TRUE(s.is_only(id)) << id;
+    EXPECT_FALSE(s.any_other(id)) << id;
+    // Neighbours are untouched.
+    if (id > 0) {
+      EXPECT_FALSE(s.test(id - 1)) << id;
+    }
+    if (id < kMaxThreads - 1) {
+      EXPECT_FALSE(s.test(id + 1)) << id;
+    }
+    s.reset(id);
+    EXPECT_FALSE(s.test(id)) << id;
+    EXPECT_TRUE(s.none()) << id;
+  }
+}
+
+TEST(ThreadSet, IterationOrderIsAscendingAcrossWords) {
+  ThreadSet s;
+  const std::vector<int> ids = {255, 64, 0, 130, 63, 65, 17, 192};
+  for (const int id : ids) s.set(id);
+  std::vector<int> seen;
+  s.for_each([&seen](int id) { seen.push_back(id); });
+  const std::vector<int> want = {0, 17, 63, 64, 65, 130, 192, 255};
+  EXPECT_EQ(seen, want);
+}
+
+TEST(ThreadSet, AnyOtherAndIsOnlyAcrossWords) {
+  ThreadSet s;
+  s.set(5);
+  EXPECT_TRUE(s.is_only(5));
+  EXPECT_FALSE(s.any_other(5));
+  // any_other must see members in *other* words too.
+  s.set(200);
+  EXPECT_FALSE(s.is_only(5));
+  EXPECT_TRUE(s.any_other(5));
+  EXPECT_TRUE(s.any_other(200));
+  // ...and is indifferent to whether the queried id itself is a member.
+  EXPECT_TRUE(s.any_other(77));
+  s.reset(5);
+  EXPECT_TRUE(s.is_only(200));
+  EXPECT_FALSE(s.any_other(200));
+}
+
+TEST(ThreadSet, AssignOnlyClearsEveryWord) {
+  ThreadSet s;
+  for (const int id : {0, 63, 64, 128, 255}) s.set(id);
+  s.assign_only(70);
+  EXPECT_TRUE(s.is_only(70));
+  std::vector<int> seen;
+  s.for_each([&seen](int id) { seen.push_back(id); });
+  EXPECT_EQ(seen, std::vector<int>{70});
+  s.clear();
+  EXPECT_TRUE(s.none());
+}
+
+TEST(ThreadSet, EqualityAndValueSemantics) {
+  ThreadSet a;
+  ThreadSet b;
+  EXPECT_EQ(a, b);
+  a.set(64);
+  EXPECT_NE(a, b);
+  b = a;  // plain copy, like the old integer mask
+  EXPECT_EQ(a, b);
+  b.set(0);
+  EXPECT_NE(a, b);
+  b = ThreadSet{};  // the LineTable slot-recycling idiom
+  EXPECT_TRUE(b.none());
+}
+
+}  // namespace
+}  // namespace elision::tsx
