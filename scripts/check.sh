@@ -24,13 +24,21 @@
 # The ASan+UBSan ctest pass includes line_table_test's randomized
 # differential fuzz of the open-addressing LineTable against a
 # std::unordered_map reference, plus the wide-thread-mask paths
-# (thread_set_test, line_table_test's 256-thread mutation fuzz) and the
+# (thread_set_test, line_table_test's 256-thread mutation fuzz), the
 # ready-queue differential fuzz (ready_queue_test) behind the O(log N)
-# scheduler.
+# scheduler, and fastpath_test's on/off differential over the per-access
+# fast paths (owned-line cache + switch-bound batching).
 # The bench-suite smoke gate carries both simulator-speed canaries:
 # micro-engine-rtm-t8 (the paper's 8-hyperthread machine) and
 # micro-engine-rtm-t64 (64 threads on 32 cores), so a host-side regression
 # on either end of the machine-size range fails the gate.
+# The per-access fast path gets its own section: a best-of-5 assert that
+# the t64 canary really runs >= 1.5x the committed pre-fast-path speed, an
+# ELISION_FASTPATH=0 A/B proving simulated results are bit-identical with
+# the fast paths disabled, a planted-invalidation self-check (a
+# deliberately stale cached line ref must be caught by the generation
+# stamp, not silently served), and a gated full-tier run that must carry
+# the 128- and 256-thread fig5.1 machine-scale points.
 # Uses its own build trees (build-check*/) so it never dirties build/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -59,9 +67,11 @@ ctest --test-dir "$SAN_BUILD" --output-on-failure -j
 TSAN_BUILD=build-check-tsan
 cmake -B "$TSAN_BUILD" -S . -DELISION_WERROR=ON -DELISION_TSAN=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$TSAN_BUILD" -j --target parallel_test stress_cli
+cmake --build "$TSAN_BUILD" -j --target parallel_test stress_cli fastpath_test
 "$TSAN_BUILD"/tests/parallel_test || {
   echo "check: parallel_test failed under ThreadSanitizer" >&2; exit 1; }
+"$TSAN_BUILD"/tests/fastpath_test || {
+  echo "check: fastpath_test failed under ThreadSanitizer" >&2; exit 1; }
 "$TSAN_BUILD"/tools/stress_cli --schemes HLE --locks TTAS --seeds 2 \
     --host-threads 4 --quiet || {
   echo "check: threaded stress smoke failed under ThreadSanitizer" >&2
@@ -265,6 +275,94 @@ print(f"kv service: 4 smoke points with full latency schema; hot shard "
       f"logged {hot['avalanche_episodes']} avalanche episodes")
 EOF
 
+# Per-access fast path (docs/simulator.md "The per-access fast path").
+# (a) Speed: the owned-line cache + switch-bound batching must keep the
+# micro-engine-rtm-t64 canary at >= 1.5x the simulator speed recorded just
+# before the fast path landed (bench/baseline.json as of the O(1)
+# ready-queue PR: 1433953.817 sim ops/s on this host class). Best-of-5
+# rides out noise on a loaded single-core CI box; the smoke gate above
+# already catches order-of-magnitude regressions, this pins the headline.
+python3 - "$BUILD" <<'EOF'
+import json, subprocess, sys, tempfile
+build = sys.argv[1]
+PRE_FASTPATH_SIMOPS = 1433953.817  # t64 canary before the per-access fast path
+best = 0.0
+for _ in range(5):
+    with tempfile.NamedTemporaryFile(suffix=".json") as f:
+        subprocess.run([f"{build}/tools/bench_suite", "--tier", "smoke",
+                        "--point", "micro-engine-rtm-t64", "--out", f.name,
+                        "--quiet"], check=True)
+        m = json.load(open(f.name))["points"][0]["metrics"]
+        best = max(best, m["sim_ops_per_sec"])
+speedup = best / PRE_FASTPATH_SIMOPS
+print(f"fastpath: t64 canary best-of-5 {best:,.0f} sim ops/s,"
+      f" {speedup:.2f}x the pre-fast-path engine")
+assert speedup >= 1.5, (
+    f"fast-path speedup {speedup:.2f}x fell below the 1.5x target")
+EOF
+
+# (b) Equivalence: ELISION_FASTPATH=0 disables both fast paths at run time;
+# every simulated metric must be bit-identical to the default run, and the
+# fastpath telemetry object must vanish (counters all zero) — proof the
+# kill switch engages and the fast paths never change virtual-time results.
+fp_on_json=$(mktemp)
+fp_off_json=$(mktemp)
+trap 'rm -f "$metrics" "$bench_json" "$bench_par_json" "$bench_thr_json" \
+     "$fp_on_json" "$fp_off_json"' EXIT
+"$BUILD"/tools/bench_suite --tier smoke --point rb-s64-u20-t8-ttas-hle-scm \
+    --out "$fp_on_json" --quiet
+ELISION_FASTPATH=0 "$BUILD"/tools/bench_suite --tier smoke \
+    --point rb-s64-u20-t8-ttas-hle-scm --out "$fp_off_json" --quiet
+python3 - "$fp_on_json" "$fp_off_json" <<'EOF'
+import json, sys
+on, off = (json.load(open(p))["points"][0]["metrics"] for p in sys.argv[1:3])
+assert "fastpath" in on and on["fastpath"]["owned_hits"] > 0, (
+    "default run reports no owned-line hits — fast path not engaged?")
+assert "fastpath" not in off, (
+    f"ELISION_FASTPATH=0 run still reports telemetry: {off.get('fastpath')}")
+for m in (on, off):
+    m.pop("sim_ops_per_sec"), m.pop("wall_ms"), m.pop("fastpath", None)
+assert on == off, "ELISION_FASTPATH=0 changed simulated results"
+print("fastpath: ELISION_FASTPATH=0 reproduces the simulation exactly")
+EOF
+
+# (c) Planted invalidation: the differential tests deliberately hold stale
+# cached (line, generation, record) refs across clear()/grow() and assert
+# the generation stamp forces a re-probe instead of serving the stale
+# payload. Run them named, under ASan, so a silently-served stale ref is a
+# loud failure here even if someone trims the ctest registration.
+"$SAN_BUILD"/tests/line_table_test --gtest_filter=\
+'LineTable.CacheSurvivesClearAndGrow:LineTableDifferential.*' || {
+  echo "check: planted stale cached ref was not caught by the generation" \
+       "stamp" >&2; exit 1; }
+"$SAN_BUILD"/tests/fastpath_test || {
+  echo "check: fast-path differential failed under ASan/UBSan" >&2; exit 1; }
+
+# (d) Machine scale: the full tier must gate green against the committed
+# baseline and carry the 128- and 256-thread fig5.1 points the fast path
+# paid for (the t256 shape is the scheduler's kMaxSimThreads ceiling).
+bench_full_json=$(mktemp)
+trap 'rm -f "$metrics" "$bench_json" "$bench_par_json" "$bench_thr_json" \
+     "$fp_on_json" "$fp_off_json" "$bench_full_json"' EXIT
+"$BUILD"/tools/bench_suite --tier full --out "$bench_full_json" \
+    --baseline bench/baseline.json --gate --tol-simops 0.9 --quiet || {
+  echo "check: bench_suite full-tier gate failed" >&2; exit 1; }
+python3 - "$bench_full_json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+ids = {p["id"] for p in doc["points"]}
+for pid in ("rb-s64-u20-t128-ttas-hle-scm-m64x2",
+            "rb-s64-u20-t256-ttas-hle-scm-m128x2"):
+    assert pid in ids, f"machine-scale point {pid} missing from full tier"
+big = {p["id"]: p["metrics"] for p in doc["points"]
+       if p["id"].endswith(("-m64x2", "-m128x2"))}
+for pid, m in big.items():
+    assert m["tx"]["commits"] > 0, f"{pid}: no commits"
+    assert m["spec_fraction"] > 0.5, f"{pid}: {m['spec_fraction']}"
+print(f"fastpath: full tier gated green with both machine-scale points"
+      f" ({len(ids)} points)")
+EOF
+
 # Strict CLI parsing: every tool now routes numeric flags through
 # support/parse.hpp, so trailing garbage, bare negatives where they make
 # no sense, empty values and overflow must all be *rejected* (exit 2)
@@ -284,7 +382,12 @@ for cli_bad in \
     "stress_cli --seeds 1e9junk" \
     "stress_cli --threads 1x" \
     "stress_cli --prob 1.5" \
-    "stress_cli --first-seed -2"
+    "stress_cli --first-seed -2" \
+    "elide tree --threads 0" \
+    "elide tree --threads 257" \
+    "stress_cli --threads 0" \
+    "stress_cli --threads 300" \
+    "bench_suite --point no-such-point-id --out /dev/null"
 do
   tool=${cli_bad%% *}
   args=${cli_bad#* }
@@ -321,6 +424,9 @@ for doc in (seq, par, thr):
     del doc["run"]["host"]
     for p in doc["points"]:
         del p["metrics"]["sim_ops_per_sec"], p["metrics"]["wall_ms"]
+        # The fastpath hit counts are heap-layout-sensitive (line ids are
+        # real addresses), so like wall_ms they may differ across processes.
+        p["metrics"].pop("fastpath", None)
 assert seq == par, "fork-parallel run diverged from sequential run"
 assert seq == thr, "in-process threaded run diverged from sequential run"
 print("bench suite: --jobs 2 (fork and threads) reproduces the sequential"

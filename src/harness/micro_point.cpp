@@ -21,8 +21,13 @@ RunStats run_micro_point(const MicroPoint& p) {
   if (p.yield_slack_cycles != 0) {
     machine.yield_slack_cycles = p.yield_slack_cycles;
   }
+  tsx::TsxConfig tsx_config;
+  if (!env_fastpath_enabled()) {  // A/B hook, same as run_workload
+    machine.batch_switch_bound = false;
+    tsx_config.owned_line_fastpath = false;
+  }
   sim::Scheduler sched(machine);
-  tsx::Engine engine(sched);
+  tsx::Engine engine(sched, tsx_config);
 
   // Stable backing store for the simulated lines (never reallocated while
   // threads run). Line ids are real addresses >> 6, so the grouping of words
@@ -60,6 +65,11 @@ RunStats run_micro_point(const MicroPoint& p) {
         const bool shared = (op & (p.shared_period - 1)) == 0;
         const std::size_t lo = shared ? 0 : base;
         const std::size_t span = shared ? p.array_words : stripe;
+        // start < array_words (lo + span never exceeds it), so the strided
+        // indices below wrap by repeated subtraction instead of a hardware
+        // divide in the per-access loop the simulator is timing around (one
+        // iteration in practice: the stride span 7*17 is tiny next to the
+        // array).
         const std::size_t start = lo + rng.next_below(span);
         bool committed = false;
         int tries = 0;
@@ -68,10 +78,11 @@ RunStats run_micro_point(const MicroPoint& p) {
           const unsigned status = engine.run_transaction(ctx, [&] {
             std::uint64_t sum = 0;
             for (std::size_t i = 0; i < 8; ++i) {
-              const std::size_t idx = (start + i * 17) % p.array_words;
+              std::size_t idx = start + i * 17;
+              while (idx >= p.array_words) idx -= p.array_words;
               sum += engine.load(ctx, &words[idx]);
             }
-            engine.store(ctx, &words[start % p.array_words], sum + 1);
+            engine.store(ctx, &words[start], sum + 1);
           });
           committed = status == tsx::kCommitted;
         }
@@ -79,7 +90,7 @@ RunStats run_micro_point(const MicroPoint& p) {
           ++a.spec_ops;
         } else {
           // Non-speculative fallback: the same update, directly.
-          engine.fetch_add(ctx, &words[start % p.array_words], 1);
+          engine.fetch_add(ctx, &words[start], 1);
           ++tries;
           ++a.nonspec_ops;
         }
@@ -94,6 +105,7 @@ RunStats run_micro_point(const MicroPoint& p) {
   out.ghz = machine.ghz;
   out.elapsed_cycles = sched.elapsed_cycles();
   out.tx = engine.total_stats();
+  out.fp_bound_recomputes = sched.switch_bound_recomputes();
   for (const PerThread& a : acc) {
     out.ops += a.ops;
     out.spec_ops += a.spec_ops;

@@ -1,5 +1,6 @@
 #include "harness/rb_workload.hpp"
 
+#include <algorithm>
 #include <type_traits>
 #include <vector>
 
@@ -79,7 +80,12 @@ RunStats run_rb_with_lock(const RbPoint& p, ds::RbTree& tree) {
 }  // namespace
 
 RunStats run_rb_point_once(const RbPoint& p) {
-  ds::RbTree tree(p.size * 4 + 256);
+  // max_threads stays at the default for every historical point (the free
+  // array's shape feeds the simulated access stream, so changing it would
+  // shift baselines); the 128/256-thread machine-scale points need the
+  // per-thread free lists sized to match.
+  ds::RbTree tree(p.size * 4 + 256,
+                  std::max(p.threads, tsx::kDefaultPoolThreads));
   support::Xoshiro256 fill(p.seed);
   std::size_t filled = 0;
   while (filled < p.size) {

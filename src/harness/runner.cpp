@@ -4,7 +4,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
+#include <string>
 
 #include "support/check.hpp"
 #include "support/parallel.hpp"
@@ -59,6 +61,12 @@ int env_host_threads() {
   return static_cast<int>(v);
 }
 
+bool env_fastpath_enabled() {
+  const char* s = std::getenv("ELISION_FASTPATH");
+  if (s == nullptr || *s == '\0') return true;
+  return std::strcmp(s, "0") != 0;
+}
+
 void RunStats::accumulate(const RunStats& o) {
   if (elapsed_cycles == 0 && ops == 0) {
     ghz = o.ghz;
@@ -73,6 +81,7 @@ void RunStats::accumulate(const RunStats& o) {
   elapsed_cycles += o.elapsed_cycles;
   perturb_points += o.perturb_points;
   tx += o.tx;
+  fp_bound_recomputes += o.fp_bound_recomputes;
   if (timeline.size() < o.timeline.size()) timeline.resize(o.timeline.size());
   for (std::size_t s = 0; s < o.timeline.size(); ++s) {
     timeline[s].ops += o.timeline[s].ops;
@@ -96,7 +105,36 @@ QuantileHistogram* RunStats::latency_series(const std::string& op) {
   return &op_latency.back().hist;
 }
 
-RunStats run_workload(const BenchConfig& cfg, const OpFn& op) {
+void validate_bench_config(const BenchConfig& cfg) {
+  const auto die = [](const std::string& why) {
+    std::fprintf(stderr, "error: invalid bench config: %s\n", why.c_str());
+    std::exit(2);
+  };
+  if (cfg.threads < 1 || cfg.threads > sim::kMaxSimThreads) {
+    die("threads must be in [1," + std::to_string(sim::kMaxSimThreads) +
+        "], got " + std::to_string(cfg.threads));
+  }
+  if (cfg.machine.n_cores == 0) {
+    die("machine.n_cores must be >= 1 (0 is not a valid topology; leave a "
+        "point's n_cores override at 0 to keep the default machine)");
+  }
+  if (cfg.machine.smt_per_core == 0) {
+    die("machine.smt_per_core must be >= 1 (0 is not a valid topology; "
+        "leave a point's smt_per_core override at 0 to keep the default "
+        "machine)");
+  }
+}
+
+RunStats run_workload(const BenchConfig& cfg_in, const OpFn& op) {
+  validate_bench_config(cfg_in);
+  // ELISION_FASTPATH=0 disables both per-access fast paths (the engine's
+  // owned-line cache and the scheduler's switch-bound batching) for A/B
+  // speed measurement; simulated results are identical either way.
+  BenchConfig cfg = cfg_in;
+  if (!env_fastpath_enabled()) {
+    cfg.machine.batch_switch_bound = false;
+    cfg.tsx.owned_line_fastpath = false;
+  }
   sim::Scheduler sched(cfg.machine);
   tsx::Engine eng(sched, cfg.tsx);
 
@@ -168,6 +206,7 @@ RunStats run_workload(const BenchConfig& cfg, const OpFn& op) {
     }
   }
   out.tx = eng.total_stats();
+  out.fp_bound_recomputes = sched.switch_bound_recomputes();
 
   if (want_telemetry && tsx::kTelemetryCompiled) {
     eng.set_telemetry(nullptr);

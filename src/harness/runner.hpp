@@ -79,6 +79,11 @@ struct RunStats {
   std::uint64_t perturb_points = 0;
   double ghz = 3.4;
   tsx::TxStats tx;  // engine-level transaction counters
+  // Scheduler-side fast-path telemetry: how many times the cached
+  // context-switch bound was recomputed (once per actual switch under
+  // batching; 0 when machine.batch_switch_bound is off). Host-side
+  // observability only — the engine-side companions live in tx.
+  std::uint64_t fp_bound_recomputes = 0;
   std::vector<SlotStats> timeline;
 
   // Always collected (host-side, one Histogram::add per completed region).
@@ -125,7 +130,17 @@ struct RunStats {
 // how it completed.
 using OpFn = std::function<locks::RegionResult(tsx::Ctx&)>;
 
+// Strict machine-shape validation, run before any simulation state is
+// built: thread counts must be in [1, sim::kMaxSimThreads] and the machine
+// topology non-degenerate (n_cores >= 1, smt_per_core >= 1 — the scheduler
+// maps thread t to core t % n_cores, so a zero would fault, and a zero in
+// an RbPoint/MicroPoint override means "keep the default", which must be
+// applied before the config reaches here). Violations print a clear
+// diagnostic and exit(2), matching the CLIs' usage-error convention.
+void validate_bench_config(const BenchConfig& cfg);
+
 // Runs `threads` copies of `op` in a loop until the virtual deadline.
+// Exits(2) on an invalid config (validate_bench_config).
 RunStats run_workload(const BenchConfig& cfg, const OpFn& op);
 
 // Same, and folds the result into `registry` under (policy name, lock name).
@@ -134,6 +149,13 @@ RunStats run_workload(const BenchConfig& cfg, const OpFn& op,
 
 // Reads ELISION_BENCH_SCALE (default 1.0) so users can lengthen runs.
 double env_duration_scale();
+
+// Reads ELISION_FASTPATH (default enabled; "0" disables): whether the
+// per-access fast paths — the engine's owned-line cache and the scheduler's
+// switch-bound batching — are engaged. They never change simulated results,
+// only host speed, so the off setting exists for A/B measurement and the
+// differential equivalence checks in scripts/check.sh.
+bool env_fastpath_enabled();
 
 // Reads ELISION_HOST_THREADS (default 1): how many *host* threads
 // independent simulations may fan out across (support/parallel.hpp).

@@ -348,6 +348,29 @@ std::vector<SuitePoint> build_points() {
     sp.id += "-m32x2";
     v.push_back(sp);
   }
+  // Machine-scale extension of the same curve: 128 and 256 threads on
+  // proportionally wider 2-SMT machines (256 is the scheduler's
+  // kMaxSimThreads cap and exercises the ready queue's full two-level
+  // tournament). These exist because the per-access fast path bought the
+  // host headroom to simulate them in the full tier at all.
+  {
+    SuitePoint sp = make_point(F, "fig5.1-big", 64, 20, 128, LockSel::kTtas,
+                               ElisionPolicy::hle_scm());
+    sp.point.n_cores = 64;
+    sp.point.smt_per_core = 2;
+    sp.point.yield_slack_cycles = 200;
+    sp.id += "-m64x2";
+    v.push_back(sp);
+  }
+  {
+    SuitePoint sp = make_point(F, "fig5.1-big", 64, 20, 256, LockSel::kTtas,
+                               ElisionPolicy::hle_scm());
+    sp.point.n_cores = 128;
+    sp.point.smt_per_core = 2;
+    sp.point.yield_slack_cycles = 200;
+    sp.id += "-m128x2";
+    v.push_back(sp);
+  }
   return v;
 }
 
@@ -397,6 +420,9 @@ PointMetrics PointMetrics::derive(const RunStats& stats) {
                          ol.hist.quantile(0.99), ol.hist.quantile(0.999),
                          ol.hist.max()});
   }
+  m.fp_owned_hits = stats.tx.fp_owned_hits;
+  m.fp_probe_skips = stats.tx.fp_probe_skips;
+  m.fp_bound_recomputes = stats.fp_bound_recomputes;
   return m;
 }
 
@@ -637,6 +663,18 @@ void write_point_json(const PointRecord& r, std::FILE* out) {
                    static_cast<unsigned long long>(ol.max_cycles));
     }
     std::fprintf(out, "},");
+  }
+  if (m.fp_owned_hits != 0 || m.fp_probe_skips != 0 ||
+      m.fp_bound_recomputes != 0) {
+    // Optional: points run with the fast path disabled (ELISION_FASTPATH=0)
+    // produce all-zero counters and stay byte-identical to the pre-fastpath
+    // schema.
+    std::fprintf(out,
+                 "\"fastpath\":{\"owned_hits\":%llu,\"probe_skips\":%llu,"
+                 "\"bound_recomputes\":%llu},",
+                 static_cast<unsigned long long>(m.fp_owned_hits),
+                 static_cast<unsigned long long>(m.fp_probe_skips),
+                 static_cast<unsigned long long>(m.fp_bound_recomputes));
   }
   std::fprintf(out, "\"sim_ops_per_sec\":%.3f,\"wall_ms\":%.3f}}",
                m.sim_ops_per_sec, m.wall_ms);
@@ -953,6 +991,15 @@ std::optional<SuiteResult> parse_results_json(
           s.max_cycles = v->as_u64();
         }
         m.latency.push_back(std::move(s));
+      }
+    }
+    if (const Value* fp = metrics->find("fastpath")) {
+      if (const Value* v = fp->find("owned_hits")) m.fp_owned_hits = v->as_u64();
+      if (const Value* v = fp->find("probe_skips")) {
+        m.fp_probe_skips = v->as_u64();
+      }
+      if (const Value* v = fp->find("bound_recomputes")) {
+        m.fp_bound_recomputes = v->as_u64();
       }
     }
     m.sim_ops_per_sec = num("sim_ops_per_sec");

@@ -70,6 +70,17 @@ struct MachineConfig {
   // Distinct words buffered per transaction (sizes the WordMap).
   std::size_t tx_write_buffer_hint = 192;
 
+  // Switch-bound batching: instead of re-reading the ready queue once per
+  // simulated access, the scheduler caches the next preemption bound
+  // (minimum clock of the *other* runnable threads plus the yield slack) at
+  // every context switch and lets the running thread's accesses run
+  // back-to-back against that one cached value. The bound can only change
+  // when another thread runs, so recomputing it per switch instead of per
+  // access produces the exact same schedule bit-for-bit (pinned by the
+  // golden switch-count tests). Off = the per-access ready-queue read, kept
+  // for differential schedule-equivalence tests.
+  bool batch_switch_bound = true;
+
   // Safety valve: abort the simulation after this many context switches
   // (0 = unlimited). Used by tests to detect livelock/deadlock.
   std::uint64_t max_switches = 0;

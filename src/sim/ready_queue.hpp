@@ -100,6 +100,37 @@ class ReadyQueue {
     rescan_from_group(g, moved_up);
   }
 
+  // Fused context-switch update for the batching scheduler: re-enters the
+  // outgoing thread at its final clock and parks the incoming thread at the
+  // sentinel, repairing each touched group once and the root once — instead
+  // of two set() calls, each of which would take the full decrease/argmin
+  // rescan path and repair the root twice. Runs once per context switch.
+  void exchange(int out_tid, std::uint64_t out_clock, int in_tid) {
+    ELISION_DCHECK(out_tid != in_tid);
+    const std::size_t oi = static_cast<std::size_t>(out_tid);
+    const std::size_t ii = static_cast<std::size_t>(in_tid);
+    clocks_[oi] = out_clock;
+    clocks_[ii] = kFinishedClock;
+    if (size_ <= kGroupSize) return;  // no cached levels to repair
+    const std::size_t go = oi >> kGroupShift;
+    const std::size_t gi = ii >> kGroupShift;
+    // The incoming thread's clock rises to the sentinel, so its group needs
+    // the full rescan (it held the group minimum — it was the global min).
+    rescan_group(gi);
+    if (go != gi) {
+      // The outgoing thread re-enters a group whose cached (min, argmin)
+      // was computed while it sat at the sentinel, so its clock can only
+      // lower the minimum: an O(1) compare replaces the group rescan
+      // (first-index-wins on ties, as everywhere).
+      if (out_clock < group_min_[go] ||
+          (out_clock == group_min_[go] && out_tid < group_tid_[go])) {
+        group_min_[go] = out_clock;
+        group_tid_[go] = out_tid;
+      }
+    }
+    rescan_root();
+  }
+
   // The (min clock, lowest holder tid) pair over all registered threads —
   // what the tick path reads once per simulated access. Two-level machines
   // read the cached root in O(1); one-group machines run the seed's fused
@@ -158,6 +189,33 @@ class ReadyQueue {
     if (moved_up && static_cast<std::size_t>(root_tid_) >> kGroupShift != g) {
       return;
     }
+    const std::size_t groups = group_min_.size();
+    std::uint64_t rm = group_min_[0];
+    for (std::size_t i = 1; i < groups; ++i) {
+      if (group_min_[i] < rm) rm = group_min_[i];
+    }
+    std::size_t rg = 0;
+    while (group_min_[rg] != rm) ++rg;
+    root_min_ = rm;
+    root_tid_ = group_tid_[rg];
+  }
+
+  // Recomputes one group's cached (min, argmin) from its clocks.
+  void rescan_group(std::size_t g) {
+    const std::uint64_t* const base = clocks_.data() + (g << kGroupShift);
+    std::uint64_t m = base[0];
+    for (std::size_t i = 1; i < kGroupSize; ++i) {
+      if (base[i] < m) m = base[i];
+    }
+    std::size_t mi = 0;
+    while (base[mi] != m) ++mi;
+    group_min_[g] = m;
+    group_tid_[g] = static_cast<std::int32_t>((g << kGroupShift) + mi);
+  }
+
+  // Recomputes the cached root winner from the per-group minima
+  // (first-group-wins tie-break).
+  void rescan_root() {
     const std::size_t groups = group_min_.size();
     std::uint64_t rm = group_min_[0];
     for (std::size_t i = 1; i < groups; ++i) {

@@ -60,7 +60,8 @@ void SimThread::maybe_perturb() {
   advance(1 + perturb_rng_.next_below(p.max_delay_cycles));
 }
 
-Scheduler::Scheduler(MachineConfig config) : config_(config) {
+Scheduler::Scheduler(MachineConfig config)
+    : config_(config), batch_(config.batch_switch_bound) {
   ELISION_CHECK(config_.n_cores >= 1);
   // Fast-path bound for advance(): any cycles below it scale to a delta
   // under 2^53 even at the worst per-core multiplier, so together with a
@@ -112,6 +113,23 @@ void Scheduler::yield_from(SimThread& t) {
   ++switches_;
   ELISION_CHECK_MSG(config_.max_switches == 0 || switches_ < config_.max_switches,
                     "simulation exceeded max_switches (livelock?)");
+  if (batch_) {
+    // The caller's slot is parked, so the queue's (min, argmin) covers the
+    // other threads only. Reproduce the global first-index-wins pick: an
+    // other thread beats the caller only with a strictly smaller clock, or
+    // an equal clock and a lower tid (a sentinel min means no other runnable
+    // thread, so the caller keeps running either way).
+    const ReadyQueue::Entry best = ready_.min_entry();
+    if (best.clock > t.vclock_ ||
+        (best.clock == t.vclock_ && best.tid > t.tid_)) {
+      return;
+    }
+    SimThread& next = *threads_[static_cast<std::size_t>(best.tid)];
+    exchange_and_bound(t, next);
+    current_ = &next;
+    Fiber::switch_to(t.fiber_, next.fiber_);
+    return;
+  }
   SimThread* next = pick_next();
   ELISION_DCHECK(next != nullptr);  // t itself is runnable
   if (next == &t) return;
@@ -119,9 +137,30 @@ void Scheduler::yield_from(SimThread& t) {
   Fiber::switch_to(t.fiber_, next->fiber_);
 }
 
+void Scheduler::yield_over_bound(SimThread& t) {
+  // Counted unconditionally (mirrors switch_counted) so that max_switches
+  // also catches a thread yielding forever without advancing its clock.
+  ++switches_;
+  ELISION_CHECK_MSG(config_.max_switches == 0 || switches_ < config_.max_switches,
+                    "simulation exceeded max_switches (livelock?)");
+  // The bound fired, so some other runnable thread's clock sits at least a
+  // slack below vclock_: the queue's (min, argmin) is a live thread and is
+  // the global argmin (the caller's own clock is strictly larger, so it can
+  // neither win nor tie).
+  const ReadyQueue::Entry best = ready_.min_entry();
+  ELISION_DCHECK(best.clock < t.vclock_);
+  SimThread& next = *threads_[static_cast<std::size_t>(best.tid)];
+  exchange_and_bound(t, next);
+  current_ = &next;
+  Fiber::switch_to(t.fiber_, next.fiber_);
+}
+
 void Scheduler::finish_from(SimThread& t) {
   t.finished_ = true;
-  ready_.set(t.tid_, kFinishedClock);
+  ready_.set(t.tid_, kFinishedClock);  // already parked there under batching
+  // Under batching the final clock was never folded into the running max
+  // (advance() skips it); a no-op otherwise.
+  if (t.vclock_ > max_clock_) max_clock_ = t.vclock_;
   --runnable_;
   --core_active_[t.core_];
   update_core_penalty(t.core_);
@@ -129,6 +168,7 @@ void Scheduler::finish_from(SimThread& t) {
   SimThread* next = pick_next();
   current_ = next;
   if (next != nullptr) {
+    if (batch_) park_and_bound(*next);
     Fiber::switch_to(t.fiber_, next->fiber_);
   } else {
     Fiber::switch_to(t.fiber_, host_);
@@ -143,6 +183,7 @@ void Scheduler::switch_from_host() {
   running_ = true;
   current_ = next;
   ++switches_;
+  if (batch_) park_and_bound(*next);
   Fiber::switch_to(host_, next->fiber_);
   // Control returns here only when the last thread finished.
   current_ = nullptr;

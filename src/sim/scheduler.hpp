@@ -134,9 +134,16 @@ class Scheduler {
   SimThread& thread(std::size_t i) { return *threads_[i]; }
 
   // Largest virtual clock reached by any thread: the simulated wall time.
-  // Maintained incrementally by advance() (clocks are monotonic), so this is
-  // O(1) rather than a rescan of every thread.
-  std::uint64_t elapsed_cycles() const { return max_clock_; }
+  // Maintained incrementally (clocks are monotonic), so this is O(1) rather
+  // than a rescan of every thread. Under switch-bound batching the running
+  // thread folds its clock into max_clock_ only at switch points, so account
+  // for it here explicitly.
+  std::uint64_t elapsed_cycles() const {
+    if (current_ != nullptr && current_->vclock_ > max_clock_) {
+      return current_->vclock_;
+    }
+    return max_clock_;
+  }
 
   std::uint64_t deadline() const { return deadline_; }
   std::uint64_t switch_count() const { return switches_; }
@@ -159,8 +166,18 @@ class Scheduler {
   SimThread* current() { return current_; }
 
   // Smallest clock among runnable threads (max uint64 if none). Finished
-  // threads hold the sentinel in the ready queue, so this is the root read.
-  std::uint64_t min_runnable_clock() const { return ready_.min_clock(); }
+  // threads hold the sentinel in the ready queue, so this is the root read —
+  // plus the running thread, whose slot is parked at the sentinel while
+  // switch-bound batching is on.
+  std::uint64_t min_runnable_clock() const {
+    const std::uint64_t m = ready_.min_clock();
+    if (current_ != nullptr && current_->vclock_ < m) return current_->vclock_;
+    return m;
+  }
+
+  // Times the cached preemption bound was recomputed (one per context switch
+  // under batching; 0 with batching off). Exported as fast-path telemetry.
+  std::uint64_t switch_bound_recomputes() const { return bound_recomputes_; }
 
   // --- internal, used by SimThread ---
   void yield_from(SimThread& t);
@@ -190,6 +207,35 @@ class Scheduler {
     Fiber::switch_to(t.fiber_, next.fiber_);
   }
   void switch_from_host();
+  // Batching slow path of maybe_yield(): the running thread crossed the
+  // cached preemption bound. Re-enters its clock into the ready queue, picks
+  // the new argmin, parks that thread's slot, refreshes the bound and
+  // switches. Out-of-line: it runs once per context switch, not per access.
+  ELISION_NOINLINE void yield_over_bound(SimThread& t);
+  // Caches the preemption bound the incoming thread will run against: min
+  // clock of everyone else (its own slot is parked at the sentinel) plus the
+  // yield slack, saturated so a lone thread (sentinel min) never yields.
+  void recompute_bound() {
+    const std::uint64_t m = ready_.min_clock();
+    switch_bound_ = m >= kFinishedClock - config_.yield_slack_cycles
+                        ? kFinishedClock
+                        : m + config_.yield_slack_cycles;
+    ++bound_recomputes_;
+  }
+  // Parks `next`'s ready-queue slot at the sentinel (its live clock now
+  // lives only in vclock_) and refreshes the cached bound.
+  void park_and_bound(SimThread& next) {
+    ready_.set(next.tid_, kFinishedClock);
+    recompute_bound();
+  }
+  // Batching context switch: folds the outgoing thread's clock back into the
+  // ready queue and the running max, parks the incoming thread and refreshes
+  // the bound — one fused queue repair instead of two full set() rescans.
+  void exchange_and_bound(SimThread& out, SimThread& next) {
+    ready_.exchange(out.tid_, out.vclock_, next.tid_);
+    if (out.vclock_ > max_clock_) max_clock_ = out.vclock_;
+    recompute_bound();
+  }
   // Recomputes core_penalty_[core] from core_active_[core] (spawn/finish).
   void update_core_penalty(unsigned core) {
     core_penalty_[core] =
@@ -203,8 +249,18 @@ class Scheduler {
   // ready_.clock_of(tid) mirrors threads_[tid]->vclock_ while the thread is
   // runnable and holds kFinishedClock once it finishes; the tournament tree
   // over those clocks is the single min/argmin implementation every consumer
-  // (tick path, pick_next, min_runnable_clock) reads.
+  // (tick path, pick_next, min_runnable_clock) reads. Under switch-bound
+  // batching the *running* thread's slot is additionally parked at the
+  // sentinel, so min_clock() is the min over the other runnable threads —
+  // a value that cannot change while the current thread runs, which is what
+  // makes caching switch_bound_ across accesses exact.
   ReadyQueue ready_;
+  // Cached preemption bound of the running thread (batching only): min
+  // other-thread clock + yield slack, recomputed at every context switch.
+  std::uint64_t switch_bound_ = kFinishedClock;
+  std::uint64_t bound_recomputes_ = 0;
+  // config_.batch_switch_bound, copied next to the tick-path state.
+  bool batch_ = true;
   // Running max of every clock ever set: elapsed_cycles() without a rescan.
   std::uint64_t max_clock_ = 0;
   // Largest `cycles` advance() may scale without any overflow risk: with
@@ -245,11 +301,23 @@ ELISION_ALWAYS_INLINE void SimThread::advance(std::uint64_t cycles) {
     vclock_ += static_cast<std::uint64_t>(
         static_cast<double>(cycles) * sched_.core_penalty_[core_]);
   }
+  if (sched_.batch_) return;  // slot is parked; maybe_yield compares against
+                              // the cached switch bound instead
   sched_.ready_.set(tid_, vclock_);
   if (vclock_ > sched_.max_clock_) sched_.max_clock_ = vclock_;
 }
 
 ELISION_ALWAYS_INLINE void SimThread::maybe_yield() {
+  if (sched_.batch_) {
+    // One compare against the bound cached at switch-in. Equivalent to the
+    // legacy condition below: the bound is min-over-others + slack, and
+    // `vclock_ > min(vclock_, others) + slack` can only fire via the others
+    // term (a clock never exceeds itself plus a non-negative slack).
+    if (vclock_ > sched_.switch_bound_) [[unlikely]] {
+      sched_.yield_over_bound(*this);
+    }
+    return;
+  }
   // The ready queue hands back the minimum runnable clock (the yield
   // condition) and its lowest-tid holder (the thread to resume) — the same
   // (min, argmin) the old fused sweep produced.

@@ -31,9 +31,13 @@ class WordMap {
 
   // Grows (never shrinks) so that `keys` entries fit without triggering a
   // rehash. Called once per context from the MachineConfig capacity hints
-  // so retry loops never re-grow the buffer.
+  // so retry loops never re-grow the buffer. Jumps straight to the final
+  // capacity instead of doubling through intermediate allocations — this
+  // runs per simulated thread inside the benches' timed setup window.
   void reserve(std::size_t keys) {
-    while ((keys + 1) * 4 >= slots_.size() * 3) grow();
+    std::size_t cap = slots_.size();
+    while ((keys + 1) * 4 >= cap * 3) cap *= 2;
+    if (cap != slots_.size()) rehash_to(cap);
     live_.reserve(keys);
   }
 
@@ -81,9 +85,11 @@ class WordMap {
     return slots_[i];
   }
 
-  void grow() {
+  void grow() { rehash_to((mask_ + 1) * 2); }
+
+  void rehash_to(std::size_t cap) {
     std::vector<Slot> old = std::move(slots_);
-    mask_ = mask_ * 2 + 1;
+    mask_ = cap - 1;
     slots_.assign(mask_ + 1, Slot{});
     // Reinsert in insertion order and rebuild the live list to match (slot
     // indices change with the capacity).

@@ -70,47 +70,29 @@ void Engine::charge_write(Ctx& ctx, LineRecord& rec, bool is_rmw) {
 // Protocol helpers
 // ---------------------------------------------------------------------------
 
-void Engine::poll(Ctx& ctx) {
-  if (ctx.state_ == TxState::kAbortMarked) [[unlikely]] {
-    rollback_and_throw(ctx, ctx.pending_cause_, 0);
-  }
-}
-
-void Engine::spurious_check(Ctx& ctx, double p) {
-  if (p > 0 && ctx.thread().rng().next_bool(p)) [[unlikely]] {
-    abort_self(ctx, AbortCause::kSpurious);
-  }
-}
-
-// Resolves a captured set entry to its record: one indexed load in the
-// common case, a regular probe when the table grew since capture.
-LineRecord* Engine::ref_find(const LineTable::Ref& ref) {
-  if (LineRecord* rec = table_.at(ref.slot, ref.line)) return rec;
-  return table_.find(ref.line);
-}
-
 void Engine::release_ownership(Ctx& ctx) {
-  for (const LineTable::Ref& ref : ctx.read_lines_) {
-    if (LineRecord* rec = ref_find(ref)) rec->readers.reset(ctx.id());
-  }
-  for (const LineTable::Ref& ref : ctx.write_lines_) {
-    LineRecord* rec = ref_find(ref);
-    if (rec != nullptr && rec->writer == ctx.id()) rec->writer = kNoThread;
+  // Set entries are stable record pointers (see TxContext::read_lines_):
+  // one deref per line, no table probing or validation.
+  for (LineRecord* rec : ctx.read_lines_) rec->readers.reset(ctx.id());
+  for (LineRecord* rec : ctx.write_lines_) {
+    if (rec->writer == ctx.id()) rec->writer = kNoThread;
   }
   ctx.read_lines_.clear();
   ctx.write_lines_.clear();
   ctx.l1_set_occupancy_.fill(0);
+  // Every path that strips this context's reader/writer ownership funnels
+  // through here (commit, self-abort, remote abort), so one epoch bump
+  // invalidates all of its cached owned-line entries at once.
+  ++ctx.own_epoch_;
 }
 
 void Engine::rollback_and_throw(Ctx& ctx, AbortCause cause,
                                 std::uint8_t code) {
   // Speculatively written lines are discarded from the owner's cache, as a
   // hardware abort invalidates them.
-  for (const LineTable::Ref& ref : ctx.write_lines_) {
-    if (LineRecord* rec = ref_find(ref)) {
-      rec->copies.reset(ctx.id());
-      if (rec->dirty_owner == ctx.id()) rec->dirty_owner = kNoThread;
-    }
+  for (LineRecord* rec : ctx.write_lines_) {
+    rec->copies.reset(ctx.id());
+    if (rec->dirty_owner == ctx.id()) rec->dirty_owner = kNoThread;
   }
   release_ownership(ctx);
   ctx.wbuf_.clear();
@@ -172,11 +154,9 @@ void Engine::abort_remote(int victim_id, AbortCause cause,
   // requesting access proceeds; the victim observes the abort at its next
   // engine interaction (hardware would interrupt it at instruction
   // granularity — the difference is at most one non-memory instruction).
-  for (const LineTable::Ref& ref : victim.write_lines_) {
-    if (LineRecord* rec = ref_find(ref)) {
-      rec->copies.reset(victim.id());
-      if (rec->dirty_owner == victim.id()) rec->dirty_owner = kNoThread;
-    }
+  for (LineRecord* rec : victim.write_lines_) {
+    rec->copies.reset(victim.id());
+    if (rec->dirty_owner == victim.id()) rec->dirty_owner = kNoThread;
   }
   release_ownership(victim);
   victim.state_ = TxState::kAbortMarked;
@@ -261,31 +241,28 @@ void Engine::hwext_wait_for_new_line(Ctx& ctx, const LineRecord& /*rec*/) {
 // Transactional accesses
 // ---------------------------------------------------------------------------
 
-std::uint64_t Engine::tx_load(Ctx& ctx, const void* addr) {
-  poll(ctx);
-  spurious_check(ctx, config_.spurious_per_access);
-  const auto key = reinterpret_cast<std::uintptr_t>(addr);
-  if (const std::uint64_t* v = ctx.wbuf_.find(key)) {
-    ctx.thread().tick(cost_.l1_hit + cost_.access_compute);
-    return *v;
+std::uint64_t Engine::tx_load_slow(Ctx& ctx, const void* addr,
+                                   std::uintptr_t key, LineId line,
+                                   TxContext::CachedLine& cl) {
+  // Record pointers are stable (chunked storage), so the memo needs only a
+  // generation compare — no index probe, no re-fetch after yields. Gated on
+  // the fast-path flag so ELISION_FASTPATH=0 zeroes every fastpath counter
+  // and its output stays byte-identical to the pre-fastpath schema.
+  LineRecord* rec;
+  if (config_.owned_line_fastpath && cl.ref.line == line &&
+      cl.ref.gen == table_.generation()) {
+    rec = cl.ref.rec;
+    ++ctx.stats_.fp_probe_skips;
+  } else {
+    rec = &table_.record(line, cl.ref);
   }
-  if (ctx.elided_ && key == ctx.elided_addr_) {
-    // The elision illusion: the thread sees the lock as it "wrote" it.
-    ctx.thread().tick(cost_.l1_hit + cost_.access_compute);
-    return ctx.elided_illusion_;
-  }
-  const LineId line = line_of(addr);
-  // The reference stays valid through this access: nothing below inserts
-  // another line into the table before the final charge_read — except the
-  // hwext wait, which yields and re-fetches (other threads may have grown
-  // the table meanwhile).
-  LineRecord* rec = &table_.record(line, ctx.line_cache_);
   const bool in_rset = rec->readers.test(ctx.id());
-  const bool in_wset = rec->writer == ctx.id();
-  const bool in_footprint = in_rset || in_wset || rec->copies.test(ctx.id());
-  if (config_.hardware_extension && ctx.elided_ && !in_footprint) {
-    hwext_wait_for_new_line(ctx, *rec);
-    rec = &table_.record(line, ctx.line_cache_);
+  if (config_.hardware_extension) {
+    const bool in_footprint =
+        in_rset || rec->writer == ctx.id() || rec->copies.test(ctx.id());
+    if (ctx.elided_ && !in_footprint) {
+      hwext_wait_for_new_line(ctx, *rec);
+    }
   }
   if (rec->writer != kNoThread && rec->writer != ctx.id()) {
     // Our read request hits another transaction's write set. Under
@@ -298,30 +275,45 @@ std::uint64_t Engine::tx_load(Ctx& ctx, const void* addr) {
   }
   if (!in_rset) {
     rec->readers.set(ctx.id());
-    ctx.read_lines_.push_back({line, ctx.line_cache_.slot});
+    ctx.read_lines_.push_back(rec);
     read_set_admit(ctx, line);  // may abort self
   }
   if (ctx.elided_ && line == ctx.elided_line_ && key != ctx.elided_addr_) {
     ctx.lock_line_data_accessed_ = true;
   }
   const std::uint64_t value = read_word(addr);
+  if (config_.owned_line_fastpath && !config_.hardware_extension) {
+    // Reader bit held; writer is now self or none (a foreign writer was
+    // aborted above, which cleared its slot). Full reassignment, never |=:
+    // the entry may have cached a different line of the same epoch. Marked
+    // before the charge: its tick may yield, and a remote abort during the
+    // yield must land its epoch bump after this store (invalidating it).
+    cl.owned_epoch = ctx.own_epoch_;
+    cl.owned = static_cast<std::uint8_t>(
+        Ctx::kOwnedRead | (rec->writer == ctx.id() ? Ctx::kOwnedWrite : 0));
+  }
   charge_read(ctx, *rec);
   return value;
 }
 
-void Engine::tx_store(Ctx& ctx, void* addr, std::uint64_t value) {
-  poll(ctx);
-  spurious_check(ctx, config_.spurious_per_access);
-  const auto key = reinterpret_cast<std::uintptr_t>(addr);
-  const LineId line = line_of(addr);
-  LineRecord* rec = &table_.record(line, ctx.line_cache_);
+void Engine::tx_store_slow(Ctx& ctx, std::uint64_t value, std::uintptr_t key,
+                           LineId line, TxContext::CachedLine& cl) {
+  LineRecord* rec;
+  if (config_.owned_line_fastpath && cl.ref.line == line &&
+      cl.ref.gen == table_.generation()) {
+    rec = cl.ref.rec;
+    ++ctx.stats_.fp_probe_skips;
+  } else {
+    rec = &table_.record(line, cl.ref);
+  }
   const bool in_wset = rec->writer == ctx.id();
   if (!in_wset) {
-    const bool in_rset = rec->readers.test(ctx.id());
-    const bool in_footprint = in_rset || rec->copies.test(ctx.id());
-    if (config_.hardware_extension && ctx.elided_ && !in_footprint) {
-      hwext_wait_for_new_line(ctx, *rec);
-      rec = &table_.record(line, ctx.line_cache_);
+    if (config_.hardware_extension) {
+      const bool in_footprint =
+          rec->readers.test(ctx.id()) || rec->copies.test(ctx.id());
+      if (ctx.elided_ && !in_footprint) {
+        hwext_wait_for_new_line(ctx, *rec);
+      }
     }
     if (rec->writer != kNoThread && rec->writer != ctx.id()) {
       if (requester_must_yield(ctx, *contexts_[rec->writer])) {
@@ -342,10 +334,14 @@ void Engine::tx_store(Ctx& ctx, void* addr, std::uint64_t value) {
       });
     }
     // Our write request (RFO) invalidates the line everywhere; transactions
-    // holding it in their read set abort.
-    abort_readers(*rec, line, ctx.id(), ctx.id());
+    // holding it in their read set abort. Guarded: the common upgrade of a
+    // line this tx already read (and nobody else did) has no victims, and
+    // any_other is cheaper than snapshotting and scanning the reader set.
+    if (rec->readers.any_other(ctx.id())) {
+      abort_readers(*rec, line, ctx.id(), ctx.id());
+    }
     rec->writer = ctx.id();
-    ctx.write_lines_.push_back({line, ctx.line_cache_.slot});
+    ctx.write_lines_.push_back(rec);
     write_set_admit(ctx, line);  // may abort self (capacity)
   }
   if (ctx.elided_ && key == ctx.elided_addr_) {
@@ -354,6 +350,16 @@ void Engine::tx_store(Ctx& ctx, void* addr, std::uint64_t value) {
     ctx.lock_line_data_accessed_ = true;
   }
   ctx.wbuf_.put(key, value);
+  if (config_.owned_line_fastpath && !config_.hardware_extension) {
+    // Writer slot held. Read-owned only if the reader bit is actually set:
+    // a write-set line outside the read set still owes its first load the
+    // reader-bit update, the read_lines_ entry and the admission check.
+    // Marked before the charge — see tx_load.
+    cl.owned_epoch = ctx.own_epoch_;
+    cl.owned = static_cast<std::uint8_t>(
+        Ctx::kOwnedWrite |
+        (rec->readers.test(ctx.id()) ? Ctx::kOwnedRead : 0));
+  }
   charge_write(ctx, *rec, /*is_rmw=*/false);
 }
 
@@ -363,7 +369,7 @@ void Engine::tx_store(Ctx& ctx, void* addr, std::uint64_t value) {
 
 std::uint64_t Engine::direct_load(Ctx& ctx, const void* addr) {
   const LineId line = line_of(addr);
-  LineRecord& rec = table_.record(line, ctx.line_cache_);
+  LineRecord& rec = table_.record(line, ctx.line_cache_for(line).ref);
   if (rec.writer != kNoThread) {
     // A plain read request for a line in a transaction's write set aborts
     // that transaction; the read sees pre-transactional memory.
@@ -377,7 +383,7 @@ std::uint64_t Engine::direct_load(Ctx& ctx, const void* addr) {
 template <typename F>
 std::uint64_t Engine::direct_update(Ctx& ctx, void* addr, bool is_rmw, F&& f) {
   const LineId line = line_of(addr);
-  LineRecord& rec = table_.record(line, ctx.line_cache_);
+  LineRecord& rec = table_.record(line, ctx.line_cache_for(line).ref);
   if (rec.writer != kNoThread) {
     abort_remote(rec.writer, AbortCause::kConflict, line, ctx.id());
   }
@@ -385,7 +391,7 @@ std::uint64_t Engine::direct_update(Ctx& ctx, void* addr, bool is_rmw, F&& f) {
   // acquisition after an abort) invalidates the lock's cache line in every
   // speculating reader, aborting them all — unless the Ch. 7 extension
   // recognizes it as a lock-line-only conflict.
-  abort_readers(rec, line, /*except_id=*/-1, ctx.id());
+  if (rec.readers.any()) abort_readers(rec, line, /*except_id=*/-1, ctx.id());
   const std::uint64_t old = read_word(addr);
   write_word(addr, f(old));
   charge_write(ctx, rec, is_rmw);
@@ -396,18 +402,9 @@ std::uint64_t Engine::direct_update(Ctx& ctx, void* addr, bool is_rmw, F&& f) {
 // Plain access API (routed)
 // ---------------------------------------------------------------------------
 
-std::uint64_t Engine::load(Ctx& ctx, const void* addr) {
-  if (ctx.in_tx()) return tx_load(ctx, addr);
-  return direct_load(ctx, addr);
-}
-
-void Engine::store(Ctx& ctx, void* addr, std::uint64_t value) {
-  if (ctx.in_tx()) {
-    tx_store(ctx, addr, value);
-  } else {
-    direct_update(ctx, addr, /*is_rmw=*/false,
-                  [value](std::uint64_t) { return value; });
-  }
+void Engine::direct_store(Ctx& ctx, void* addr, std::uint64_t value) {
+  direct_update(ctx, addr, /*is_rmw=*/false,
+                [value](std::uint64_t) { return value; });
 }
 
 std::uint64_t Engine::exchange(Ctx& ctx, void* addr, std::uint64_t value) {
@@ -540,7 +537,8 @@ void Engine::elide_begin(Ctx& ctx, void* addr, std::uint64_t illusion_value) {
   const auto key = reinterpret_cast<std::uintptr_t>(addr);
   ELISION_CHECK_MSG(!ctx.elided_, "one elided lock per transaction supported");
   const LineId line = line_of(addr);
-  LineRecord& rec = table_.record(line, ctx.line_cache_);
+  Ctx::CachedLine& cl = ctx.line_cache_for(line);
+  LineRecord& rec = table_.record(line, cl.ref);
   if (rec.writer != kNoThread && rec.writer != ctx.id()) {
     if (requester_must_yield(ctx, *contexts_[rec.writer])) {
       abort_self(ctx, AbortCause::kConflict);
@@ -549,7 +547,7 @@ void Engine::elide_begin(Ctx& ctx, void* addr, std::uint64_t illusion_value) {
   }
   if (!rec.readers.test(ctx.id())) {
     rec.readers.set(ctx.id());
-    ctx.read_lines_.push_back({line, ctx.line_cache_.slot});
+    ctx.read_lines_.push_back(&rec);
     read_set_admit(ctx, line);
   }
   ctx.elided_ = true;
@@ -558,6 +556,12 @@ void Engine::elide_begin(Ctx& ctx, void* addr, std::uint64_t illusion_value) {
   ctx.elided_original_ = read_word(addr);
   ctx.elided_illusion_ = illusion_value;
   ctx.lock_line_data_accessed_ = false;
+  if (config_.owned_line_fastpath && !config_.hardware_extension) {
+    // Marked before the charge — see tx_load.
+    cl.owned_epoch = ctx.own_epoch_;
+    cl.owned = static_cast<std::uint8_t>(
+        Ctx::kOwnedRead | (rec.writer == ctx.id() ? Ctx::kOwnedWrite : 0));
+  }
   charge_read(ctx, rec);
 }
 

@@ -121,11 +121,22 @@ class Engine {
 
  private:
   // --- transactional paths ---
+  // Split into an inline tier (defined below the class; it resolves the
+  // write-buffer, elision-illusion and owned-line hits without leaving the
+  // caller) and an out-of-line slow half that does the table lookup,
+  // conflict detection and set bookkeeping. The split is what lets every
+  // simulated access start without a function call: load()/store() compile
+  // into the workload's own loop.
   std::uint64_t tx_load(Ctx& ctx, const void* addr);
   void tx_store(Ctx& ctx, void* addr, std::uint64_t value);
+  std::uint64_t tx_load_slow(Ctx& ctx, const void* addr, std::uintptr_t key,
+                             support::LineId line, TxContext::CachedLine& cl);
+  void tx_store_slow(Ctx& ctx, std::uint64_t value, std::uintptr_t key,
+                     support::LineId line, TxContext::CachedLine& cl);
 
   // --- direct (non-transactional) paths ---
   std::uint64_t direct_load(Ctx& ctx, const void* addr);
+  void direct_store(Ctx& ctx, void* addr, std::uint64_t value);
   // Performs *addr = f(*addr) returning the old value; handles the
   // requestor-wins invalidation of conflicting transactions.
   template <typename F>
@@ -140,9 +151,6 @@ class Engine {
   void abort_remote(int victim_id, AbortCause cause, support::LineId line,
                     int requester_id);
   bool requester_must_yield(Ctx& requester, const TxContext& owner) const;
-  // Resolves a read/write-set entry captured by the access paths; an indexed
-  // load normally, a probe if the table grew since capture.
-  LineRecord* ref_find(const LineTable::Ref& ref);
   void abort_readers(LineRecord& rec, support::LineId line, int except_id,
                      int requester_id);
   void release_ownership(Ctx& ctx);
@@ -182,5 +190,96 @@ class Engine {
   Telemetry* telemetry_ = nullptr;
   std::vector<std::unique_ptr<TxContext>> contexts_;  // indexed by thread id
 };
+
+// ---------------------------------------------------------------------------
+// Per-access fast path. Inline so a workload's access loop compiles the hit
+// tiers — write-buffer word, elision illusion, owned line — down to a few
+// compares with no call; only a miss drops into the out-of-line slow half.
+// Every tier charges exactly the ticks and draws exactly the RNG values the
+// slow path would, so simulated results do not depend on which tier serves
+// an access (docs/simulator.md, "The per-access fast path").
+// ---------------------------------------------------------------------------
+
+inline void Engine::poll(Ctx& ctx) {
+  if (ctx.state_ == TxState::kAbortMarked) [[unlikely]] {
+    rollback_and_throw(ctx, ctx.pending_cause_, 0);
+  }
+}
+
+inline void Engine::spurious_check(Ctx& ctx, double p) {
+  if (p > 0 && ctx.thread().rng().next_bool(p)) [[unlikely]] {
+    abort_self(ctx, AbortCause::kSpurious);
+  }
+}
+
+inline std::uint64_t Engine::tx_load(Ctx& ctx, const void* addr) {
+  poll(ctx);
+  spurious_check(ctx, config_.spurious_per_access);
+  const auto key = reinterpret_cast<std::uintptr_t>(addr);
+  if (!ctx.wbuf_.empty()) {
+    if (const std::uint64_t* v = ctx.wbuf_.find(key)) {
+      ctx.thread().tick(cost_.l1_hit + cost_.access_compute);
+      return *v;
+    }
+  }
+  if (ctx.elided_ && key == ctx.elided_addr_) [[unlikely]] {
+    // The elision illusion: the thread sees the lock as it "wrote" it.
+    ctx.thread().tick(cost_.l1_hit + cost_.access_compute);
+    return ctx.elided_illusion_;
+  }
+  const support::LineId line = support::line_of(addr);
+  TxContext::CachedLine& cl = ctx.line_cache_for(line);
+  if (cl.ref.line == line && (cl.owned & TxContext::kOwnedRead) != 0 &&
+      cl.owned_epoch == ctx.own_epoch_) {
+    // Owned-line fast path: our reader bit is held and no foreign writer
+    // can coexist with it, so the slow path would charge an L1 hit and
+    // perform only idempotent bookkeeping. (key != elided_addr_ here: the
+    // illusion check above already returned for the lock word itself.)
+    if (ctx.elided_ && line == ctx.elided_line_) [[unlikely]] {
+      ctx.lock_line_data_accessed_ = true;
+    }
+    ++ctx.stats_.fp_owned_hits;
+    const std::uint64_t value = read_word(addr);
+    ctx.thread().tick(cost_.l1_hit + cost_.access_compute);
+    return value;
+  }
+  return tx_load_slow(ctx, addr, key, line, cl);
+}
+
+inline void Engine::tx_store(Ctx& ctx, void* addr, std::uint64_t value) {
+  poll(ctx);
+  spurious_check(ctx, config_.spurious_per_access);
+  const auto key = reinterpret_cast<std::uintptr_t>(addr);
+  const support::LineId line = support::line_of(addr);
+  TxContext::CachedLine& cl = ctx.line_cache_for(line);
+  if (cl.ref.line == line && (cl.owned & TxContext::kOwnedWrite) != 0 &&
+      cl.owned_epoch == ctx.own_epoch_) {
+    // Owned-line fast path: our writer slot is held, so the line is already
+    // exclusive and dirty for us (any foreign access since we took it would
+    // have abort-marked us, caught by poll() above) — the slow path would
+    // skip its first-store block and charge an L1 hit.
+    if (ctx.elided_ && key == ctx.elided_addr_) [[unlikely]] {
+      ctx.lock_line_data_accessed_ = true;
+    }
+    ++ctx.stats_.fp_owned_hits;
+    ctx.wbuf_.put(key, value);
+    ctx.thread().tick(cost_.l1_hit + cost_.access_compute);
+    return;
+  }
+  tx_store_slow(ctx, value, key, line, cl);
+}
+
+inline std::uint64_t Engine::load(Ctx& ctx, const void* addr) {
+  if (ctx.in_tx()) return tx_load(ctx, addr);
+  return direct_load(ctx, addr);
+}
+
+inline void Engine::store(Ctx& ctx, void* addr, std::uint64_t value) {
+  if (ctx.in_tx()) {
+    tx_store(ctx, addr, value);
+  } else {
+    direct_store(ctx, addr, value);
+  }
+}
 
 }  // namespace elision::tsx

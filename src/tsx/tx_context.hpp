@@ -89,21 +89,51 @@ class TxContext {
   support::LineId pending_conflict_line_ = 0;
   int pending_conflict_thread_ = -1;
 
-  // Read set: lines whose reader bit this tx holds in the line table, each
-  // with the table slot it was found in (so commit/abort release without
-  // re-probing).
-  std::vector<LineTable::Ref> read_lines_;
-  // Write set: lines whose writer slot this tx holds.
-  std::vector<LineTable::Ref> write_lines_;
+  // Read set: records whose reader bit this tx holds in the line table.
+  // Raw pointers are safe: records never move (chunked storage) and the
+  // table is never cleared while a transaction is live, so commit/abort
+  // release with one deref per line and no re-probing or validation.
+  std::vector<LineRecord*> read_lines_;
+  // Write set: records whose writer slot this tx holds.
+  std::vector<LineRecord*> write_lines_;
   // Write-set L1 occupancy per cache set (capacity model).
   std::array<std::uint8_t, 64> l1_set_occupancy_{};
 
   // Buffered transactional writes (word granularity; published at commit).
   support::WordMap wbuf_;
 
-  // Memoized (line -> slot) hint for the engine's LineTable lookups: the
-  // common "same line as the previous access" case skips probing entirely.
-  LineTable::Cache line_cache_;
+  // Per-access fast-path state: a small direct-mapped cache of per-line
+  // memos, indexed by the low bits of the line id.
+  //
+  // Each entry carries two independent layers:
+  //  - `ref` memoizes the line's record pointer. It is validated by the
+  //    table's generation stamp on every use, so it needs no invalidation
+  //    here; record pointers survive index growth by construction and
+  //    clear() invalidates them via the stamp.
+  //  - `owned` caches the fact that this context holds the line's reader bit
+  //    (kOwnedRead) and/or writer slot (kOwnedWrite) *and* no foreign writer
+  //    can coexist with that ownership. While it holds, a repeat access is a
+  //    guaranteed L1 hit whose slow-path side effects are all idempotent, so
+  //    the engine skips the table lookup and conflict checks entirely. The
+  //    bits are valid only while `owned_epoch` equals the context's
+  //    `own_epoch_`, which release_ownership() bumps on every commit and
+  //    abort (self or remote) — the only points where reader/writer
+  //    ownership is ever taken away.
+  static constexpr std::size_t kLineCacheWays = 64;
+  static constexpr std::uint8_t kOwnedRead = 1;
+  static constexpr std::uint8_t kOwnedWrite = 2;
+  struct CachedLine {
+    LineTable::Cache ref;
+    std::uint64_t owned_epoch = 0;  // matches own_epoch_ => owned is valid
+    std::uint8_t owned = 0;         // kOwnedRead | kOwnedWrite
+  };
+  std::array<CachedLine, kLineCacheWays> line_cache_{};
+  // Starts above every entry's owned_epoch so default entries are invalid.
+  std::uint64_t own_epoch_ = 1;
+
+  CachedLine& line_cache_for(support::LineId line) {
+    return line_cache_[static_cast<std::size_t>(line) & (kLineCacheWays - 1)];
+  }
 
   // HLE elision of a single lock word.
   bool elided_ = false;

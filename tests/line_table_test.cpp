@@ -1,11 +1,11 @@
 // Differential test of the open-addressing LineTable against a
 // std::unordered_map reference model: randomized op mixes (record, cached
-// record, find, captured-Ref at(), clear) over collision-heavy key
-// distributions, starting from a deliberately tiny table so growth happens
-// many times mid-stream. scripts/check.sh runs this under ASan+UBSan, where
-// a probe off the slot array, a stale reference across grow(), or a
-// generation-stamp mixup becomes a hard failure instead of silent
-// corruption.
+// record, find, captured-Cache revalidation, clear) over collision-heavy
+// key distributions, starting from a deliberately tiny table so growth
+// happens many times mid-stream. scripts/check.sh runs this under
+// ASan+UBSan, where a probe off the slot array, a record pointer that did
+// not survive grow(), or a generation-stamp mixup becomes a hard failure
+// instead of silent corruption.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -79,7 +79,7 @@ void run_differential(std::uint64_t seed, const KeyGen& gen) {
   LineTable table(2);
   std::unordered_map<LineId, LineRecord> model;
   LineTable::Cache cache;
-  std::vector<LineTable::Ref> captured;
+  std::vector<LineTable::Cache> captured;
 
   for (int op = 0; op < 20000; ++op) {
     const unsigned dice = static_cast<unsigned>(rng() % 100);
@@ -99,7 +99,7 @@ void run_differential(std::uint64_t seed, const KeyGen& gen) {
       ASSERT_TRUE(same_record(rec, ref)) << "cached record(), op " << op;
       mutate(rec, rng);
       ref = rec;
-      captured.push_back({line, cache.slot});
+      captured.push_back(cache);
     } else if (dice < 85) {
       // find(): never creates; presence and payload must match the model.
       LineRecord* rec = table.find(line);
@@ -109,21 +109,25 @@ void run_differential(std::uint64_t seed, const KeyGen& gen) {
         ASSERT_TRUE(same_record(*rec, it->second)) << "find() payload";
       }
     } else if (dice < 98) {
-      // at() with a previously captured Ref: allowed to miss (stale after
-      // grow()/clear()), never allowed to return the wrong record.
+      // A previously captured Cache. Valid exactly while its generation
+      // matches the table: records never move or get erased within a
+      // generation, so the memoized pointer must still be that line's
+      // record no matter how much the index grew since capture. After
+      // clear() the stamp mismatches and the cached path must re-probe,
+      // never resurrect the stale payload (this is the planted-stale-ref
+      // self-check scripts/check.sh runs under the sanitizers).
       if (!captured.empty()) {
-        const LineTable::Ref r = captured[rng() % captured.size()];
-        LineRecord* rec = table.at(r.slot, r.line);
-        const auto it = model.find(r.line);
-        if (it == model.end()) {
-          ASSERT_EQ(rec, nullptr) << "at() resurrected a cleared line";
-        } else if (rec != nullptr) {
-          ASSERT_TRUE(same_record(*rec, it->second)) << "at() payload";
+        LineTable::Cache c = captured[rng() % captured.size()];
+        const auto it = model.find(c.line);
+        if (c.gen == table.generation()) {
+          ASSERT_NE(it, model.end()) << "live cache for an absent line";
+          ASSERT_EQ(table.find(c.line), c.rec) << "record moved, op " << op;
+          ASSERT_TRUE(same_record(*c.rec, it->second)) << "cache payload";
         } else {
-          // Stale index: the documented degradation is a find() fallback.
-          LineRecord* found = table.find(r.line);
-          ASSERT_NE(found, nullptr);
-          ASSERT_TRUE(same_record(*found, it->second));
+          LineRecord& rec = table.record(c.line, c);
+          LineRecord& ref = model[c.line];
+          ASSERT_TRUE(same_record(rec, ref)) << "stale cache, op " << op;
+          ASSERT_EQ(c.gen, table.generation()) << "record() must refresh";
         }
       }
     } else {
@@ -215,10 +219,13 @@ TEST(LineTable, CacheSurvivesClearAndGrow) {
   a.writer = 5;
   // Hit: same line through the cache returns the same record.
   EXPECT_EQ(&t.record(42, cache), &a);
-  // Growth invalidates the memoized slot; the cached path must re-probe.
+  // Index growth rehashes slots but never moves records: the memoized
+  // pointer itself stays valid and the cached path keeps hitting it.
   for (LineId line = 100; line < 200; ++line) t.record(line);
-  EXPECT_EQ(t.record(42, cache).writer, 5);
-  // clear() invalidates it via the generation stamp.
+  EXPECT_EQ(&t.record(42, cache), &a);
+  EXPECT_EQ(a.writer, 5);
+  // clear() invalidates the memo via the generation stamp: the cached path
+  // must re-probe and hand back a fresh record, not the stale payload.
   t.clear();
   EXPECT_EQ(t.record(42, cache).writer, kNoThread);
 }

@@ -194,23 +194,82 @@ constexpr GoldenShape kGolden[] = {
 };
 
 TEST(ScheduleEquivalence, MatchesSeedSchedulerGoldenSwitchCounts) {
-  for (const GoldenShape& g : kGolden) {
-    MachineConfig m;
-    m.n_cores = g.cores;
-    m.smt_per_core = 2;
-    m.seed = 1;
-    m.yield_slack_cycles = g.slack;
-    Scheduler s(m);
-    for (int t = 0; t < g.threads; ++t) {
-      s.spawn([&g](SimThread& st) {
-        for (std::uint64_t i = 0; i < g.per_thread; ++i) st.tick(g.tick);
-      });
+  // Both settings of switch-bound batching must reproduce the seed's
+  // schedule exactly: batching only changes *when* the preemption bound is
+  // recomputed, never its value at any decision point.
+  for (const bool batch : {false, true}) {
+    for (const GoldenShape& g : kGolden) {
+      MachineConfig m;
+      m.n_cores = g.cores;
+      m.smt_per_core = 2;
+      m.seed = 1;
+      m.yield_slack_cycles = g.slack;
+      m.batch_switch_bound = batch;
+      Scheduler s(m);
+      for (int t = 0; t < g.threads; ++t) {
+        s.spawn([&g](SimThread& st) {
+          for (std::uint64_t i = 0; i < g.per_thread; ++i) st.tick(g.tick);
+        });
+      }
+      s.run();
+      EXPECT_EQ(s.switch_count(), g.switches)
+          << "t" << g.threads << "/" << g.cores << "c slack=" << g.slack
+          << " batch=" << batch;
+      EXPECT_EQ(s.elapsed_cycles(), g.elapsed)
+          << "t" << g.threads << "/" << g.cores << "c slack=" << g.slack
+          << " batch=" << batch;
     }
-    s.run();
-    EXPECT_EQ(s.switch_count(), g.switches)
-        << "t" << g.threads << "/" << g.cores << "c slack=" << g.slack;
-    EXPECT_EQ(s.elapsed_cycles(), g.elapsed)
-        << "t" << g.threads << "/" << g.cores << "c slack=" << g.slack;
+  }
+}
+
+TEST(ScheduleEquivalence, BatchingPreservesSchedulesAcrossSizes) {
+  // Differential batching-on vs batching-off sweep across the 16->17 group
+  // boundary, both yield-slack regimes, and the full 1..256 size range:
+  // switch counts and elapsed cycles (the schedule's fingerprint) must be
+  // bit-identical, and batching must recompute the bound once per switch.
+  for (const int threads : {1, 2, 15, 16, 17, 33, 64, 128, 256}) {
+    for (const std::uint64_t slack : {std::uint64_t{0}, std::uint64_t{200}}) {
+      std::uint64_t switches[2] = {0, 0};
+      std::uint64_t elapsed[2] = {0, 0};
+      for (const int batch : {0, 1}) {
+        MachineConfig m;
+        m.n_cores = static_cast<unsigned>(threads + 1) / 2;
+        if (m.n_cores == 0) m.n_cores = 1;
+        m.smt_per_core = 2;
+        m.seed = 1234;
+        m.yield_slack_cycles = slack;
+        m.batch_switch_bound = batch != 0;
+        Scheduler s(m);
+        for (int t = 0; t < threads; ++t) {
+          s.spawn([t](SimThread& st) {
+            // Vary per-thread work so clocks interleave non-trivially.
+            for (int i = 0; i < 2000 + (t % 7) * 100; ++i) {
+              st.tick(3 + static_cast<std::uint64_t>((i + t) % 5));
+            }
+          });
+        }
+        s.run();
+        switches[batch] = s.switch_count();
+        elapsed[batch] = s.elapsed_cycles();
+        if (batch != 0) {
+          // One recompute per actual thread exchange; switch_count() also
+          // counts same-thread early-outs and finishes, so it bounds the
+          // recomputes from above (plus the initial dispatches).
+          EXPECT_GT(s.switch_bound_recomputes(), 0u)
+              << "threads=" << threads << " slack=" << slack;
+          EXPECT_LE(s.switch_bound_recomputes(),
+                    s.switch_count() + static_cast<std::uint64_t>(threads))
+              << "threads=" << threads << " slack=" << slack;
+        } else {
+          EXPECT_EQ(s.switch_bound_recomputes(), 0u)
+              << "threads=" << threads << " slack=" << slack;
+        }
+      }
+      EXPECT_EQ(switches[0], switches[1])
+          << "threads=" << threads << " slack=" << slack;
+      EXPECT_EQ(elapsed[0], elapsed[1])
+          << "threads=" << threads << " slack=" << slack;
+    }
   }
 }
 

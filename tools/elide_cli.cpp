@@ -10,6 +10,7 @@
 // Locks: ttas mcs ticket ticket-adj clh clh-adj
 // Schemes: standard hle hle-scm pes-slr opt-slr opt-slr-scm rtm-elide
 //          hle-scm-nested hle-gscm
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -26,6 +27,7 @@
 #include "locks/schemes.hpp"
 #include "locks/ticket_lock.hpp"
 #include "locks/ttas_lock.hpp"
+#include "sim/machine_config.hpp"
 #include "stamp/common.hpp"
 #include "support/parse.hpp"
 #include "tsx/trace.hpp"
@@ -109,7 +111,11 @@ Options parse(int argc, char** argv, int first, std::string* positional) {
       usage(("unknown argument " + a).c_str());
     }
   }
-  if (o.threads < 1 || o.threads > 64) usage("--threads must be in [1,64]");
+  if (o.threads < 1 || o.threads > sim::kMaxSimThreads) {
+    usage(("--threads must be in [1," + std::to_string(sim::kMaxSimThreads) +
+           "] (kMaxSimThreads)")
+              .c_str());
+  }
   if (o.updates < 0 || o.updates > 100) usage("--updates must be in [0,100]");
   return o;
 }
@@ -125,7 +131,8 @@ locks::ElisionPolicy parse_policy(const std::string& s) {
 
 template <typename Lock>
 int run_tree_with(const Options& o, const locks::ElisionPolicy& policy) {
-  ds::RbTree tree(o.size * 4 + 256);
+  ds::RbTree tree(o.size * 4 + 256,
+                  std::max(o.threads, tsx::kDefaultPoolThreads));
   support::Xoshiro256 fill(42);
   std::size_t filled = 0;
   while (filled < o.size) {
@@ -266,7 +273,8 @@ int cmd_schemes(const Options& o) {
     const locks::ElisionPolicy scheme = locks::ElisionPolicy::from_scheme(s);
     auto run = [&](auto lock_tag) {
       using Lock = decltype(lock_tag);
-      ds::RbTree tree(o.size * 4 + 256);
+      ds::RbTree tree(o.size * 4 + 256,
+                  std::max(o.threads, tsx::kDefaultPoolThreads));
       support::Xoshiro256 fill(42);
       std::size_t filled = 0;
       while (filled < o.size) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "locks/policy.hpp"
+#include "sim/machine_config.hpp"
 #include "stress/stress.hpp"
 #include "support/parallel.hpp"
 #include "support/parse.hpp"
@@ -235,7 +236,11 @@ int main(int argc, char** argv) {
       first_seed = *v;
     } else if (a == "--threads") {
       const auto v = elision::support::parse_int(value());
-      if (!v) usage_error("--threads must be a decimal integer");
+      if (!v || *v < 1 || *v > elision::sim::kMaxSimThreads) {
+        usage_error("--threads must be a decimal integer in [1," +
+                    std::to_string(elision::sim::kMaxSimThreads) +
+                    "] (kMaxSimThreads)");
+      }
       o.threads = *v;
     } else if (a == "--host-threads") {
       const auto v = elision::support::parse_int(value());
